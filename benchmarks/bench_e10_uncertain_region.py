@@ -1,0 +1,16 @@
+"""E10 — mapping the paper's open region m ∈ (m0, 2m0) (extension)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e10_uncertain_region import run_uncertain_region, table
+
+
+def test_e10_open_region_map(benchmark):
+    result = run_once(benchmark, run_uncertain_region)
+    print()
+    print(table(result))
+    # The Figure-2 construction funds attacks only up to m = 3*t*mf/50.
+    for point in result.points:
+        expected = point.m <= result.lattice_breakable_until
+        assert point.lattice_wins == expected
+    # Everything near 2*m0 resists every implemented attack.
+    assert result.points[-1].empirically_possible

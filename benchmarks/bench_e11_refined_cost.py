@@ -1,0 +1,18 @@
+"""E11 — refined chain-vs-I-code efficiency model (§5 future work)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e11_refined_coding_cost import run_refined_cost, table
+
+
+def test_e11_refined_cost_model(benchmark):
+    result = run_once(benchmark, run_refined_cost)
+    print()
+    print(table(result))
+    assert result.model_matches_simulation
+    # Attack-free: the chain code's k+O(log k) always beats 2k.
+    for row in result.rows:
+        if row.attacks == 0:
+            assert row.chain_wins
+    # All crossovers sit below one attack per message: per-bit repair
+    # wins as soon as the adversary spends anything.
+    assert all(a_star < 1.0 for _, a_star in result.crossovers)

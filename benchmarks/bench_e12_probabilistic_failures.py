@@ -1,0 +1,18 @@
+"""E12 — probabilistic crash failures (§6 future work, model of [4])."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e12_probabilistic_failures import (
+    run_probabilistic_failures,
+    table,
+)
+
+
+def test_e12_failure_percolation(benchmark):
+    result = run_once(benchmark, run_probabilistic_failures)
+    print()
+    print(table(result))
+    assert result.larger_radius_tolerates_more
+    # Failure-free runs are complete; heavy failures break r=1 coverage.
+    assert result.fraction_at(1, 0.0) == 1.0
+    assert result.fraction_at(2, 0.0) == 1.0
+    assert result.fraction_at(1, 0.7) < 1.0

@@ -1,0 +1,18 @@
+"""E13 — faithful sub-bit link layer vs the E7 message-level model."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.e13_subbit_link import run_link_validation, table
+
+
+def test_e13_link_abstraction_validation(benchmark):
+    result = run_once(benchmark, run_link_validation)
+    print()
+    print(table(result))
+    assert result.delivery_rate == 1.0
+    assert result.cost_model_match_rate == 1.0
+    assert result.total_forgeries == 0
+    assert result.measured_cancellation_rate == pytest.approx(
+        result.analytic_cancellation_rate, abs=0.004
+    )

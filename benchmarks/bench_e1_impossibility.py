@@ -1,0 +1,14 @@
+"""E1 — Theorem 1 / Figure 1: stripe impossibility series (decided fraction vs m)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e1_impossibility import run_impossibility, table
+
+
+def test_e1_stripe_impossibility(benchmark):
+    result = run_once(benchmark, run_impossibility)
+    print()
+    print(table(result))
+    assert result.fails_below_m0, "Theorem 1: every m < m0 must fail"
+    assert result.succeeds_at_2m0, "Theorem 2: every m >= 2*m0 must succeed"
+    starved = [p for p in result.points if p.m < result.m0]
+    assert all(p.band_decided == 0 for p in starved), "band must be fully starved"

@@ -1,0 +1,18 @@
+"""E2 — Figure 2 worked example at the paper's exact parameters."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e2_figure2 import run_figure2, table
+
+
+def test_e2_figure2_exact_numbers(benchmark):
+    result = run_once(benchmark, run_figure2)
+    print()
+    print(table(result))
+    assert result.m0 == 58
+    assert result.decided_good + 1 == 84  # source square + 4 mid-side nodes
+    assert result.p_suppliers == 33
+    assert result.p_potential == 1947
+    assert result.midside_potential == 2065
+    assert result.p_clean <= 1000  # t*mf: one copy short of acceptance
+    assert result.defender_spend <= 1000  # within the bad node's budget mf
+    assert result.broadcast_failed  # m = m0 + 1 is not sufficient

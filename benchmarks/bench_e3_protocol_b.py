@@ -1,0 +1,12 @@
+"""E3 — Theorem 2: protocol B at m = 2*m0 across (r, t, mf) and placements."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e3_protocol_b import run_theorem2, table
+
+
+def test_e3_protocol_b_sufficiency(benchmark):
+    result = run_once(benchmark, run_theorem2)
+    print()
+    print(table(result))
+    assert result.all_succeed, "Theorem 2: m = 2*m0 must always succeed"
+    assert result.cost_within_twice_lower_bound, "cost must stay within 2x m0"

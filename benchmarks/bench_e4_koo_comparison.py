@@ -1,0 +1,19 @@
+"""E4 — message-efficiency comparison vs the Koo et al. [14] baseline."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.e4_koo_comparison import run_comparison, table
+
+
+def test_e4_budget_comparison(benchmark):
+    result = run_once(benchmark, run_comparison)
+    print()
+    print(table(result))
+    # The paper's headline: baseline/B budget ratio ~ (r(2r+1) - t)/2.
+    fig2_row = next(r for r in result.rows if (r.r, r.t, r.mf) == (4, 1, 1000))
+    assert fig2_row.koo_m == 2001 and fig2_row.b_m == 112
+    assert fig2_row.ratio == pytest.approx(fig2_row.paper_ratio, rel=0.05)
+    measured = result.measured
+    assert measured.koo_success and measured.b_success
+    assert measured.b_max_sent < measured.koo_max_sent

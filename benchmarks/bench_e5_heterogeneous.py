@@ -1,0 +1,15 @@
+"""E5 — Theorem 3 / Figure 5: heterogeneous budget savings vs grid size."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e5_heterogeneous import run_heterogeneous, table
+
+
+def test_e5_heterogeneous_budgets(benchmark):
+    result = run_once(benchmark, run_heterogeneous)
+    print()
+    print(table(result))
+    assert result.all_succeed, "Theorem 3: B_heter must broadcast reliably"
+    assert result.always_cheaper_than_homogeneous
+    # Savings approach 1 - m0/(2*m0) = 50% as the cross's share shrinks.
+    fractions = [p.savings_fraction for p in result.points if p.placement == "random"]
+    assert fractions == sorted(fractions), "savings must grow with network size"

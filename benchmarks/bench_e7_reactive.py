@@ -1,0 +1,16 @@
+"""E7 — Theorem 4: B_reactive reliability and message cost."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e7_reactive import run_reactive, table
+
+
+def test_e7_reactive_broadcast(benchmark):
+    result = run_once(benchmark, run_reactive)
+    print()
+    print(table(result))
+    assert result.success_rate >= 1.0 - 1.0 / result.n
+    assert result.within_paper_bound, "message rounds must fit 2*(t*mf+1)"
+    measured_subbits = result.max_message_rounds * result.K * result.L
+    # Theorem 4's closed form uses real-valued logs; allow the ceil(L) slack.
+    assert measured_subbits <= result.theorem4_subbit_budget * 1.05
+    assert result.forced_failure_wrong > 0, "tiny L must be exploitable"

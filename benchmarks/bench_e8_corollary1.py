@@ -1,0 +1,14 @@
+"""E8 — Corollary 1 feasibility map in the (t, m) plane."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e8_corollary1 import run_boundary, table
+
+
+def test_e8_feasibility_boundary(benchmark):
+    result = run_once(benchmark, run_boundary)
+    print()
+    print(table(result))
+    assert result.all_consistent, "no tolerable point may fail"
+    assert result.breakable_failure_rate > 0.5, (
+        "the impossibility side must be realized away from razor-tight points"
+    )

@@ -1,0 +1,36 @@
+"""E9 — design-choice ablations (relay count, growth shape, quiet window)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.e9_ablations import (
+    run_growth_shape,
+    run_quiet_window,
+    run_relay_sweep,
+    table_a,
+    table_b,
+    table_c,
+)
+
+
+def test_e9a_relay_count(benchmark):
+    points = run_once(benchmark, run_relay_sweep)
+    print()
+    print(table_a(points))
+    by_label = {p.label: p for p in points}
+    assert not by_label["m0 - 1"].success
+    assert any("protocol B" in label and p.success for label, p in by_label.items())
+
+
+def test_e9b_growth_shape(benchmark):
+    result = run_once(benchmark, run_growth_shape)
+    print()
+    print(table_b(result))
+    assert not result.homogeneous_success, "square growth stalls at m0+1 (Fig 2)"
+    assert result.heterogeneous_success, "cross/circular growth survives (Thm 3)"
+
+
+def test_e9c_quiet_window(benchmark):
+    points = run_once(benchmark, run_quiet_window)
+    print()
+    print(table_c(points))
+    paper_window = next(p for p in points if p.window == 8)
+    assert paper_window.success_rate == 1.0

@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment benchmark runs its harness exactly once per pytest-
+benchmark round (the experiments are deterministic end-to-end runs, not
+microbenchmarks), prints the regenerated table — the same rows the
+paper's analysis predicts — and asserts the headline claim.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only            # timings + assertions
+    pytest benchmarks/ --benchmark-only -s         # ... plus the tables
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a deterministic end-to-end harness with one invocation."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Walkthrough of the paper's Figure 2 counterexample (paper §2).
+
+Shows, with the paper's exact numbers (r=4, t=1, mf=1000, m0=58, m=59),
+why ``m`` slightly above the lower bound is still not enough: after the
+source's 9x9 neighborhood and the four mid-side nodes accept, every other
+node is a "corner node" with too few decided suppliers, and a single
+in-range Byzantine defender can starve it forever.
+
+Run:  python examples/figure2_walkthrough.py   (~5 s)
+"""
+
+from repro.analysis.render import coverage_summary, render_decisions
+from repro.experiments.e2_figure2 import P_COORD, run_figure2, table
+
+
+def main() -> None:
+    result = run_figure2()
+    print(table(result))
+    print()
+
+    report = result.report
+    grid = report.grid
+    print("decision map around the source (rows -9..9, torus coordinates):")
+    height = grid.height
+    rows = [(y % height) for y in range(-9, 10)]
+    # Render the wrapped band around the origin in natural order.
+    for y in range(-9, 10):
+        line = []
+        for x in range(-12, 13):
+            nid = grid.id_of((x, y))
+            if nid == report.table.source:
+                line.append("S")
+            elif report.table.is_bad(nid):
+                line.append("x")
+            else:
+                node = report.nodes[nid]
+                if not node.decided:
+                    line.append(".")
+                else:
+                    line.append("#")
+        print("".join(line))
+    del rows  # (kept explicit above for clarity)
+
+    print()
+    print(coverage_summary(report.table, report.nodes, 1))
+    p_node = report.nodes[grid.id_of(P_COORD)]
+    print(
+        f"p={P_COORD}: clean Vtrue copies = {p_node.count_of(1)} "
+        f"(needs {1 * 1000 + 1}), wrong copies = {p_node.count_of(0)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,158 @@
+"""repro — reproduction of *Message-Efficient Byzantine Fault-Tolerant
+Broadcast in a Multi-Hop Wireless Sensor Network* (Bertier, Kermarrec,
+Tan — ICDCS 2010).
+
+The package implements the paper's full system stack from scratch:
+
+- a toroidal/bounded grid radio network with L∞ neighborhoods, a
+  collision-free TDMA schedule, per-node message budgets, and the paper's
+  adversarial collision semantics (:mod:`repro.network`, :mod:`repro.radio`);
+- worst-case adversaries realizing the lower-bound constructions
+  (:mod:`repro.adversary`);
+- the paper's protocols — **B** (§3), **B_heter** (§4), **B_reactive**
+  (§5) — plus the Koo-et-al. repetition baseline and certified
+  propagation (:mod:`repro.protocols`);
+- the two-level integrity coding scheme and the I-code baseline
+  (:mod:`repro.coding`);
+- closed-form bounds and budget assignments (:mod:`repro.analysis`);
+- scenario runners and experiment harnesses regenerating every
+  figure/theorem of the paper (:mod:`repro.runner`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import GridSpec, StripePlacement, ThresholdRunConfig
+    from repro import run_threshold_broadcast, m0
+
+    spec = GridSpec(width=30, height=30, r=2, torus=True)
+    cfg = ThresholdRunConfig(
+        spec=spec, t=2, mf=2,
+        placement=StripePlacement(y0=8, t=2),
+        protocol="b",
+    )
+    report = run_threshold_broadcast(cfg)
+    assert report.success  # m = 2*m0 suffices (Theorem 2)
+"""
+
+from repro._version import __version__
+from repro.adversary import (
+    LatticePlacement,
+    NullAdversary,
+    RandomPlacement,
+    SpamLiar,
+    SpoofingJammer,
+    StripePlacement,
+    ThresholdGuardJammer,
+    two_stripe_band,
+)
+from repro.analysis import (
+    BroadcastOutcome,
+    BudgetAssignment,
+    MessageCosts,
+    corollary1_max_tolerable_t,
+    corollary1_min_breakable_t,
+    heterogeneous_assignment,
+    homogeneous_assignment,
+    koo_budget,
+    m0,
+    max_reactive_t,
+    protocol_b_relay_count,
+    theorem4_budget,
+)
+from repro.coding import ChainCode, ICode, SubbitCodec, UnidirectionalChannel
+from repro.errors import (
+    BudgetExceededError,
+    CodingError,
+    ConfigurationError,
+    PlacementError,
+    ReproError,
+    ScheduleConflictError,
+    SimulationError,
+)
+from repro.network import Grid, GridSpec, NodeTable
+from repro.protocols import (
+    BroadcastParams,
+    make_cpa_nodes,
+    make_koo_nodes,
+    make_protocol_b_nodes,
+    make_protocol_heter_nodes,
+    make_reactive_nodes,
+    protocol_b_required_budget,
+)
+from repro.radio import BudgetLedger, RoundDriver, RunLimits, TdmaSchedule
+from repro.runner import (
+    BroadcastReport,
+    ReactiveRunConfig,
+    ThresholdRunConfig,
+    format_table,
+    run_reactive_broadcast,
+    run_threshold_broadcast,
+    sweep,
+)
+from repro.types import VFALSE, VTRUE, Role
+
+__all__ = [
+    "__version__",
+    # network / radio
+    "Grid",
+    "GridSpec",
+    "NodeTable",
+    "BudgetLedger",
+    "RoundDriver",
+    "RunLimits",
+    "TdmaSchedule",
+    # adversary
+    "LatticePlacement",
+    "NullAdversary",
+    "RandomPlacement",
+    "SpamLiar",
+    "SpoofingJammer",
+    "StripePlacement",
+    "ThresholdGuardJammer",
+    "two_stripe_band",
+    # analysis
+    "BroadcastOutcome",
+    "BudgetAssignment",
+    "MessageCosts",
+    "corollary1_max_tolerable_t",
+    "corollary1_min_breakable_t",
+    "heterogeneous_assignment",
+    "homogeneous_assignment",
+    "koo_budget",
+    "m0",
+    "max_reactive_t",
+    "protocol_b_relay_count",
+    "theorem4_budget",
+    # coding
+    "ChainCode",
+    "ICode",
+    "SubbitCodec",
+    "UnidirectionalChannel",
+    # protocols
+    "BroadcastParams",
+    "make_cpa_nodes",
+    "make_koo_nodes",
+    "make_protocol_b_nodes",
+    "make_protocol_heter_nodes",
+    "make_reactive_nodes",
+    "protocol_b_required_budget",
+    # runner
+    "BroadcastReport",
+    "ReactiveRunConfig",
+    "ThresholdRunConfig",
+    "format_table",
+    "run_reactive_broadcast",
+    "run_threshold_broadcast",
+    "sweep",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "BudgetExceededError",
+    "CodingError",
+    "PlacementError",
+    "ScheduleConflictError",
+    "SimulationError",
+    # values
+    "VTRUE",
+    "VFALSE",
+    "Role",
+]

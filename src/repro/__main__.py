@@ -1,0 +1,69 @@
+"""Command-line entry point: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro list            # show available experiments
+    python -m repro e2              # run one experiment, print its table
+    python -m repro all             # run every experiment (minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+#: experiment id -> (module, description)
+EXPERIMENTS: dict[str, tuple[str, str]] = {
+    "e1": ("repro.experiments.e1_impossibility", "Thm 1 / Fig 1: stripe impossibility"),
+    "e2": ("repro.experiments.e2_figure2", "Fig 2 worked example (exact numbers)"),
+    "e3": ("repro.experiments.e3_protocol_b", "Thm 2: protocol B at m = 2*m0"),
+    "e4": ("repro.experiments.e4_koo_comparison", "budget comparison vs Koo [14]"),
+    "e5": ("repro.experiments.e5_heterogeneous", "Thm 3 / Fig 5: heterogeneous budgets"),
+    "e6": ("repro.experiments.e6_coding", "Fig 9: coding overhead + attacks"),
+    "e7": ("repro.experiments.e7_reactive", "Thm 4: B_reactive, unknown mf"),
+    "e8": ("repro.experiments.e8_corollary1", "Cor 1 feasibility map"),
+    "e9": ("repro.experiments.e9_ablations", "design ablations"),
+    "e10": ("repro.experiments.e10_uncertain_region", "open region (m0, 2m0) [ext]"),
+    "e11": ("repro.experiments.e11_refined_coding_cost", "refined coding cost [ext]"),
+    "e12": ("repro.experiments.e12_probabilistic_failures", "crash failures [ext]"),
+    "e13": ("repro.experiments.e13_subbit_link", "sub-bit link validation [ext]"),
+}
+
+
+def run_experiment(exp_id: str) -> None:
+    module_name, description = EXPERIMENTS[exp_id]
+    print(f"== {exp_id}: {description} ==")
+    start = time.perf_counter()
+    importlib.import_module(module_name).main()
+    print(f"[{exp_id} finished in {time.perf_counter() - start:.1f}s]\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's figures/theorems as experiments.",
+    )
+    parser.add_argument(
+        "target",
+        choices=[*EXPERIMENTS, "all", "list"],
+        help="experiment id, 'all', or 'list'",
+    )
+    args = parser.parse_args(argv)
+
+    if args.target == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for exp_id, (_, description) in EXPERIMENTS.items():
+            print(f"{exp_id.ljust(width)}  {description}")
+        return 0
+    if args.target == "all":
+        for exp_id in EXPERIMENTS:
+            run_experiment(exp_id)
+        return 0
+    run_experiment(args.target)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Adversary models: where bad nodes sit and what they do.
+
+Placement (who is bad) and behavior (what they transmit) are independent
+axes; scenarios combine one of each. All behaviors implement the
+structural :class:`~repro.radio.mac.AdversaryLike` interface.
+"""
+
+from repro.adversary.base import Adversary, NullAdversary
+from repro.adversary.jamming import PlannedJammer, ThresholdGuardJammer
+from repro.adversary.lying import SpamLiar, SpoofingJammer
+from repro.adversary.placement import (
+    BernoulliPlacement,
+    CombinedPlacement,
+    LatticePlacement,
+    Placement,
+    RandomPlacement,
+    StripePlacement,
+    two_stripe_band,
+)
+
+__all__ = [
+    "Adversary",
+    "NullAdversary",
+    "ThresholdGuardJammer",
+    "PlannedJammer",
+    "SpamLiar",
+    "SpoofingJammer",
+    "Placement",
+    "BernoulliPlacement",
+    "CombinedPlacement",
+    "StripePlacement",
+    "LatticePlacement",
+    "RandomPlacement",
+    "two_stripe_band",
+]

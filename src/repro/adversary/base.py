@@ -1,0 +1,40 @@
+"""Adversary behavior base classes."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.radio.medium import Delivery
+from repro.radio.messages import BadTransmission, Transmission
+
+
+class Adversary(ABC):
+    """A single coordinated Byzantine mind controlling all bad nodes.
+
+    The driver consults it at every slot (:meth:`on_slot`) and shows it
+    every delivery (:meth:`observe`) — the adversary is omniscient, which
+    is the right model for worst-case analysis: anything a weaker
+    adversary achieves, this one can.
+    """
+
+    @abstractmethod
+    def on_slot(
+        self, round_index: int, slot: int, honest: list[Transmission]
+    ) -> list[BadTransmission]:
+        """Byzantine transmissions for this slot."""
+
+    def observe(self, deliveries: list[Delivery]) -> None:
+        """Default: ignore (stateless adversaries)."""
+
+    def has_pending(self) -> bool:
+        """Default: purely reactive — never keeps a run alive by itself."""
+        return False
+
+
+class NullAdversary(Adversary):
+    """Bad nodes that never transmit (crash-faulty placement, clean runs)."""
+
+    def on_slot(
+        self, round_index: int, slot: int, honest: list[Transmission]
+    ) -> list[BadTransmission]:
+        return []

@@ -1,0 +1,52 @@
+"""Closed-form bounds, budget assignments, metrics, and verifiers."""
+
+from repro.analysis.bounds import (
+    accept_threshold,
+    corollary1_max_tolerable_t,
+    corollary1_min_breakable_t,
+    half_neighborhood,
+    koo_budget,
+    m0,
+    max_locally_bounded_t,
+    max_reactive_t,
+    protocol_b_relay_count,
+    source_send_count,
+    theorem4_budget,
+)
+from repro.analysis.budgets import (
+    BudgetAssignment,
+    heterogeneous_assignment,
+    homogeneous_assignment,
+)
+from repro.analysis.metrics import BroadcastOutcome, MessageCosts
+from repro.analysis.render import coverage_summary, render_decisions
+from repro.analysis.search import BudgetSearchResult, find_min_working_budget
+from repro.analysis.timeline import PropagationTimeline, propagation_timeline
+from repro.analysis.verify import check_broadcast, collect_outcome
+
+__all__ = [
+    "accept_threshold",
+    "corollary1_max_tolerable_t",
+    "corollary1_min_breakable_t",
+    "half_neighborhood",
+    "koo_budget",
+    "m0",
+    "max_locally_bounded_t",
+    "max_reactive_t",
+    "protocol_b_relay_count",
+    "source_send_count",
+    "theorem4_budget",
+    "BudgetAssignment",
+    "heterogeneous_assignment",
+    "homogeneous_assignment",
+    "BroadcastOutcome",
+    "MessageCosts",
+    "check_broadcast",
+    "collect_outcome",
+    "coverage_summary",
+    "render_decisions",
+    "BudgetSearchResult",
+    "find_min_working_budget",
+    "PropagationTimeline",
+    "propagation_timeline",
+]

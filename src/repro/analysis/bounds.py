@@ -1,0 +1,171 @@
+"""Closed-form quantities from the paper, in exact integer arithmetic.
+
+Central notation (paper §1.2-1.3):
+
+- ``r`` — transmission radius, L∞ metric;
+- ``t`` — maximum bad nodes per neighborhood, ``t < r(2r+1)``;
+- ``mf`` — message budget of each bad node;
+- ``m`` — message budget of each good node;
+- ``m0 = ceil((2 t mf + 1) / (r(2r+1) - t))`` — the lower-bound budget of
+  Theorem 1.
+
+Every function validates its preconditions; formulas are implemented with
+integer ceil-division so there is no floating-point drift anywhere in the
+feasibility logic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def _ceil_div(a: int, b: int) -> int:
+    """Exact ceiling division for positive operands."""
+    if b <= 0:
+        raise ConfigurationError(f"ceil division by non-positive {b}")
+    return -(-a // b)
+
+
+def half_neighborhood(r: int) -> int:
+    """``r(2r+1)``: nodes in an r x (2r+1) stripe — half an open neighborhood."""
+    if r < 1:
+        raise ConfigurationError(f"radius must be >= 1, got {r}")
+    return r * (2 * r + 1)
+
+
+def validate_t(r: int, t: int) -> None:
+    """The locally-bounded adversary model requires ``0 <= t < r(2r+1)``."""
+    if t < 0:
+        raise ConfigurationError(f"t must be non-negative, got {t}")
+    if t >= half_neighborhood(r):
+        raise ConfigurationError(
+            f"t={t} violates the model bound t < r(2r+1) = {half_neighborhood(r)}"
+        )
+
+
+def max_locally_bounded_t(r: int) -> int:
+    """Largest ``t`` admitted by the message-bounded model: ``r(2r+1) - 1``."""
+    return half_neighborhood(r) - 1
+
+
+def max_reactive_t(r: int) -> int:
+    """Largest ``t`` tolerated by B_reactive (§5): ``t < r(2r+1)/2``.
+
+    This is the classic Koo / Bhandari-Vaidya threshold ``ceil(r(2r+1)/2) - 1``.
+    """
+    return _ceil_div(half_neighborhood(r), 2) - 1
+
+
+def m0(r: int, t: int, mf: int) -> int:
+    """Theorem 1's lower bound: ``ceil((2 t mf + 1) / (r(2r+1) - t))``.
+
+    Any homogeneous good-node budget below this makes reliable broadcast
+    impossible under the stripe adversary.
+    """
+    validate_t(r, t)
+    if mf < 0:
+        raise ConfigurationError(f"mf must be non-negative, got {mf}")
+    return _ceil_div(2 * t * mf + 1, half_neighborhood(r) - t)
+
+
+def accept_threshold(t: int, mf: int) -> int:
+    """Copies needed to accept a value: ``t*mf + 1`` (Lemma 1's soundness)."""
+    return t * mf + 1
+
+
+def source_send_count(t: int, mf: int) -> int:
+    """Local broadcasts the (unbounded) source performs: ``2 t mf + 1``."""
+    return 2 * t * mf + 1
+
+
+def protocol_b_relay_count(r: int, t: int, mf: int) -> int:
+    """Relay count of protocol B: ``ceil((2tmf+1) / ceil((r(2r+1)-t)/2))``.
+
+    This is the heterogeneous ``m'`` of Theorem 3 as well; it always
+    satisfies ``m' <= 2 * m0`` (checked by tests and asserted here since
+    Theorem 2 relies on it).
+    """
+    validate_t(r, t)
+    half_good = _ceil_div(half_neighborhood(r) - t, 2)
+    relay = _ceil_div(2 * t * mf + 1, half_good)
+    assert relay <= 2 * m0(r, t, mf), "protocol B relay count exceeded 2*m0"
+    return relay
+
+
+def koo_budget(t: int, mf: int) -> int:
+    """Per-node budget of the baseline scheme from [14]: ``2 t mf + 1``.
+
+    The paper's comparison point: every node individually out-shouts the
+    worst-case ``t*mf`` collisions in its own neighborhood.
+    """
+    return 2 * t * mf + 1
+
+
+def budget_ratio_vs_koo(r: int, t: int, mf: int) -> float:
+    """``koo_budget / protocol_b_relay_count`` ≈ ``(r(2r+1) - t)/2``.
+
+    The paper states the baseline needs ``(r(2r+1)-t)/2`` times protocol
+    B's budget; the exact ratio differs only by ceilings.
+    """
+    return koo_budget(t, mf) / protocol_b_relay_count(r, t, mf)
+
+
+def corollary1_min_breakable_t(r: int, m: int, mf: int) -> int:
+    """Corollary 1, impossibility side.
+
+    Any ``t > (m * r(2r+1) - 1) / (2 mf + m)`` can cause broadcast to fail;
+    returns the smallest such integer t. (Equivalent to the smallest t with
+    ``m < m0(r, t, mf)``.)
+    """
+    if m < 1:
+        raise ConfigurationError(f"good budget must be >= 1, got {m}")
+    numerator = m * half_neighborhood(r) - 1
+    denominator = 2 * mf + m
+    return numerator // denominator + 1
+
+
+def corollary1_max_tolerable_t(r: int, m: int, mf: int) -> int:
+    """Corollary 1, possibility side.
+
+    Any ``t <= (m * r(2r+1) - 2) / (4 mf + m)`` can be tolerated by some
+    protocol; returns that floor value (possibly 0).
+    """
+    if m < 1:
+        raise ConfigurationError(f"good budget must be >= 1, got {m}")
+    numerator = m * half_neighborhood(r) - 2
+    denominator = 4 * mf + m
+    if numerator < 0:
+        return 0
+    return numerator // denominator
+
+
+def theorem4_budget(
+    t: int, mf: int, n: int, mmax: int, k: int, *, exact_k_terms: bool = False
+) -> float:
+    """Theorem 4's per-node transmission bound for B_reactive.
+
+    ``m = 2 (t mf + 1) (2 log n + log t + log mmax) (k + 2 log k + 2)``
+
+    Logarithms are base 2 (they size the sub-bit sequence ``L`` and the
+    coded length ``K``). With ``exact_k_terms`` the coded-length factor is
+    replaced by the exact ``K = sum(k_i)`` of the segment chain, which is
+    slightly smaller than the paper's ``k + 2 log k + 2`` upper bound.
+    """
+    if min(t, mf, n, mmax, k) < 1:
+        raise ConfigurationError("theorem4_budget requires all parameters >= 1")
+    sub_bits = 2 * math.log2(n) + math.log2(t) + math.log2(mmax)
+    if exact_k_terms:
+        from repro.coding.params import coded_length
+
+        k_factor: float = coded_length(k)
+    else:
+        k_factor = k + 2 * math.log2(k) + 2
+    return 2 * (t * mf + 1) * sub_bits * k_factor
+
+
+def uncertain_region(r: int, t: int, mf: int) -> tuple[int, int]:
+    """The open interval ``(m0, 2*m0)`` the paper leaves unresolved (§6)."""
+    lower = m0(r, t, mf)
+    return (lower, 2 * lower)

@@ -1,0 +1,114 @@
+"""Good-node budget assignments (homogeneous §3 / heterogeneous §4).
+
+A :class:`BudgetAssignment` maps every honest node to its message budget
+and knows its own aggregate statistics (average budget, privileged-node
+count) — the quantities Theorem 3's "substantially reduced average
+message cost" claim is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bounds import m0 as bound_m0
+from repro.analysis.bounds import protocol_b_relay_count
+from repro.geometry.regions import Cross
+from repro.network.grid import Grid
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class BudgetAssignment:
+    """Budgets for every honest node (the source is always unbounded).
+
+    ``budgets`` holds one entry per node id; entries for bad nodes are
+    present but unused (bad budgets come from ``mf``, not from here).
+    """
+
+    budgets: tuple[int, ...]
+    source: NodeId
+    privileged: frozenset[NodeId]
+    label: str
+
+    def budget_of(self, node_id: NodeId) -> int | None:
+        if node_id == self.source:
+            return None  # the base station is not message-bounded
+        return self.budgets[node_id]
+
+    def overrides(self) -> dict[NodeId, int | None]:
+        """Ledger overrides: per-node budgets plus the unbounded source."""
+        mapping: dict[NodeId, int | None] = {
+            nid: budget for nid, budget in enumerate(self.budgets)
+        }
+        mapping[self.source] = None
+        return mapping
+
+    @property
+    def average(self) -> float:
+        """Average budget over non-source nodes."""
+        total = sum(b for nid, b in enumerate(self.budgets) if nid != self.source)
+        return total / (len(self.budgets) - 1)
+
+    @property
+    def maximum(self) -> int:
+        return max(
+            budget for nid, budget in enumerate(self.budgets) if nid != self.source
+        )
+
+
+def homogeneous_assignment(grid: Grid, source: NodeId, m: int) -> BudgetAssignment:
+    """Every good node gets the same budget ``m`` (§2-§3 setting)."""
+    return BudgetAssignment(
+        budgets=tuple([m] * grid.n),
+        source=source,
+        privileged=frozenset(),
+        label=f"homogeneous(m={m})",
+    )
+
+
+def heterogeneous_assignment(
+    grid: Grid,
+    source: NodeId,
+    t: int,
+    mf: int,
+    *,
+    arm_half_width: int | None = None,
+) -> BudgetAssignment:
+    """Theorem 3's configuration: ``m'`` on a cross through the source, ``m0`` elsewhere.
+
+    The cross (Figure 5) is the set of nodes within L∞ distance ``r`` of
+    either axis through the source; on the torus the arms wrap around the
+    network, matching the figure's cross that spans the deployment. The
+    privileged budget is ``m' = ceil((2tmf+1)/ceil((r(2r+1)-t)/2))`` and
+    everyone else gets ``m0``.
+
+    In an infinite-plane reading the privileged area is Θ(r) wide and
+    Θ(r²)-long arms => Θ(r³) nodes; on a finite torus the arm length is
+    capped by the grid, which is the realistic deployment the experiments
+    measure.
+    """
+    r = grid.r
+    half_width = r if arm_half_width is None else arm_half_width
+    low = bound_m0(r, t, mf)
+    high = protocol_b_relay_count(r, t, mf)
+    cross = Cross(center=grid.coord_of(source), arm_half_width=half_width)
+
+    budgets = []
+    privileged = set()
+    for node_id in grid.all_ids():
+        coord = grid.coord_of(node_id)
+        if grid.torus:
+            inside = cross.contains_torus(coord, grid.width, grid.height)
+        else:
+            inside = cross.contains(coord)
+        if inside:
+            privileged.add(node_id)
+            budgets.append(high)
+        else:
+            budgets.append(low)
+    return BudgetAssignment(
+        budgets=tuple(budgets),
+        source=source,
+        privileged=frozenset(privileged),
+        label=f"heterogeneous(m'={high}, m0={low})",
+    )

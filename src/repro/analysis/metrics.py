@@ -1,0 +1,76 @@
+"""Outcome and cost metrics for broadcast runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import Value
+
+
+@dataclass(frozen=True)
+class BroadcastOutcome:
+    """Did the broadcast achieve the paper's two conditions?
+
+    *Completeness*: every good node accepted some value.
+    *Correctness*: every decided good node accepted ``Vtrue``.
+    ``success`` is both together (for the good nodes, source excluded —
+    the source trivially knows its own value).
+    """
+
+    total_good: int
+    decided_good: int
+    correct_good: int
+    wrong_good: int
+    rounds: int
+    quiescent: bool
+
+    @property
+    def undecided_good(self) -> int:
+        return self.total_good - self.decided_good
+
+    @property
+    def complete(self) -> bool:
+        return self.decided_good == self.total_good
+
+    @property
+    def correct(self) -> bool:
+        return self.wrong_good == 0
+
+    @property
+    def success(self) -> bool:
+        return self.complete and self.correct
+
+    @property
+    def decided_fraction(self) -> float:
+        if self.total_good == 0:
+            return 1.0
+        return self.decided_good / self.total_good
+
+
+@dataclass(frozen=True)
+class MessageCosts:
+    """Message expenditure of one run, per the ledger."""
+
+    good_total: int
+    good_max: int
+    good_avg: float
+    source_sent: int
+    bad_total: int
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"good: total={self.good_total} max={self.good_max} "
+            f"avg={self.good_avg:.2f}; source={self.source_sent}; "
+            f"bad={self.bad_total}"
+        )
+
+
+@dataclass(frozen=True)
+class NodeDecision:
+    """Decision state of one node at the end of a run (for reports)."""
+
+    node_id: int
+    coord: tuple[int, int]
+    decided: bool
+    value: Value | None
+    decide_round: int | None

@@ -1,0 +1,81 @@
+"""ASCII rendering of grid decision state.
+
+Turns a finished run into a compact map — one character per node — that
+makes propagation and starvation patterns immediately visible in a
+terminal:
+
+- ``S`` — the source;
+- ``#`` — good node that accepted ``Vtrue``;
+- ``!`` — good node that accepted a wrong value (should never appear for
+  the threshold protocols);
+- ``.`` — good node still undecided;
+- ``x`` — Byzantine node.
+
+Rows are printed with y growing downward (row 0 on top) to match how the
+grid is usually sketched.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.network.node import NodeTable
+from repro.types import NodeId, Value
+
+SOURCE_CHAR = "S"
+CORRECT_CHAR = "#"
+WRONG_CHAR = "!"
+UNDECIDED_CHAR = "."
+BAD_CHAR = "x"
+
+
+def render_decisions(
+    table: NodeTable,
+    nodes: Mapping[NodeId, object],
+    vtrue: Value,
+    *,
+    y_range: tuple[int, int] | None = None,
+) -> str:
+    """Render the decision map of a finished run.
+
+    ``y_range`` (inclusive) restricts the rows shown — handy for large
+    grids where only a band matters.
+    """
+    grid = table.grid
+    y_lo, y_hi = y_range if y_range is not None else (0, grid.height - 1)
+    lines = []
+    for y in range(y_lo, y_hi + 1):
+        chars = []
+        for x in range(grid.width):
+            nid = grid.id_of((x, y))
+            if nid == table.source:
+                chars.append(SOURCE_CHAR)
+            elif table.is_bad(nid):
+                chars.append(BAD_CHAR)
+            else:
+                node = nodes.get(nid)
+                decided = bool(getattr(node, "decided", False))
+                if not decided:
+                    chars.append(UNDECIDED_CHAR)
+                elif getattr(node, "accepted_value", None) == vtrue:
+                    chars.append(CORRECT_CHAR)
+                else:
+                    chars.append(WRONG_CHAR)
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def coverage_summary(table: NodeTable, nodes: Mapping[NodeId, object], vtrue: Value) -> str:
+    """One-line coverage summary to accompany a rendered map."""
+    good = [nid for nid in table.good_ids if nid != table.source]
+    decided = sum(1 for nid in good if getattr(nodes[nid], "decided", False))
+    wrong = sum(
+        1
+        for nid in good
+        if getattr(nodes[nid], "decided", False)
+        and getattr(nodes[nid], "accepted_value", None) != vtrue
+    )
+    return (
+        f"{decided}/{len(good)} good nodes decided, {wrong} wrong, "
+        f"{len(table.bad_ids)} Byzantine"
+    )

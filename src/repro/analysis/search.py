@@ -1,0 +1,85 @@
+"""Empirical feasibility search over the good-node budget ``m``.
+
+For a fixed scenario (grid, t, mf, placement, adversary) broadcast
+success is monotone in ``m`` in practice: more budget never hurts a
+threshold protocol (relays are capped by ``min(m', m)``). This module
+exploits that to binary-search the *empirical minimum working budget*,
+the quantity the paper brackets between ``m0`` and ``2*m0``.
+
+Monotonicity is an empirical property of our adversaries, not a theorem
+— the search therefore verifies the bracket endpoints before bisecting
+and reports the verified frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.runner.broadcast_run import (
+    BroadcastReport,
+    ThresholdRunConfig,
+    run_threshold_broadcast,
+)
+
+
+@dataclass(frozen=True)
+class BudgetSearchResult:
+    """Outcome of a minimum-budget bisection."""
+
+    min_working_m: int
+    max_failing_m: int | None
+    evaluations: int
+    tested: tuple[tuple[int, bool], ...]  # (m, success) pairs, in test order
+
+
+def find_min_working_budget(
+    base: ThresholdRunConfig,
+    *,
+    low: int = 1,
+    high: int,
+    runner: Callable[[ThresholdRunConfig], BroadcastReport] = run_threshold_broadcast,
+) -> BudgetSearchResult:
+    """Bisect the smallest ``m`` for which the scenario succeeds.
+
+    ``base`` supplies everything but ``m``; ``high`` must succeed (use
+    ``2*m0`` per Theorem 2). If even ``low`` succeeds the result is
+    ``low`` with ``max_failing_m=None``.
+    """
+    if low < 1 or high < low:
+        raise ConfigurationError(f"invalid bracket [{low}, {high}]")
+
+    tested: list[tuple[int, bool]] = []
+
+    def succeeds(m: int) -> bool:
+        report = runner(replace(base, m=m))
+        tested.append((m, report.success))
+        return report.success
+
+    if not succeeds(high):
+        raise ConfigurationError(
+            f"bracket top m={high} fails; pick a sufficient upper bound "
+            f"(Theorem 2's 2*m0 is guaranteed)"
+        )
+    if succeeds(low):
+        return BudgetSearchResult(
+            min_working_m=low,
+            max_failing_m=None,
+            evaluations=len(tested),
+            tested=tuple(tested),
+        )
+
+    lo, hi = low, high  # lo fails, hi succeeds: invariant of the loop
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if succeeds(mid):
+            hi = mid
+        else:
+            lo = mid
+    return BudgetSearchResult(
+        min_working_m=hi,
+        max_failing_m=lo,
+        evaluations=len(tested),
+        tested=tuple(tested),
+    )

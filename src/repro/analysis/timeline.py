@@ -1,0 +1,108 @@
+"""Propagation-timeline analytics.
+
+The paper's possibility proofs are all about *how* ``Vtrue`` spreads —
+square fronts (§3), cross-then-circle fronts (§4). This module extracts
+that dynamics from a finished run: per-node decision rounds grouped by
+L∞ distance from the source, front speed, and stall detection. Used by
+tests (the §3 induction predicts a monotone front) and available to
+users profiling deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.network.node import NodeTable
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class DistanceBucket:
+    """Decision statistics for all good nodes at one L∞ distance ring."""
+
+    distance: int
+    total: int
+    decided: int
+    first_round: int | None
+    last_round: int | None
+
+    @property
+    def complete(self) -> bool:
+        return self.decided == self.total
+
+
+@dataclass(frozen=True)
+class PropagationTimeline:
+    """Decision rounds bucketed by distance from the source."""
+
+    buckets: tuple[DistanceBucket, ...]
+
+    def bucket(self, distance: int) -> DistanceBucket:
+        for bucket in self.buckets:
+            if bucket.distance == distance:
+                return bucket
+        raise KeyError(distance)
+
+    @property
+    def covered_radius(self) -> int:
+        """Largest distance whose ring fully decided (-1 if none)."""
+        covered = -1
+        for bucket in self.buckets:
+            if not bucket.complete:
+                break
+            covered = bucket.distance
+        return covered
+
+    @property
+    def front_is_monotone(self) -> bool:
+        """Do farther rings start deciding no earlier than nearer ones?
+
+        This is the §3 induction's signature: the committed region grows
+        outward, so the *first* decision round per ring is non-decreasing
+        in distance (over the fully-decided prefix).
+        """
+        previous = -1
+        for bucket in self.buckets:
+            if bucket.first_round is None:
+                break
+            if bucket.first_round < previous:
+                return False
+            previous = bucket.first_round
+        return True
+
+    def rounds_per_ring(self) -> list[tuple[int, int | None]]:
+        """(distance, first decision round) pairs, for reports."""
+        return [(b.distance, b.first_round) for b in self.buckets]
+
+
+def propagation_timeline(
+    table: NodeTable, nodes: Mapping[NodeId, object]
+) -> PropagationTimeline:
+    """Bucket every good node's decision round by distance from source."""
+    grid = table.grid
+    source = table.source
+    per_distance: dict[int, list[int | None]] = {}
+    for nid in table.good_ids:
+        if nid == source:
+            continue
+        distance = grid.distance(source, nid)
+        node = nodes[nid]
+        decided = bool(getattr(node, "decided", False))
+        round_value = getattr(node, "decide_round", None) if decided else None
+        per_distance.setdefault(distance, []).append(round_value)
+
+    buckets = []
+    for distance in sorted(per_distance):
+        rounds = per_distance[distance]
+        decided_rounds = [r for r in rounds if r is not None]
+        buckets.append(
+            DistanceBucket(
+                distance=distance,
+                total=len(rounds),
+                decided=len(decided_rounds),
+                first_round=min(decided_rounds) if decided_rounds else None,
+                last_round=max(decided_rounds) if decided_rounds else None,
+            )
+        )
+    return PropagationTimeline(buckets=tuple(buckets))

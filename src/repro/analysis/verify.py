@@ -1,0 +1,99 @@
+"""Completeness/correctness verification of finished runs.
+
+These helpers read protocol-node decision state and the budget ledger and
+produce :class:`~repro.analysis.metrics.BroadcastOutcome` /
+:class:`~repro.analysis.metrics.MessageCosts`. They are the single source
+of truth tests and experiments use to judge a run.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol
+
+from repro.analysis.metrics import BroadcastOutcome, MessageCosts, NodeDecision
+from repro.network.node import NodeTable
+from repro.radio.budget import BudgetLedger
+from repro.radio.mac import RunStats
+from repro.types import NodeId, Value
+
+
+class DecidingNode(Protocol):
+    """Structural view of a protocol node's decision state."""
+
+    @property
+    def decided(self) -> bool: ...
+
+    @property
+    def accepted_value(self) -> Value | None: ...
+
+    @property
+    def decide_round(self) -> int | None: ...
+
+
+def collect_outcome(
+    table: NodeTable,
+    nodes: Mapping[NodeId, DecidingNode],
+    stats: RunStats,
+    vtrue: Value,
+) -> BroadcastOutcome:
+    """Summarize decisions of all good nodes (source excluded)."""
+    decided = 0
+    correct = 0
+    wrong = 0
+    total = 0
+    for nid in table.good_ids:
+        if nid == table.source:
+            continue
+        total += 1
+        node = nodes[nid]
+        if node.decided:
+            decided += 1
+            if node.accepted_value == vtrue:
+                correct += 1
+            else:
+                wrong += 1
+    return BroadcastOutcome(
+        total_good=total,
+        decided_good=decided,
+        correct_good=correct,
+        wrong_good=wrong,
+        rounds=stats.rounds,
+        quiescent=stats.quiescent,
+    )
+
+
+def collect_costs(table: NodeTable, ledger: BudgetLedger) -> MessageCosts:
+    """Message expenditure split by role."""
+    good_non_source = [nid for nid in table.good_ids if nid != table.source]
+    good_counts = [ledger.sent(nid) for nid in good_non_source]
+    return MessageCosts(
+        good_total=sum(good_counts),
+        good_max=max(good_counts) if good_counts else 0,
+        good_avg=(sum(good_counts) / len(good_counts)) if good_counts else 0.0,
+        source_sent=ledger.sent(table.source),
+        bad_total=sum(ledger.sent(nid) for nid in table.bad_ids),
+    )
+
+
+def check_broadcast(outcome: BroadcastOutcome) -> bool:
+    """True iff the run satisfied both completeness and correctness."""
+    return outcome.success
+
+
+def decisions_table(
+    table: NodeTable, nodes: Mapping[NodeId, DecidingNode]
+) -> list[NodeDecision]:
+    """Per-node decision records (sorted by id) for reports and debugging."""
+    records = []
+    for nid in table.good_ids:
+        node = nodes[nid]
+        records.append(
+            NodeDecision(
+                node_id=nid,
+                coord=table.grid.coord_of(nid),
+                decided=node.decided,
+                value=node.accepted_value,
+                decide_round=node.decide_round,
+            )
+        )
+    return records

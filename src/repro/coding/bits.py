@@ -1,0 +1,66 @@
+"""Bit-vector helpers.
+
+Bits are plain tuples of 0/1 integers: small, hashable, and cheap to
+slice — message sizes in this problem domain (key digests) are tens to
+hundreds of bits, so there is nothing to gain from packed representations
+and much to gain in clarity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, TypeAlias
+
+from repro.errors import CodingError
+
+Bits: TypeAlias = tuple[int, ...]
+
+
+def as_bits(values: Iterable[int]) -> Bits:
+    """Validate and normalize an iterable of 0/1 into a Bits tuple."""
+    bits = tuple(values)
+    for bit in bits:
+        if bit not in (0, 1):
+            raise CodingError(f"bit values must be 0 or 1, got {bit!r}")
+    return bits
+
+
+def bits_from_int(value: int, width: int) -> Bits:
+    """Big-endian fixed-width bit representation of a non-negative int."""
+    if value < 0:
+        raise CodingError(f"cannot encode negative value {value}")
+    if width < 1:
+        raise CodingError(f"width must be >= 1, got {width}")
+    if value >= 1 << width:
+        raise CodingError(f"value {value} does not fit in {width} bits")
+    return tuple((value >> shift) & 1 for shift in range(width - 1, -1, -1))
+
+
+def bits_to_int(bits: Bits) -> int:
+    """Big-endian integer value of a bit tuple."""
+    result = 0
+    for bit in bits:
+        result = (result << 1) | bit
+    return result
+
+
+def popcount(bits: Bits) -> int:
+    """Number of 1-bits."""
+    return sum(bits)
+
+
+def random_bits(k: int, rng: random.Random) -> Bits:
+    """Uniformly random k-bit message (for tests and benchmarks)."""
+    return tuple(rng.getrandbits(1) for _ in range(k))
+
+
+def flips_are_unidirectional(original: Bits, tampered: Bits) -> bool:
+    """True iff ``tampered`` differs from ``original`` only by 0→1 flips.
+
+    This is the only kind of change the sub-bit layer lets an adversary
+    make (short of a ``2^-L`` guess), so it is the error model the chain
+    code must detect exhaustively.
+    """
+    if len(original) != len(tampered):
+        return False
+    return all(o <= t for o, t in zip(original, tampered))

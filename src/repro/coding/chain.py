@@ -1,0 +1,157 @@
+"""Bit-level segment-chain code (paper §5, Figure 9).
+
+The coded message is ``S0 | S1 | ... | Sl`` where ``S0`` is the original
+``k``-bit message and each subsequent segment ``Si`` (of length
+``ki = floor(log2 k_{i-1}) + 1``) holds the number of 1-bits of the
+preceding segment. Segment lengths shrink logarithmically until the chain
+closes with two 2-bit segments, so ``K = sum(ki) <= k + 2 log2 k + 2``.
+
+Against an adversary that can only flip bits 0→1 (the guarantee the
+sub-bit layer provides), any tampering is detected: raising 1-counts in
+``S_{i-1}`` forces the *value* of ``Si`` up, which can only be done by
+setting more bits of ``Si``, cascading to the final segment, where a
+valid code is ``01`` or ``10`` and the only reachable forgery ``11``
+decodes to 3 > 2 — impossible for a 2-bit predecessor.
+
+**Documented deviation** — the literal construction has one blind spot:
+the all-zero message encodes to the all-zero codeword (final segment
+``00``), from which a consistent chain *can* be forged with 0→1 flips
+only (see :func:`demonstrate_all_zero_forgery`). The paper's claim that
+the last segment "can only be 01 or 10" implicitly assumes a non-zero
+chain. We restore it for every payload by prepending a constant ``1``
+sentinel bit (one bit of overhead); ``ChainCode(sentinel=False)`` keeps
+the literal construction for study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coding.bits import Bits, as_bits, bits_from_int, bits_to_int, popcount
+from repro.errors import CodingError
+
+
+def chain_segment_lengths(k: int) -> list[int]:
+    """Segment lengths ``[k0, k1, ..., kl]`` for a k-bit message.
+
+    ``k0 = k``; ``ki = floor(log2(k_{i-1})) + 1``; the chain ends with two
+    2-bit segments (the fixpoint of the recurrence).
+    """
+    if k < 2:
+        raise CodingError(f"chain code requires k >= 2, got {k}")
+    lengths = [k]
+    while lengths[-1] > 2:
+        lengths.append(lengths[-1].bit_length())  # floor(log2 x) + 1
+    lengths.append(2)
+    return lengths
+
+
+@dataclass(frozen=True)
+class ChainCode:
+    """Encoder/verifier for the segment-chain code.
+
+    Args:
+        k: payload length in bits (before the sentinel, if enabled).
+        sentinel: prepend a constant 1 bit to the payload (default; see
+            module docstring).
+    """
+
+    k: int
+    sentinel: bool = True
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise CodingError(f"chain code requires k >= 2, got {self.k}")
+
+    @property
+    def data_length(self) -> int:
+        """Length of ``S0`` (payload plus sentinel if enabled)."""
+        return self.k + 1 if self.sentinel else self.k
+
+    @property
+    def segment_lengths(self) -> list[int]:
+        return chain_segment_lengths(self.data_length)
+
+    @property
+    def coded_length(self) -> int:
+        """Total code length ``K`` in bits."""
+        return sum(self.segment_lengths)
+
+    # -- encode -------------------------------------------------------------
+
+    def encode(self, message: Bits) -> Bits:
+        """Encode a k-bit message into its coded form."""
+        message = as_bits(message)
+        if len(message) != self.k:
+            raise CodingError(
+                f"message length {len(message)} != configured k={self.k}"
+            )
+        segment = (1,) + message if self.sentinel else message
+        code: list[int] = list(segment)
+        for length in self.segment_lengths[1:]:
+            count = popcount(segment)
+            segment = bits_from_int(count, length)
+            code.extend(segment)
+        return tuple(code)
+
+    # -- verify / decode ------------------------------------------------------
+
+    def split_segments(self, code: Bits) -> list[Bits]:
+        """Split a codeword into its segments ``[S0, ..., Sl]``."""
+        lengths = self.segment_lengths
+        if len(code) != sum(lengths):
+            raise CodingError(
+                f"codeword length {len(code)} != expected {sum(lengths)}"
+            )
+        segments = []
+        index = 0
+        for length in lengths:
+            segments.append(tuple(code[index : index + length]))
+            index += length
+        return segments
+
+    def verify(self, code: Bits) -> bool:
+        """Integrity check: every segment counts its predecessor's 1-bits.
+
+        Returns ``False`` on any inconsistency (wrong length included) —
+        detected tampering is an expected outcome, not an exception.
+        """
+        try:
+            segments = self.split_segments(as_bits(code))
+        except CodingError:
+            return False
+        for previous, current in zip(segments, segments[1:]):
+            if bits_to_int(current) != popcount(previous):
+                return False
+        if self.sentinel and segments[0][0] != 1:
+            return False
+        return True
+
+    def decode(self, code: Bits) -> Bits:
+        """Recover the payload, raising :class:`CodingError` if tampered."""
+        if not self.verify(code):
+            raise CodingError("codeword failed integrity verification")
+        data = self.split_segments(code)[0]
+        return data[1:] if self.sentinel else data
+
+
+def demonstrate_all_zero_forgery(k: int) -> tuple[Bits, Bits]:
+    """Construct the 0→1-only forgery against the *literal* (no-sentinel) code.
+
+    Returns ``(original_code, forged_code)`` where the original encodes
+    the all-zero k-bit message, the forgery differs only by 0→1 flips,
+    and the forgery *passes verification* while decoding to a different
+    message. This documents why the sentinel variant is the default.
+    """
+    literal = ChainCode(k, sentinel=False)
+    original = literal.encode((0,) * k)
+    # Flipping the first message bit 0->1 raises every 1-count from 0 to 1,
+    # and each count segment absorbs that by setting its own lowest bit —
+    # so the valid codeword of the forged message dominates the original
+    # bitwise, i.e. is reachable with 0->1 flips alone.
+    forged_code = literal.encode((1,) + (0,) * (k - 1))
+    if len(forged_code) != len(original):
+        raise CodingError("forgery demonstration requires equal-length codes")
+    if not all(o <= f for o, f in zip(original, forged_code)):
+        raise CodingError("forgery demonstration failed: not unidirectional")
+    return original, forged_code

@@ -1,0 +1,61 @@
+"""Closed-form coding parameters (paper §5).
+
+Collects the lengths and probabilities Theorem 4 is assembled from, so
+protocol code, experiments, and tests all share one source of truth.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.coding.chain import chain_segment_lengths
+from repro.errors import ConfigurationError
+
+
+def subbit_length(n: int, t: int, mmax: int) -> int:
+    """``L = 2 log2 n + log2 t + log2 mmax``, rounded up to an integer.
+
+    Chosen so the per-bit forgery probability ``2^-L`` is at most
+    ``1 / (n^2 t mmax)``.
+    """
+    if min(n, t, mmax) < 1:
+        raise ConfigurationError("subbit_length requires n, t, mmax >= 1")
+    raw = 2 * math.log2(n) + math.log2(t) + math.log2(mmax)
+    return max(1, math.ceil(raw))
+
+
+def attack_success_probability(length: int) -> float:
+    """Probability of flipping a 1-block to 0: guessing a random non-silent
+    pattern among ``2^L - 1`` equally likely ones."""
+    if length < 1:
+        raise ConfigurationError(f"block length must be >= 1, got {length}")
+    return 1.0 / (2.0**length - 1.0) if length > 1 else 1.0
+
+
+def coded_length(k: int, sentinel: bool = False) -> int:
+    """Exact coded length ``K = sum(k_i)`` of the chain code.
+
+    ``sentinel=True`` accounts for the package's one-bit sentinel
+    (see :mod:`repro.coding.chain`); the paper's formulas use the literal
+    construction, so that is the default here.
+    """
+    return sum(chain_segment_lengths(k + 1 if sentinel else k))
+
+
+def coded_length_upper_bound(k: int) -> float:
+    """The paper's bound ``K <= k + 2 log2 k + 2``."""
+    if k < 2:
+        raise ConfigurationError(f"k must be >= 2, got {k}")
+    return k + 2 * math.log2(k) + 2
+
+
+def message_round_slots(k: int, n: int, t: int, mmax: int) -> int:
+    """Slots per message round: ``K * L`` (one coded message on the air)."""
+    return coded_length(k) * subbit_length(n, t, mmax)
+
+
+def quiet_window(r: int) -> int:
+    """NACK-free rounds before a sender stops: ``(2r+1)^2 - 1`` (§5)."""
+    if r < 1:
+        raise ConfigurationError(f"radius must be >= 1, got {r}")
+    return (2 * r + 1) ** 2 - 1

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario, grid, or protocol was configured with invalid parameters.
+
+    Raised eagerly at construction time so that a misconfigured experiment
+    fails before any simulation work is done.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """A node attempted to transmit beyond its message budget.
+
+    The radio layer enforces budgets defensively; well-behaved protocol
+    implementations check ``budget.remaining`` and never trigger this.
+    """
+
+
+class ScheduleConflictError(ReproError):
+    """Two honest nodes were scheduled to transmit in a conflicting slot.
+
+    The TDMA coloring guarantees this never happens; seeing this error
+    indicates a bug in a schedule implementation, not adversarial behavior
+    (adversarial collisions are modeled explicitly, not via this error).
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class CodingError(ReproError):
+    """Encoding/decoding failed due to malformed input.
+
+    Note that *detected tampering* is not an error: verification APIs
+    report it as a boolean/result value because it is an expected outcome
+    under attack.
+    """
+
+
+class PlacementError(ConfigurationError):
+    """An adversarial placement could not satisfy its stated constraints
+
+    (e.g. more than ``t`` bad nodes would fall into one neighborhood, or
+    the bad set would include the source).
+    """

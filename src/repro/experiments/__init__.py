@@ -1,0 +1,18 @@
+"""Experiment harnesses regenerating every figure/theorem of the paper.
+
+One module per experiment (see DESIGN.md §5 and EXPERIMENTS.md):
+
+- E1 — Theorem 1 / Figure 1: stripe impossibility vs budget ``m``;
+- E2 — Figure 2: the exact ``r=4, t=1, mf=1000, m=m0+1=59`` stall;
+- E3 — Theorem 2: protocol B succeeds at ``m = 2*m0``;
+- E4 — §3 comparison against the Koo et al. repetition baseline;
+- E5 — Theorem 3 / Figure 5: heterogeneous budgets;
+- E6 — §5 / Figure 9: coding overhead and attack success rates;
+- E7 — Theorem 4: B_reactive reliability and message cost;
+- E8 — Corollary 1: empirical feasibility boundary in (t, m);
+- E9 — design ablations (concerted relays, growth shape, quiet window).
+
+Each module exposes a ``run_*`` function returning a result dataclass and
+a ``table()``/``main()`` entry printing the regenerated rows; the
+``benchmarks/`` tree calls the same functions under pytest-benchmark.
+"""

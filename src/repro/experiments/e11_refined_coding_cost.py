@@ -1,0 +1,184 @@
+"""E11 (extension) — the refined chain-code vs I-code efficiency model.
+
+The paper closes §5 with: *"Final comparison on message efficiency thus
+calls for a refined model that takes into account message length and
+per-message attack rate. This might be a subject of future study."*
+This experiment builds that model and runs it, both analytically and by
+Monte-Carlo simulation of the two retransmission disciplines.
+
+Model. A sender must deliver a k-bit message over the coded channel; the
+adversary flips ``a`` bits total (its budget), one per transmission
+attempt, until exhausted.
+
+- **chain code** — verification is per *message*: every attack forces a
+  full retransmission of all ``K_chain(k) * L`` sub-bits. Total cost
+  ``(a + 1) * K_chain * L``.
+- **I-code** — verification is per *bit*: an attack invalidates one bit
+  pair; only that bit is re-sent (plus protocol overhead of one bit pair
+  to address it, charged here at ``c_addr`` coded bits). Total cost
+  ``2k * L + a * (2 + c_addr) * L``.
+
+The crossover attack rate — above which the I-code's per-bit repair wins
+despite its 2x baseline cost — is
+
+    a* = (2k - K_chain) / (K_chain - (2 + c_addr))   (in flips)
+
+which the simulation confirms. For digest-sized messages and the attack
+budgets the paper contemplates (a ≤ t*mf), the chain code wins up to
+roughly one attack per ``K/k`` bits of payload — quantifying the trade
+the paper left qualitative.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.coding.chain import ChainCode
+from repro.coding.icode import ICode
+from repro.coding.params import coded_length
+from repro.runner.report import format_table
+from repro.sim.rng import RngRegistry
+
+#: Coded bits charged to address/retransmit one repaired bit (header).
+ADDR_OVERHEAD_BITS = 8
+
+
+def chain_cost_bits(k: int, attacks: int) -> int:
+    """Total coded bits sent by the chain-code discipline under ``attacks``."""
+    return (attacks + 1) * coded_length(k)
+
+
+def icode_cost_bits(k: int, attacks: int) -> int:
+    """Total coded bits sent by the I-code discipline under ``attacks``."""
+    return 2 * k + attacks * (2 + ADDR_OVERHEAD_BITS)
+
+
+def crossover_attacks(k: int) -> float:
+    """Attack count above which the I-code becomes cheaper."""
+    chain_k = coded_length(k)
+    return (2 * k - chain_k) / (chain_k - (2 + ADDR_OVERHEAD_BITS))
+
+
+@dataclass(frozen=True)
+class RefinedCostRow:
+    k: int
+    attacks: int
+    chain_bits: int
+    icode_bits: int
+    chain_wins: bool
+    simulated_chain_bits: float
+    simulated_icode_bits: float
+
+
+@dataclass(frozen=True)
+class RefinedCostResult:
+    rows: tuple[RefinedCostRow, ...]
+    crossovers: tuple[tuple[int, float], ...]
+
+    @property
+    def model_matches_simulation(self) -> bool:
+        return all(
+            row.simulated_chain_bits == row.chain_bits
+            and row.simulated_icode_bits == row.icode_bits
+            for row in self.rows
+        )
+
+
+def _simulate_chain(k: int, attacks: int, rng: random.Random) -> int:
+    """Simulate the whole-message retransmission loop."""
+    code = ChainCode(k, sentinel=False)
+    message = tuple(rng.getrandbits(1) for _ in range(k))
+    sent = 0
+    remaining = attacks
+    while True:
+        word = list(code.encode(message))
+        sent += len(word)
+        if remaining > 0:
+            remaining -= 1
+            zeros = [i for i, b in enumerate(word) if b == 0]
+            if zeros:
+                word[rng.choice(zeros)] = 1
+        if code.verify(tuple(word)):
+            received = code.decode(tuple(word))
+            assert received == message
+            return sent
+
+
+def _simulate_icode(k: int, attacks: int, rng: random.Random) -> int:
+    """Simulate the per-bit repair loop."""
+    code = ICode(k)
+    message = tuple(rng.getrandbits(1) for _ in range(k))
+    word = list(code.encode(message))
+    sent = len(word)
+    remaining = attacks
+    while True:
+        if remaining > 0:
+            remaining -= 1
+            zeros = [i for i, b in enumerate(word) if b == 0]
+            word[rng.choice(zeros)] = 1
+        bad_bits = code.invalid_bit_positions(tuple(word))
+        if not bad_bits:
+            assert code.decode(tuple(word)) == message
+            return sent
+        for bit in bad_bits:  # repair only the flipped bits
+            word[2 * bit : 2 * bit + 2] = code.encode(message)[2 * bit : 2 * bit + 2]
+            sent += 2 + ADDR_OVERHEAD_BITS
+
+
+def run_refined_cost(
+    *,
+    ks: tuple[int, ...] = (32, 128, 512),
+    attack_counts: tuple[int, ...] = (0, 1, 2, 5, 20),
+    seed: int = 13,
+) -> RefinedCostResult:
+    registry = RngRegistry(seed)
+    rows = []
+    for k in ks:
+        for attacks in attack_counts:
+            chain_bits = chain_cost_bits(k, attacks)
+            icode_bits = icode_cost_bits(k, attacks)
+            rng = registry.stream(k, attacks)
+            rows.append(
+                RefinedCostRow(
+                    k=k,
+                    attacks=attacks,
+                    chain_bits=chain_bits,
+                    icode_bits=icode_bits,
+                    chain_wins=chain_bits <= icode_bits,
+                    simulated_chain_bits=_simulate_chain(k, attacks, rng),
+                    simulated_icode_bits=_simulate_icode(k, attacks, rng),
+                )
+            )
+    crossovers = tuple((k, crossover_attacks(k)) for k in ks)
+    return RefinedCostResult(rows=tuple(rows), crossovers=crossovers)
+
+
+def table(result: RefinedCostResult) -> str:
+    main_table = format_table(
+        ["k", "attacks", "chain bits", "I-code bits", "chain wins",
+         "sim chain", "sim I-code"],
+        [
+            [r.k, r.attacks, r.chain_bits, r.icode_bits, r.chain_wins,
+             r.simulated_chain_bits, r.simulated_icode_bits]
+            for r in result.rows
+        ],
+        title=(
+            "E11 - refined message-efficiency model (paper §5 future work): "
+            "whole-message vs per-bit retransmission"
+        ),
+    )
+    cross = format_table(
+        ["k", "crossover attacks a*"],
+        [[k, f"{a:.2f}"] for k, a in result.crossovers],
+        title="I-code becomes cheaper above a* attacks per message",
+    )
+    return main_table + "\n\n" + cross
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(table(run_refined_cost()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

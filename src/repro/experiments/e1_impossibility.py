@@ -1,0 +1,151 @@
+"""E1 — Theorem 1 / Figure 1: stripe impossibility as a function of ``m``.
+
+A victim band of the torus is fenced by two Theorem-1 stripes (Figure 1's
+construction; two stripes because a torus has no 'far side'). We sweep
+the homogeneous good budget ``m`` and measure the fraction of the band
+that accepts ``Vtrue`` under the threshold-guard jammer:
+
+- ``m < m0``  — the band is fully starved (broadcast fails);
+- ``m >= 2*m0`` — the band is fully covered (Theorem 2);
+- ``m in [m0, 2*m0)`` — the paper's open region; with this placement the
+  band survives already at ``m0`` (consistent with the paper, which shows
+  a *different* placement — Figure 2 — beating ``m0 + 1``).
+
+**Reproduction note (boundary tightness).** The paper's lower-bound
+counting charges each receiver's ``t*mf`` corruption budget
+independently. In a faithful collision geometry one jam is shared by all
+common neighbors of jammer and victim, and for razor-tight parameter
+points (``g*m`` within ~coverage-width of ``2*t*mf + 1``) the required
+receiver-corruptions can exceed what any jam schedule supplies, so the
+adversary cannot always realize ``m = m0 - 1`` failures (e.g. r=2, t=2,
+mf=2). The default parameters here have the necessary slack; experiment
+E8 maps the resulting empirical boundary against Corollary 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adversary.placement import two_stripe_band
+from repro.analysis.bounds import m0
+from repro.network.grid import Grid, GridSpec
+from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
+from repro.runner.report import format_table
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class ImpossibilityPoint:
+    m: int
+    m_over_m0: float
+    band_decided: int
+    band_total: int
+    success: bool
+    jams_spent: int
+
+    @property
+    def band_fraction(self) -> float:
+        return self.band_decided / self.band_total if self.band_total else 1.0
+
+
+@dataclass(frozen=True)
+class ImpossibilityResult:
+    r: int
+    t: int
+    mf: int
+    m0: int
+    points: tuple[ImpossibilityPoint, ...]
+
+    @property
+    def fails_below_m0(self) -> bool:
+        return all(not p.success for p in self.points if p.m < self.m0)
+
+    @property
+    def succeeds_at_2m0(self) -> bool:
+        return all(p.success for p in self.points if p.m >= 2 * self.m0)
+
+
+def run_impossibility(
+    *,
+    r: int = 2,
+    t: int = 2,
+    mf: int = 3,
+    width: int = 30,
+    height: int = 30,
+    band_height: int = 6,
+    below_y0: int = 8,
+    ms: tuple[int, ...] | None = None,
+) -> ImpossibilityResult:
+    """Sweep ``m`` through the stripe scenario and record band coverage."""
+    spec = GridSpec(width=width, height=height, r=r, torus=True)
+    grid = Grid(spec)
+    placement, band_rows = two_stripe_band(
+        grid, t=t, band_height=band_height, below_y0=below_y0
+    )
+    lower = m0(r, t, mf)
+    if ms is None:
+        ms = tuple(sorted({1, lower - 1, lower, lower + 1, 2 * lower, 2 * lower + 1}))
+        ms = tuple(m for m in ms if m >= 1)
+
+    band_ids: list[NodeId] = [
+        grid.id_of((x, y)) for y in band_rows for x in range(width)
+    ]
+    points = []
+    for m in ms:
+        cfg = ThresholdRunConfig(
+            spec=spec,
+            t=t,
+            mf=mf,
+            placement=placement,
+            protocol="b",
+            m=m,
+            protected=band_ids,
+            batch_per_slot=4,
+        )
+        report = run_threshold_broadcast(cfg)
+        band_good = [nid for nid in band_ids if nid in report.nodes]
+        decided = sum(1 for nid in band_good if report.nodes[nid].decided)
+        points.append(
+            ImpossibilityPoint(
+                m=m,
+                m_over_m0=m / lower,
+                band_decided=decided,
+                band_total=len(band_good),
+                success=report.success,
+                jams_spent=report.costs.bad_total,
+            )
+        )
+    return ImpossibilityResult(r=r, t=t, mf=mf, m0=lower, points=tuple(points))
+
+
+def table(result: ImpossibilityResult) -> str:
+    rows = [
+        [
+            p.m,
+            f"{p.m_over_m0:.2f}",
+            f"{p.band_decided}/{p.band_total}",
+            p.band_fraction,
+            p.success,
+            p.jams_spent,
+            ("fail (Thm 1)" if p.m < result.m0
+             else "succeed (Thm 2)" if p.m >= 2 * result.m0
+             else "open region"),
+        ]
+        for p in result.points
+    ]
+    return format_table(
+        ["m", "m/m0", "band decided", "fraction", "success", "jams", "paper"],
+        rows,
+        title=(
+            f"E1 - stripe impossibility (r={result.r}, t={result.t}, "
+            f"mf={result.mf}, m0={result.m0})"
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(table(run_impossibility()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,234 @@
+"""E2 — Figure 2's worked example, with the paper's exact numbers.
+
+Scenario (paper §2): ``r=4, t=1, mf=1000`` so ``m0 = ceil(2001/35) = 58``;
+good nodes get ``m = m0 + 1 = 59``. Bad nodes sit on a ``(2r+1)``-period
+lattice ("every neighborhood has exactly one bad node"), offset so the
+starved node ``p`` has exactly 33 good decided suppliers.
+
+Paper's claims, all checked here:
+
+- the 81-node source neighborhood accepts (source repeats 2tmf+1 = 2001
+  times);
+- exactly four more nodes — the mid-side nodes ``(0,±5), (±5,0)`` — can
+  accept, each with ``(r(2r+1)-t) * m = 35*59 = 2065`` potential supply;
+- every other node stalls: ``p = (1,5)`` has ``33 * 59 = 1947`` potential
+  correct messages, of which the in-range defender can corrupt enough to
+  leave at most ``tmf = 1000 < 1001`` — the paper counts 1000 altered and
+  947 correct delivered;
+- hence broadcast fails even though ``m > m0`` (the ``(m0, 2m0)`` gap).
+
+The defense is *clairvoyant* (see :class:`~repro.adversary.jamming.PlannedJammer`):
+each of the four defenders adjacent to the source square jams the whole
+``4x4`` supplier quadrant between its two frontier arms (16 nodes * 59
+transmissions = 944) plus 3 transmissions of each of its two mid-side
+suppliers — 950 of its 1000 budget — pinning every second-wave receiver
+to exactly 1000 clean copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adversary.jamming import PlannedJammer
+from repro.adversary.placement import LatticePlacement
+from repro.analysis.bounds import m0
+from repro.errors import ConfigurationError
+from repro.network.grid import Grid, GridSpec
+from repro.runner.broadcast_run import BroadcastReport, ThresholdRunConfig, run_threshold_broadcast
+from repro.runner.report import format_table
+from repro.types import Coord, NodeId
+
+R, T, MF = 4, 1, 1000
+M = 59  # m0 + 1
+WIDTH = HEIGHT = 36
+#: Bad lattice offset: (4 + 9i, 5 + 9j) — puts one bad node in every
+#: neighborhood, the source-square defender at (4, -4), and keeps p's 33
+#: suppliers all-good (reproducing the paper's 33 * 59 = 1947).
+LATTICE = (4, 5)
+P_COORD: Coord = (1, 5)
+MIDSIDE: tuple[Coord, ...] = ((0, 5), (5, 0), (0, -5), (-5, 0))
+#: Per-defender jam quota on each adjacent mid-side supplier: just enough
+#: to keep frontier receivers at 1000 = t*mf clean copies.
+MIDSIDE_QUOTA = 3
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    m0: int
+    decided_good: int
+    expected_decided: int
+    p_potential: int
+    p_clean: int
+    p_suppliers: int
+    midside_potential: int
+    defender_spend: int
+    broadcast_failed: bool
+    report: BroadcastReport
+
+
+def _figure2_plan(
+    grid: Grid, midside_quota: int = MIDSIDE_QUOTA
+) -> dict[NodeId, dict[NodeId, int | None]]:
+    """The four defenders' jam plans (quadrant + mid-side quotas)."""
+    plan: dict[NodeId, dict[NodeId, int | None]] = {}
+    quadrants = {
+        (4, 5): (range(1, 5), range(1, 5), ((0, 5), (5, 0))),
+        (-5, 5): (range(-4, 0), range(1, 5), ((0, 5), (-5, 0))),
+        (4, -4): (range(1, 5), range(-4, 0), ((5, 0), (0, -5))),
+        (-5, -4): (range(-4, 0), range(-4, 0), ((-5, 0), (0, -5))),
+    }
+    for defender, (xs, ys, midsides) in quadrants.items():
+        victims: dict[NodeId, int | None] = {}
+        for x in xs:
+            for y in ys:
+                victims[grid.id_of((x, y))] = None  # jam every transmission
+        for coord in midsides:
+            victims[grid.id_of(coord)] = midside_quota
+        plan[grid.id_of(defender)] = victims
+    return plan
+
+
+def figure2_midside_quota(m: int, mf: int, t: int = T) -> int:
+    """Mid-side jam quota pinning frontier receivers at ``t*mf``.
+
+    A frontier receiver such as p=(1,5) hears 16 unjammed square
+    suppliers (m messages each) plus one mid-side node: clean copies are
+    ``16*m + (m - q)``, which must not exceed ``t*mf``.
+    """
+    return max(0, 17 * m - t * mf)
+
+
+def validate_figure2_attack(m: int, mf: int, t: int = T) -> None:
+    """Check the clairvoyant defense is fundable and effective.
+
+    Raises :class:`ConfigurationError` when the construction cannot win:
+    - the defender budget must cover quadrant jams plus two quotas
+      (``16*m + 2*q <= mf``);
+    - the quota cannot exceed the mid-side node's own send count;
+    - the mid-side nodes must still decide (``20*m >= t*mf + 1``), else
+      the decided set differs from the figure.
+    """
+    quota = figure2_midside_quota(m, mf, t)
+    if quota > m:
+        raise ConfigurationError(
+            f"quota {quota} exceeds mid-side send count {m}: p cannot be pinned"
+        )
+    if 16 * m + 2 * quota > mf:
+        raise ConfigurationError(
+            f"defense needs {16 * m + 2 * quota} jams > budget mf={mf}"
+        )
+    if 20 * m < t * mf + 1:
+        raise ConfigurationError(
+            f"mid-side supply {20 * m} < threshold {t * mf + 1}: "
+            "the decided set would differ from Figure 2"
+        )
+
+
+def run_figure2_generalized(
+    *,
+    m: int,
+    mf: int,
+    max_rounds: int = 130,
+    batch_per_slot: int = 25,
+) -> Figure2Result:
+    """Figure-2 construction for arbitrary ``(m, mf)`` at r=4, t=1.
+
+    Validates feasibility first (see :func:`validate_figure2_attack`);
+    the paper's instance is ``m=59, mf=1000``.
+    """
+    validate_figure2_attack(m, mf)
+    quota = figure2_midside_quota(m, mf)
+    spec = GridSpec(width=WIDTH, height=HEIGHT, r=R, torus=True)
+    placement = LatticePlacement(x0=LATTICE[0], y0=LATTICE[1], cluster=1)
+
+    cfg = ThresholdRunConfig(
+        spec=spec,
+        t=T,
+        mf=mf,
+        placement=placement,
+        protocol="b",
+        behavior="custom",
+        m=m,
+        max_rounds=max_rounds,
+        batch_per_slot=batch_per_slot,
+        adversary_factory=lambda grid, table, ledger: PlannedJammer(
+            grid, table, ledger, _figure2_plan(grid, midside_quota=quota)
+        ),
+    )
+    report = run_threshold_broadcast(cfg)
+    return _collect(report, cfg, m, mf)
+
+
+def run_figure2(max_rounds: int = 130, batch_per_slot: int = 25) -> Figure2Result:
+    """Run the Figure 2 scenario at the paper's exact parameters."""
+    return run_figure2_generalized(
+        m=M, mf=MF, max_rounds=max_rounds, batch_per_slot=batch_per_slot
+    )
+
+
+def _collect(report, cfg: ThresholdRunConfig, m: int, mf: int) -> Figure2Result:
+    grid = report.grid
+
+    source = grid.id_of((0, 0))
+    square = {
+        grid.id_of((x, y)) for x in range(-R, R + 1) for y in range(-R, R + 1)
+    }
+    expected_decided = {nid for nid in square if report.table.is_honest(nid)}
+    expected_decided |= {grid.id_of(c) for c in MIDSIDE}
+    expected_decided.discard(source)
+
+    p_id = grid.id_of(P_COORD)
+    p_node = report.nodes[p_id]
+    # p's suppliers: decided good neighbors (what the paper counts as 33).
+    p_suppliers = sum(
+        1
+        for nb in grid.neighbors(p_id)
+        if report.table.is_honest(nb)
+        and nb != source
+        and getattr(report.nodes.get(nb), "decided", False)
+    )
+    defender = grid.id_of((4, 5))
+
+    return Figure2Result(
+        m0=m0(R, T, mf),
+        decided_good=report.outcome.decided_good,
+        expected_decided=len(expected_decided),
+        p_potential=p_suppliers * m,
+        p_clean=p_node.count_of(cfg.vtrue),
+        p_suppliers=p_suppliers,
+        midside_potential=(grid.spec.half_neighborhood - T) * m,
+        defender_spend=report.ledger.sent(defender),
+        broadcast_failed=not report.outcome.complete,
+        report=report,
+    )
+
+
+def table(result: Figure2Result) -> str:
+    rows = [
+        ["m0 = ceil(2*t*mf+1 / (r(2r+1)-t))", 58, result.m0],
+        ["good budget m = m0 + 1", 59, M],
+        [
+            "decided nodes incl source (square + 4 mid-side)",
+            84,
+            result.decided_good + 1,
+        ],
+        ["p's decided good suppliers", 33, result.p_suppliers],
+        ["p's potential correct messages (33 * 59)", 1947, result.p_potential],
+        ["mid-side potential ((r(2r+1)-t) * m)", 2065, result.midside_potential],
+        ["p's clean copies (must be <= t*mf = 1000)", "<=1000", result.p_clean],
+        ["defender budget spent (<= mf = 1000)", "<=1000", result.defender_spend],
+        ["broadcast fails despite m > m0", True, result.broadcast_failed],
+    ]
+    return format_table(
+        ["quantity", "paper", "measured"],
+        rows,
+        title="E2 - Figure 2 worked example (r=4, t=1, mf=1000, m=59)",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(table(run_figure2()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,151 @@
+"""E3 — Theorem 2: protocol B achieves reliable broadcast at ``m = 2*m0``.
+
+Sweeps (r, t, mf) configurations; for each, runs protocol B with the
+theorem's sufficient budget against (a) the stripe adversary guarding a
+victim band and (b) a random locally-bounded placement with the
+threshold-guard jammer protecting everyone. Records success, the maximum
+per-node spend (must be the relay count ``m' <= 2*m0``), and the cost
+ratio to the lower bound ``m0`` (paper: within twice the lower bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adversary.placement import RandomPlacement, two_stripe_band
+from repro.analysis.bounds import m0, protocol_b_relay_count
+from repro.network.grid import Grid, GridSpec
+from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
+from repro.runner.report import format_table
+
+#: Default sweep: (r, t, mf) triples exercising low/high collision budgets
+#: and adversary densities.
+DEFAULT_CONFIGS: tuple[tuple[int, int, int], ...] = (
+    (1, 1, 1),
+    (1, 1, 3),
+    (1, 2, 2),
+    (2, 2, 3),
+    (2, 4, 2),
+    (2, 6, 1),
+    (2, 3, 4),
+)
+
+
+@dataclass(frozen=True)
+class TheoremTwoPoint:
+    r: int
+    t: int
+    mf: int
+    m0: int
+    m: int
+    relay_count: int
+    placement: str
+    success: bool
+    max_good_sent: int
+    cost_over_lower_bound: float
+
+
+@dataclass(frozen=True)
+class TheoremTwoResult:
+    points: tuple[TheoremTwoPoint, ...]
+
+    @property
+    def all_succeed(self) -> bool:
+        return all(p.success for p in self.points)
+
+    @property
+    def cost_within_twice_lower_bound(self) -> bool:
+        return all(p.max_good_sent <= 2 * p.m0 for p in self.points)
+
+
+def _grid_for(r: int) -> GridSpec:
+    side = 2 * r + 1
+    dim = max(6 * side, 4 * side)  # comfortably larger than two stripes
+    return GridSpec(width=dim, height=dim, r=r, torus=True)
+
+
+def run_theorem2(
+    configs: tuple[tuple[int, int, int], ...] = DEFAULT_CONFIGS,
+    *,
+    seed: int = 7,
+) -> TheoremTwoResult:
+    points: list[TheoremTwoPoint] = []
+    for r, t, mf in configs:
+        spec = _grid_for(r)
+        grid = Grid(spec)
+        lower = m0(r, t, mf)
+        m = 2 * lower
+        relay = protocol_b_relay_count(r, t, mf)
+
+        stripe_placement, band_rows = two_stripe_band(
+            grid, t=t, band_height=2 * r + 2, below_y0=3 * r
+        )
+        band_ids = [
+            grid.id_of((x, y)) for y in band_rows for x in range(spec.width)
+        ]
+        random_placement = RandomPlacement(
+            t=t, count=grid.n // (2 * (2 * r + 1) ** 2), seed=seed
+        )
+
+        for label, placement, protected in (
+            ("stripe-band", stripe_placement, band_ids),
+            ("random", random_placement, None),
+        ):
+            cfg = ThresholdRunConfig(
+                spec=spec,
+                t=t,
+                mf=mf,
+                placement=placement,
+                protocol="b",
+                m=m,
+                protected=protected,
+                batch_per_slot=4,
+            )
+            report = run_threshold_broadcast(cfg)
+            points.append(
+                TheoremTwoPoint(
+                    r=r,
+                    t=t,
+                    mf=mf,
+                    m0=lower,
+                    m=m,
+                    relay_count=relay,
+                    placement=label,
+                    success=report.success,
+                    max_good_sent=report.costs.good_max,
+                    cost_over_lower_bound=report.costs.good_max / lower,
+                )
+            )
+    return TheoremTwoResult(points=tuple(points))
+
+
+def table(result: TheoremTwoResult) -> str:
+    rows = [
+        [
+            p.r,
+            p.t,
+            p.mf,
+            p.m0,
+            p.m,
+            p.relay_count,
+            p.placement,
+            p.success,
+            p.max_good_sent,
+            p.cost_over_lower_bound,
+        ]
+        for p in result.points
+    ]
+    return format_table(
+        ["r", "t", "mf", "m0", "m=2m0", "relay m'", "placement",
+         "success", "max sent", "sent/m0"],
+        rows,
+        title="E3 - Theorem 2: protocol B with m = 2*m0 (cost within 2x lower bound)",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(table(run_theorem2()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

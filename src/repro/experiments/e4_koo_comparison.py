@@ -1,0 +1,148 @@
+"""E4 — message-efficiency comparison against the Koo et al. baseline [14].
+
+The paper's headline efficiency claim (§1.3, §3): the baseline needs
+``m = 2*t*mf + 1`` per node — ``(r(2r+1) - t)/2`` times protocol B's
+budget. This experiment tabulates both budgets and the ratio across
+(r, t, mf), then runs both protocols in the same scenario and compares
+the *measured* maximum per-node spend (both must succeed; only the cost
+differs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adversary.placement import RandomPlacement
+from repro.analysis.bounds import (
+    budget_ratio_vs_koo,
+    half_neighborhood,
+    koo_budget,
+    protocol_b_relay_count,
+)
+from repro.network.grid import GridSpec
+from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
+from repro.runner.report import format_table
+
+DEFAULT_CONFIGS: tuple[tuple[int, int, int], ...] = (
+    (1, 1, 2),
+    (1, 2, 2),
+    (2, 2, 2),
+    (2, 4, 3),
+    (3, 5, 4),
+    (4, 1, 1000),
+    (4, 10, 10),
+)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    r: int
+    t: int
+    mf: int
+    koo_m: int
+    b_m: int
+    ratio: float
+    paper_ratio: float
+
+
+@dataclass(frozen=True)
+class MeasuredComparison:
+    r: int
+    t: int
+    mf: int
+    koo_success: bool
+    koo_max_sent: int
+    b_success: bool
+    b_max_sent: int
+
+    @property
+    def measured_ratio(self) -> float:
+        return self.koo_max_sent / self.b_max_sent if self.b_max_sent else 0.0
+
+
+@dataclass(frozen=True)
+class KooComparisonResult:
+    rows: tuple[ComparisonRow, ...]
+    measured: MeasuredComparison
+
+
+def analytic_rows(
+    configs: tuple[tuple[int, int, int], ...] = DEFAULT_CONFIGS
+) -> tuple[ComparisonRow, ...]:
+    rows = []
+    for r, t, mf in configs:
+        rows.append(
+            ComparisonRow(
+                r=r,
+                t=t,
+                mf=mf,
+                koo_m=koo_budget(t, mf),
+                b_m=protocol_b_relay_count(r, t, mf),
+                ratio=budget_ratio_vs_koo(r, t, mf),
+                paper_ratio=(half_neighborhood(r) - t) / 2,
+            )
+        )
+    return tuple(rows)
+
+
+def run_comparison(
+    *, r: int = 2, t: int = 2, mf: int = 3, seed: int = 11
+) -> KooComparisonResult:
+    """Tabulate budgets and measure both protocols on one shared scenario."""
+    side = 2 * r + 1
+    spec = GridSpec(width=6 * side, height=6 * side, r=r, torus=True)
+    placement = RandomPlacement(t=t, count=20, seed=seed)
+
+    reports = {}
+    for name in ("koo", "b"):
+        cfg = ThresholdRunConfig(
+            spec=spec,
+            t=t,
+            mf=mf,
+            placement=placement,
+            protocol=name,  # type: ignore[arg-type]
+            batch_per_slot=4,
+        )
+        reports[name] = run_threshold_broadcast(cfg)
+
+    measured = MeasuredComparison(
+        r=r,
+        t=t,
+        mf=mf,
+        koo_success=reports["koo"].success,
+        koo_max_sent=reports["koo"].costs.good_max,
+        b_success=reports["b"].success,
+        b_max_sent=reports["b"].costs.good_max,
+    )
+    return KooComparisonResult(rows=analytic_rows(), measured=measured)
+
+
+def table(result: KooComparisonResult) -> str:
+    rows = [
+        [row.r, row.t, row.mf, row.koo_m, row.b_m, row.ratio, row.paper_ratio]
+        for row in result.rows
+    ]
+    analytic = format_table(
+        ["r", "t", "mf", "Koo 2tmf+1", "B relay m'", "ratio", "paper (r(2r+1)-t)/2"],
+        rows,
+        title="E4 - per-node budget: Koo et al. baseline vs protocol B",
+    )
+    m = result.measured
+    measured = format_table(
+        ["protocol", "success", "max good sent"],
+        [
+            ["koo baseline", m.koo_success, m.koo_max_sent],
+            ["protocol B", m.b_success, m.b_max_sent],
+            ["measured ratio", "-", f"{m.measured_ratio:.2f}"],
+        ],
+        title=f"measured on shared scenario (r={m.r}, t={m.t}, mf={m.mf})",
+    )
+    return analytic + "\n\n" + measured
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(table(run_comparison()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,263 @@
+"""E9 — ablations on the paper's design choices.
+
+Three studies backing the claims DESIGN.md calls out:
+
+- **(a) concerted relays** — sweep the per-node relay count at the fixed
+  acceptance rule: protocol B's ``m' = ceil((2tmf+1)/ceil((N-t)/2))`` is
+  the knee below which the stripe band starves; the baseline's
+  ``2tmf+1`` buys nothing extra. This isolates the paper's key idea —
+  pooling a half-neighborhood's relays instead of out-shouting collisions
+  alone.
+- **(b) growth shape** — in the Figure 2 corner-starvation scenario,
+  homogeneous ``m0 + 1`` fails (E2) while the cross/circle configuration
+  of Theorem 3 succeeds against the *same* clairvoyant defense, at a
+  comparable average budget.
+- **(c) NACK quiet window** — B_reactive with the paper's
+  ``(2r+1)^2 - 1`` window always delivers; shrinking the window to 1
+  round makes senders stop before straggling NACKs arrive and the
+  broadcast can lose receivers under attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adversary.placement import RandomPlacement, two_stripe_band
+from repro.analysis.bounds import koo_budget, m0, protocol_b_relay_count
+from repro.experiments.e2_figure2 import (
+    LATTICE,
+    M,
+    MF,
+    R,
+    T,
+    WIDTH,
+    _figure2_plan,
+    run_figure2,
+)
+from repro.adversary.jamming import PlannedJammer
+from repro.adversary.placement import LatticePlacement
+from repro.network.grid import Grid, GridSpec
+from repro.runner.broadcast_run import (
+    ReactiveRunConfig,
+    ThresholdRunConfig,
+    run_reactive_broadcast,
+    run_threshold_broadcast,
+)
+from repro.runner.report import format_table
+
+
+# -- (a) relay-count sweep -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RelayPoint:
+    relay_count: int
+    label: str
+    success: bool
+    max_sent: int
+
+
+def run_relay_sweep(
+    *, r: int = 2, t: int = 2, mf: int = 3, width: int = 30
+) -> tuple[RelayPoint, ...]:
+    """Success vs relay count under the stripe adversary (budget = relay)."""
+    spec = GridSpec(width=width, height=width, r=r, torus=True)
+    grid = Grid(spec)
+    placement, band_rows = two_stripe_band(
+        grid, t=t, band_height=2 * r + 2, below_y0=3 * r
+    )
+    band_ids = [grid.id_of((x, y)) for y in band_rows for x in range(width)]
+
+    m_prime = protocol_b_relay_count(r, t, mf)
+    candidates: dict[int, str] = {}
+    for relay, label in (
+        (m0(r, t, mf) - 1, "m0 - 1"),
+        (m_prime - 1, "m' - 1"),
+        (m_prime, "m' (protocol B)"),
+        (2 * m0(r, t, mf), "2*m0"),
+        (koo_budget(t, mf), "2tmf+1 (Koo)"),
+    ):
+        # Distinct named points can coincide numerically (m' == 2*m0 for
+        # some parameters); keep both names on one row.
+        candidates[relay] = (
+            f"{candidates[relay]} = {label}" if relay in candidates else label
+        )
+    points = []
+    for relay, label in sorted(candidates.items()):
+        if relay < 1:
+            continue
+        cfg = ThresholdRunConfig(
+            spec=spec,
+            t=t,
+            mf=mf,
+            placement=placement,
+            protocol="b",
+            m=relay,  # budget == relay count: exactly `relay` sends each
+            relay_override=relay,
+            protected=band_ids,
+            batch_per_slot=4,
+        )
+        report = run_threshold_broadcast(cfg)
+        points.append(
+            RelayPoint(
+                relay_count=relay,
+                label=label,
+                success=report.success,
+                max_sent=report.costs.good_max,
+            )
+        )
+    return tuple(points)
+
+
+# -- (b) growth shape (Figure 2 scenario, homogeneous vs cross) ----------------
+
+
+@dataclass(frozen=True)
+class GrowthShapeResult:
+    homogeneous_success: bool
+    homogeneous_avg_budget: float
+    heterogeneous_success: bool
+    heterogeneous_avg_budget: float
+
+
+def run_growth_shape() -> GrowthShapeResult:
+    """Same clairvoyant Figure-2 defense; square growth vs cross growth."""
+    fig2 = run_figure2()
+    spec = GridSpec(width=WIDTH, height=WIDTH, r=R, torus=True)
+    placement = LatticePlacement(x0=LATTICE[0], y0=LATTICE[1], cluster=1)
+    cfg = ThresholdRunConfig(
+        spec=spec,
+        t=T,
+        mf=MF,
+        placement=placement,
+        protocol="heter",
+        behavior="custom",
+        max_rounds=200,
+        batch_per_slot=25,
+        adversary_factory=lambda grid, table, ledger: PlannedJammer(
+            grid, table, ledger, _figure2_plan(grid)
+        ),
+    )
+    heter = run_threshold_broadcast(cfg)
+    return GrowthShapeResult(
+        homogeneous_success=not fig2.broadcast_failed,
+        homogeneous_avg_budget=float(M),
+        heterogeneous_success=heter.success,
+        heterogeneous_avg_budget=heter.assignment.average,
+    )
+
+
+# -- (c) NACK quiet window ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QuietWindowPoint:
+    window: int
+    success_rate: float
+    avg_rounds: float
+    avg_max_sent: float
+
+
+def run_quiet_window(
+    *,
+    windows: tuple[int, ...] = (1, 8),
+    seeds: tuple[int, ...] = (0, 1, 2, 3, 4, 5),
+    width: int = 18,
+    mf: int = 25,
+    bad_count: int = 24,
+) -> tuple[QuietWindowPoint, ...]:
+    """B_reactive quiet-window sensitivity (r=1: paper window is 8).
+
+    **Finding (documented in EXPERIMENTS.md):** even a 1-round window
+    keeps the broadcast reliable in this model, because a jam is locally
+    *audible garbage* — every node within range of the jammer (including,
+    for near jams, the victim sender and alternative endorsers) registers
+    a failure indication the same round and keeps retransmitting, and L∞
+    geometry guarantees some endorser of every receiver sits next to any
+    jammer. The paper's ``(2r+1)^2 - 1`` window is the conservative bound
+    that covers a full TDMA period, ensuring every receiver's NACK slot
+    occurs inside the window even under maximal schedule load; the
+    measured cost difference between windows is what this ablation
+    quantifies.
+    """
+    spec = GridSpec(width=width, height=width, r=1, torus=True)
+    points = []
+    for window in windows:
+        successes = 0
+        rounds = []
+        max_sent = []
+        for seed in seeds:
+            cfg = ReactiveRunConfig(
+                spec=spec,
+                t=1,
+                mf=mf,
+                mmax=10**6,
+                placement=RandomPlacement(t=1, count=bad_count, seed=500 + seed),
+                seed=seed,
+                quiet_window_override=window,
+            )
+            report = run_reactive_broadcast(cfg)
+            successes += bool(report.success)
+            rounds.append(report.stats.rounds)
+            max_sent.append(
+                max(
+                    node.data_sent + node.nacks_sent
+                    for node in report.nodes.values()
+                )
+            )
+        points.append(
+            QuietWindowPoint(
+                window=window,
+                success_rate=successes / len(seeds),
+                avg_rounds=sum(rounds) / len(rounds),
+                avg_max_sent=sum(max_sent) / len(max_sent),
+            )
+        )
+    return tuple(points)
+
+
+def table_a(points: tuple[RelayPoint, ...]) -> str:
+    return format_table(
+        ["relay count", "label", "success", "max sent"],
+        [[p.relay_count, p.label, p.success, p.max_sent] for p in points],
+        title=(
+            "E9a - relay-count ablation (stripe adversary): below m0 the band "
+            "starves; m' is the paper-guaranteed sufficient count"
+        ),
+    )
+
+
+def table_b(result: GrowthShapeResult) -> str:
+    return format_table(
+        ["configuration", "success", "avg good budget"],
+        [
+            ["homogeneous m0+1 (square growth, Fig 2)",
+             result.homogeneous_success, result.homogeneous_avg_budget],
+            ["heterogeneous cross (circular growth, Thm 3)",
+             result.heterogeneous_success, result.heterogeneous_avg_budget],
+        ],
+        title="E9b - growth-shape ablation on the Figure 2 scenario",
+    )
+
+
+def table_c(points: tuple[QuietWindowPoint, ...]) -> str:
+    return format_table(
+        ["quiet window (rounds)", "success rate", "avg rounds", "avg max sent"],
+        [[p.window, p.success_rate, p.avg_rounds, p.avg_max_sent] for p in points],
+        title=(
+            "E9c - NACK quiet-window ablation (paper: (2r+1)^2 - 1 = 8 for "
+            "r=1); reliability is window-insensitive here, cost is not"
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(table_a(run_relay_sweep()))
+    print()
+    print(table_b(run_growth_shape()))
+    print()
+    print(table_c(run_quiet_window()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

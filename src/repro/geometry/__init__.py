@@ -1,0 +1,55 @@
+"""L-infinity (Chebyshev) geometry on the plane and on the torus.
+
+The paper works exclusively in the L∞ metric: a node's neighborhood is
+the square of side ``2r`` centered at itself. This package provides
+
+- :mod:`~repro.geometry.linf` — distances, balls, and toroidal wrapping;
+- :mod:`~repro.geometry.regions` — node-set algebra matching the paper's
+  ``[x1..x2, y1..y2]`` rectangle notation plus stripes, crosses and disks
+  used by placements and budget maps;
+- :mod:`~repro.geometry.lines` — the committed-line / frontier geometry
+  of Section 4 (Lemmas 5-9), both as exact rational computations and as
+  the constants the paper derives (e.g. the ``d > 1.25`` clearance).
+"""
+
+from repro.geometry.linf import (
+    chebyshev,
+    chebyshev_torus,
+    linf_ball_offsets,
+    torus_delta,
+    wrap,
+)
+from repro.geometry.regions import (
+    Cross,
+    Disk,
+    HalfPlane,
+    Rect,
+    Region,
+    RegionUnion,
+    Stripe,
+)
+from repro.geometry.lines import (
+    CommittedLine,
+    expanding_line_clearance,
+    frontier,
+    min_expanding_angle_sin,
+)
+
+__all__ = [
+    "chebyshev",
+    "chebyshev_torus",
+    "linf_ball_offsets",
+    "torus_delta",
+    "wrap",
+    "Region",
+    "Rect",
+    "Stripe",
+    "Cross",
+    "Disk",
+    "HalfPlane",
+    "RegionUnion",
+    "CommittedLine",
+    "frontier",
+    "expanding_line_clearance",
+    "min_expanding_angle_sin",
+]

@@ -1,0 +1,228 @@
+"""Committed-line geometry of Section 4 (Lemmas 5-10).
+
+The heterogeneous-budget proof replaces the square "growing body" of
+Section 3 with a circle, and reasons about *committed lines*: segments of
+slope ``rho/r`` (``rho`` an integer in ``[-r, 0]``) whose 2r-deep back
+area has already accepted ``Vtrue``. Propagation is expressed through the
+*frontier* of a committed line — the apex of the triangle that the next
+wave of acceptance covers (Lemma 6).
+
+This module implements that geometry exactly (rational arithmetic, no
+floating point in predicates) so the simulator's §4 experiment can check
+the paper's constants:
+
+- frontier reach ``|P1 v0| >= (floor(|L| / (2*sqrt(2)*r)) - 1) * r``;
+- the minimum expanding angle ``sin(angle3) >= 1/(2r)`` (Lemma 9);
+- the clearance ``d > 1.25`` of an expanding line's frontier above it;
+- the disk radius ``R = 550 r^2`` and cross-square side ``778 r^2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator
+
+FracPoint = tuple[Fraction, Fraction]
+
+#: Radius (in units of r^2) of the committed disk from Lemma 10/11.
+DISK_RADIUS_COEFF = 550
+#: Side (in units of r^2) of the square the cross area fills (Lemma 11).
+CROSS_SQUARE_COEFF = 778
+#: Committed-line length used by Lemma 9, in units of r.
+LEMMA9_LINE_LENGTH_COEFF = 37
+#: Expanding-line length used by Lemma 10, in units of r.
+EXPANDING_LINE_LENGTH_COEFF = 74
+#: Lower bound on the frontier clearance above an expanding line (Lemma 9).
+MIN_CLEARANCE = 1.25
+
+
+def _line_through(point: FracPoint, slope: Fraction) -> tuple[Fraction, Fraction]:
+    """Return (a, b) such that the line is y = a*x + b."""
+    a = slope
+    b = point[1] - a * point[0]
+    return a, b
+
+
+def _intersect(
+    p: FracPoint, slope_p: Fraction, q: FracPoint, slope_q: Fraction
+) -> FracPoint:
+    """Intersection of two non-parallel lines given by point + slope."""
+    if slope_p == slope_q:
+        raise ValueError("parallel lines have no unique intersection")
+    a1, b1 = _line_through(p, slope_p)
+    a2, b2 = _line_through(q, slope_q)
+    x = (b2 - b1) / (a1 - a2)
+    y = a1 * x + b1
+    return (x, y)
+
+
+@dataclass(frozen=True)
+class CommittedLine:
+    """A committed line ``L(rho, P0, Pl)`` with slope ``rho/r``.
+
+    ``P0`` is the left endpoint; the segment contains the intermediate
+    integer nodes ``P_i = (x0 + i*r, y0 + i*rho)`` for ``0 <= i <= l``.
+    The *float* generalization (endpoints anywhere on the line) is modeled
+    by fractional endpoints plus ``l`` implied from the length.
+    """
+
+    r: int
+    rho: int
+    x0: Fraction
+    y0: Fraction
+    l: int
+
+    def __post_init__(self) -> None:
+        if self.r <= 0:
+            raise ValueError("r must be positive")
+        if not -self.r <= self.rho <= 0:
+            raise ValueError(f"rho must be in [-r, 0], got {self.rho}")
+        if self.l < 1:
+            raise ValueError("a committed line needs l >= 1")
+
+    @classmethod
+    def from_integer_endpoints(
+        cls, r: int, rho: int, p0: tuple[int, int], l: int
+    ) -> "CommittedLine":
+        return cls(r, rho, Fraction(p0[0]), Fraction(p0[1]), l)
+
+    @property
+    def slope(self) -> Fraction:
+        return Fraction(self.rho, self.r)
+
+    def point(self, i: int | Fraction) -> FracPoint:
+        """The point ``P_i`` (fractional ``i`` interpolates along the line)."""
+        return (self.x0 + i * self.r, self.y0 + i * self.rho)
+
+    @property
+    def p0(self) -> FracPoint:
+        return self.point(0)
+
+    @property
+    def pl(self) -> FracPoint:
+        return self.point(self.l)
+
+    @property
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        dx = float(self.pl[0] - self.p0[0])
+        dy = float(self.pl[1] - self.p0[1])
+        return math.hypot(dx, dy)
+
+    def integer_nodes(self) -> Iterator[tuple[int, int]]:
+        """The integer nodes P_i on the line (only exact when x0,y0 integral)."""
+        for i in range(self.l + 1):
+            x, y = self.point(i)
+            if x.denominator == 1 and y.denominator == 1:
+                yield (int(x), int(y))
+
+    def back_area_contains(self, point: tuple[int, int]) -> bool:
+        """Is an integer point inside the committed back area?
+
+        The back area is ``{(x, y): x0 <= x <= xl and f(x) - 2r <= y <= f(x)}``
+        where ``f`` is the line (shifted lines use ``floor(f(x)) - 2r``;
+        with rational arithmetic the floor is exact).
+        """
+        x, y = Fraction(point[0]), Fraction(point[1])
+        if not self.p0[0] <= x <= self.pl[0]:
+            return False
+        f_x = self.slope * x + (self.y0 - self.slope * self.x0)
+        lower = math.floor(f_x) - 2 * self.r
+        return lower <= y <= f_x
+
+    def shifted(self, offset: Fraction) -> "CommittedLine":
+        """Slide the line along itself by ``offset`` units of i (Lemma 7)."""
+        x0 = self.x0 + offset * self.r
+        y0 = self.y0 + offset * self.rho
+        return CommittedLine(self.r, self.rho, x0, y0, self.l)
+
+    def translated(self, dx: Fraction, dy: Fraction) -> "CommittedLine":
+        """Float generalization: translate the whole line (Lemma 8)."""
+        return CommittedLine(self.r, self.rho, self.x0 + dx, self.y0 + dy, self.l)
+
+
+def frontier(line: CommittedLine) -> FracPoint:
+    """The frontier ``v0`` of a committed line (Lemma 6).
+
+    Draw a line of slope ``(rho+1)/r`` from ``P1`` and a line of slope
+    ``(rho-1)/r`` from ``P_{l-1}``; the frontier is their intersection.
+    Requires ``l > 3`` per the lemma (shorter lines have no useful apex).
+    """
+    if line.l <= 3:
+        raise ValueError(f"Lemma 6 requires l > 3, got l={line.l}")
+    up_slope = Fraction(line.rho + 1, line.r)
+    down_slope = Fraction(line.rho - 1, line.r)
+    return _intersect(line.point(1), up_slope, line.point(line.l - 1), down_slope)
+
+
+def frontier_reach_lower_bound(line: CommittedLine) -> float:
+    """Lemma 6's guaranteed arm length ``(floor(|L|/(2*sqrt(2)*r)) - 1)*r``."""
+    return (math.floor(line.length / (2 * math.sqrt(2) * line.r)) - 1) * line.r
+
+
+def min_expanding_angle_sin(r: int) -> Fraction:
+    """Exact lower bound on ``sin(angle3)`` from Lemma 9's final step.
+
+    The minimum angle between consecutive committed-line slopes is attained
+    between slopes ``-1`` and ``-(r-1)/r``; the paper bounds its sine below
+    by ``1/(2r)`` via the projection argument. We return the paper's bound.
+    """
+    if r <= 0:
+        raise ValueError("r must be positive")
+    return Fraction(1, 2 * r)
+
+
+def exact_min_angle_sin(r: int) -> float:
+    """The actual minimal angle sine, for checking the bound is conservative.
+
+    sin(angle between EF_{r} (slope -1) and EF_{r-1} (slope -(r-1)/r)) =
+    |Fr-1 V| / |E Fr-1| with |Fr-1 V| = sqrt(2)/2 (the paper's Figure 8b).
+    """
+    e = (0.0, 0.0)
+    f_r_minus_1 = (float(r), float(-(r - 1)))
+    length = math.hypot(f_r_minus_1[0] - e[0], f_r_minus_1[1] - e[1])
+    return (math.sqrt(2) / 2) / length
+
+
+def expanding_line_clearance(r: int) -> float:
+    """Lower bound on the frontier's clearance above an expanding line.
+
+    Following Lemma 9: ``d = 7r * sin(angle2) >= 7r * sin(angle3 / 2)`` and
+    ``sin(angle3/2) >= 1/(4r)``, hence ``d >= 7/4 > 1.25``. Returns the
+    ``7r * 1/(4r)`` value (which is parameter-free).
+    """
+    if r <= 0:
+        raise ValueError("r must be positive")
+    return 7.0 * r / (4.0 * r)
+
+
+def ring_growth_delta(r: int) -> float:
+    """The positive ring-width gain per induction step (Lemma 10).
+
+    ``delta = 1.25 - |H H1|`` where ``|H H1| = R - sqrt(R^2 - L^2/4)`` with
+    ``L = 74 r`` and ``R = 550 r^2``.
+
+    **Reproduction note.** The paper claims ``|H H1| < 0.72`` and hence
+    ``delta > 0.53``, but at ``R = 550 r^2`` the sagitta is
+    ``~(37 r)^2 / (2 * 550 r^2) ~= 1.2445`` for every ``r``, giving
+    ``delta ~= 0.0055`` — positive (so Lemma 10's existence claim and the
+    induction it feeds are intact) but far from 0.53. The constant 0.72
+    would require ``R >= ~951 r^2``; this looks like an arithmetic slip
+    in the paper. See EXPERIMENTS.md (E5 notes).
+    """
+    radius = float(DISK_RADIUS_COEFF * r * r)
+    half_chord = EXPANDING_LINE_LENGTH_COEFF * r / 2.0
+    sagitta = radius - math.sqrt(radius * radius - half_chord * half_chord)
+    return MIN_CLEARANCE - sagitta
+
+
+def committed_disk_radius(r: int) -> int:
+    """``R = 550 r^2`` from Lemmas 10-11."""
+    return DISK_RADIUS_COEFF * r * r
+
+
+def cross_square_side(r: int) -> int:
+    """``778 r^2`` — the square the cross area fills by induction (Lemma 11)."""
+    return CROSS_SQUARE_COEFF * r * r

@@ -1,0 +1,71 @@
+"""Chebyshev (L∞) metric, planar and toroidal.
+
+All neighborhood computations in the simulator reduce to these functions,
+so they are kept tiny and heavily tested (including hypothesis property
+tests for the metric axioms).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.types import Coord
+
+
+def chebyshev(a: Coord, b: Coord) -> int:
+    """Planar L∞ distance between two integer points."""
+    return max(abs(a[0] - b[0]), abs(a[1] - b[1]))
+
+
+def wrap(value: int, size: int) -> int:
+    """Wrap a coordinate onto a torus of the given size."""
+    return value % size
+
+
+def torus_delta(a: int, b: int, size: int) -> int:
+    """Minimal absolute difference of two coordinates on a ring of ``size``."""
+    diff = abs(a - b) % size
+    return min(diff, size - diff)
+
+
+def chebyshev_torus(a: Coord, b: Coord, width: int, height: int) -> int:
+    """Toroidal L∞ distance on a ``width x height`` torus."""
+    return max(torus_delta(a[0], b[0], width), torus_delta(a[1], b[1], height))
+
+
+@lru_cache(maxsize=None)
+def linf_ball_offsets(radius: int, include_center: bool = False) -> tuple[Coord, ...]:
+    """All integer offsets with L∞ norm ≤ ``radius``.
+
+    The paper's neighborhood of a node is exactly these offsets applied to
+    the node's coordinate, *excluding* the node itself; pass
+    ``include_center=True`` to keep the origin (used for closed
+    neighborhoods ``[A]``).
+
+    The result is cached: neighborhood enumeration is the hottest loop in
+    the simulator and radii are tiny.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    offsets = [
+        (dx, dy)
+        for dy in range(-radius, radius + 1)
+        for dx in range(-radius, radius + 1)
+        if include_center or (dx, dy) != (0, 0)
+    ]
+    return tuple(offsets)
+
+
+def neighborhood_size(radius: int) -> int:
+    """Number of nodes in an open L∞ neighborhood: ``(2r+1)^2 - 1``."""
+    side = 2 * radius + 1
+    return side * side - 1
+
+
+def half_neighborhood_size(radius: int) -> int:
+    """The quantity ``r(2r+1)`` that the paper's bounds revolve around.
+
+    Geometrically: the number of grid points in a stripe of height ``r``
+    and width ``2r+1`` — half of an open neighborhood.
+    """
+    return radius * (2 * radius + 1)

@@ -1,0 +1,236 @@
+"""Node-set region algebra.
+
+The paper describes node sets with the notation ``[x1..x2, y1..y2]`` (a
+closed integer rectangle) and reasons about stripes (Theorem 1), a
+cross-shaped budget region (Figure 5), and growing disks (Lemma 10). This
+module provides those shapes as composable :class:`Region` objects that
+can answer membership for planar or toroidal coordinates and enumerate
+their members within a bounding box.
+
+Regions are *pure geometry*: they know nothing about grids or roles, so
+they are reusable for placements, heterogeneous budget maps, and metrics.
+On a torus, membership is evaluated on representative coordinates wrapped
+into canonical ranges by the caller (see :meth:`Region.contains_torus`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.geometry.linf import chebyshev_torus, torus_delta
+from repro.types import Coord
+
+
+class Region(ABC):
+    """A set of integer points in the plane (optionally torus-aware)."""
+
+    @abstractmethod
+    def contains(self, point: Coord) -> bool:
+        """Planar membership."""
+
+    def contains_torus(self, point: Coord, width: int, height: int) -> bool:
+        """Toroidal membership.
+
+        Default: test all nine translates of ``point`` by ±width/±height,
+        which is correct for any planar region whose extent is smaller
+        than the torus. Shapes with a cheaper exact rule override this.
+        """
+        x, y = point
+        for dx in (-width, 0, width):
+            for dy in (-height, 0, height):
+                if self.contains((x + dx, y + dy)):
+                    return True
+        return False
+
+    def members(self, x_range: tuple[int, int], y_range: tuple[int, int]) -> Iterator[Coord]:
+        """Enumerate member points within a closed bounding box."""
+        for y in range(y_range[0], y_range[1] + 1):
+            for x in range(x_range[0], x_range[1] + 1):
+                if self.contains((x, y)):
+                    yield (x, y)
+
+    def union(self, other: "Region") -> "RegionUnion":
+        return RegionUnion((self, other))
+
+
+@dataclass(frozen=True)
+class Rect(Region):
+    """Closed rectangle ``[x1..x2, y1..y2]`` — the paper's bracket notation.
+
+    Degenerate rectangles (single row/column/point) are allowed, mirroring
+    the paper's ``[x1, y1..y2]`` shorthand.
+    """
+
+    x1: int
+    x2: int
+    y1: int
+    y2: int
+
+    def __post_init__(self) -> None:
+        if self.x1 > self.x2 or self.y1 > self.y2:
+            raise ValueError(f"empty rectangle: {self}")
+
+    @classmethod
+    def around(cls, center: Coord, radius: int) -> "Rect":
+        """The closed L∞ ball (square) of ``radius`` around ``center``."""
+        return cls(center[0] - radius, center[0] + radius, center[1] - radius, center[1] + radius)
+
+    def contains(self, point: Coord) -> bool:
+        return self.x1 <= point[0] <= self.x2 and self.y1 <= point[1] <= self.y2
+
+    @property
+    def width(self) -> int:
+        return self.x2 - self.x1 + 1
+
+    @property
+    def height(self) -> int:
+        return self.y2 - self.y1 + 1
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    def iter_points(self) -> Iterator[Coord]:
+        """All points, row-major — no bounding box needed for a Rect."""
+        for y in range(self.y1, self.y2 + 1):
+            for x in range(self.x1, self.x2 + 1):
+                yield (x, y)
+
+
+@dataclass(frozen=True)
+class Stripe(Region):
+    """Horizontal stripe of ``height`` rows starting at ``y0`` (Theorem 1).
+
+    Spans all x — on a torus it is a ring around the network.
+    """
+
+    y0: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.height <= 0:
+            raise ValueError(f"stripe height must be positive, got {self.height}")
+
+    def contains(self, point: Coord) -> bool:
+        return self.y0 <= point[1] <= self.y0 + self.height - 1
+
+    def contains_torus(self, point: Coord, width: int, height: int) -> bool:
+        y = point[1] % height
+        for candidate in (y, y + height, y - height):
+            if self.y0 <= candidate <= self.y0 + self.height - 1:
+                return True
+        return False
+
+    @property
+    def rows(self) -> range:
+        return range(self.y0, self.y0 + self.height)
+
+
+@dataclass(frozen=True)
+class Cross(Region):
+    """The cross-shaped privileged-budget region of Figure 5.
+
+    All points within L∞ distance ``arm_half_width`` of either axis
+    through ``center``. On a torus the arms wrap all the way around, which
+    is the natural analogue of the paper's cross spanning the network.
+    """
+
+    center: Coord = (0, 0)
+    arm_half_width: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arm_half_width < 0:
+            raise ValueError("arm_half_width must be non-negative")
+
+    def contains(self, point: Coord) -> bool:
+        return (
+            abs(point[0] - self.center[0]) <= self.arm_half_width
+            or abs(point[1] - self.center[1]) <= self.arm_half_width
+        )
+
+    def contains_torus(self, point: Coord, width: int, height: int) -> bool:
+        return (
+            torus_delta(point[0], self.center[0], width) <= self.arm_half_width
+            or torus_delta(point[1], self.center[1], height) <= self.arm_half_width
+        )
+
+
+@dataclass(frozen=True)
+class Disk(Region):
+    """Closed L∞ ... no — *Euclidean* disk used by the §4 circular growth.
+
+    The circular growing body of Lemma 10 is a genuine Euclidean circle;
+    membership uses squared-distance integer arithmetic to stay exact.
+    """
+
+    center: Coord
+    radius_sq: int
+
+    @classmethod
+    def of_radius(cls, center: Coord, radius: float) -> "Disk":
+        return cls(center, int(radius * radius))
+
+    def contains(self, point: Coord) -> bool:
+        dx = point[0] - self.center[0]
+        dy = point[1] - self.center[1]
+        return dx * dx + dy * dy <= self.radius_sq
+
+    def contains_torus(self, point: Coord, width: int, height: int) -> bool:
+        dx = torus_delta(point[0], self.center[0], width)
+        dy = torus_delta(point[1], self.center[1], height)
+        return dx * dx + dy * dy <= self.radius_sq
+
+
+@dataclass(frozen=True)
+class HalfPlane(Region):
+    """Points with ``y >= y0`` (above) or ``y <= y0`` (below).
+
+    Used to define the "victim band" in impossibility experiments.
+    Half-planes are unbounded and make no sense on a torus; toroidal
+    membership raises to catch misuse early.
+    """
+
+    y0: int
+    above: bool = True
+
+    def contains(self, point: Coord) -> bool:
+        return point[1] >= self.y0 if self.above else point[1] <= self.y0
+
+    def contains_torus(self, point: Coord, width: int, height: int) -> bool:
+        raise ValueError("HalfPlane is not torus-compatible; use Stripe bands instead")
+
+
+@dataclass(frozen=True)
+class RegionUnion(Region):
+    """Union of component regions."""
+
+    parts: tuple[Region, ...]
+
+    def contains(self, point: Coord) -> bool:
+        return any(part.contains(point) for part in self.parts)
+
+    def contains_torus(self, point: Coord, width: int, height: int) -> bool:
+        return any(part.contains_torus(point, width, height) for part in self.parts)
+
+
+def closed_neighborhood(center: Coord, radius: int) -> Rect:
+    """The paper's ``[A]`` for a neighborhood: closed square of side 2r+1."""
+    return Rect.around(center, radius)
+
+
+def torus_chebyshev_ball(
+    center: Coord, radius: int, width: int, height: int
+) -> list[Coord]:
+    """All torus points (canonical coords) within L∞ distance ``radius``."""
+    points = []
+    for dy in range(-radius, radius + 1):
+        for dx in range(-radius, radius + 1):
+            points.append(((center[0] + dx) % width, (center[1] + dy) % height))
+    # Canonicalize and dedupe in case the ball wraps onto itself.
+    unique = sorted(set(points))
+    assert all(
+        chebyshev_torus(center, p, width, height) <= radius for p in unique
+    )
+    return unique

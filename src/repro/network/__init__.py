@@ -1,0 +1,6 @@
+"""Grid network substrate: topology, node identity, and roles."""
+
+from repro.network.grid import Grid, GridSpec
+from repro.network.node import NodeTable
+
+__all__ = ["Grid", "GridSpec", "NodeTable"]

@@ -1,0 +1,158 @@
+"""Integer grid topology with L∞ neighborhoods, toroidal or bounded.
+
+The paper's network is a grid with one node per unit cell, transmission
+radius ``r`` in the L∞ metric, and toroidal wrap-around "to avoid edge
+effects". Impossibility experiments sometimes prefer a bounded grid where
+a single stripe disconnects the network; both variants are supported.
+
+Node ids are dense row-major integers (``id = y * width + x``) so that
+per-node state lives in flat lists — this matters, as neighborhood
+iteration is the hottest loop in the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.geometry.linf import chebyshev, chebyshev_torus, linf_ball_offsets
+from repro.types import Coord, NodeId
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Static description of a grid network.
+
+    Attributes:
+        width/height: grid dimensions (nodes per row / column).
+        r: transmission radius (L∞).
+        torus: whether edges wrap. Toroidal grids must be at least
+            ``2*(2r+1)`` on each side so that a neighborhood never wraps
+            onto itself and TDMA slot classes stay collision-free.
+    """
+
+    width: int
+    height: int
+    r: int
+    torus: bool = True
+
+    def __post_init__(self) -> None:
+        if self.r < 1:
+            raise ConfigurationError(f"transmission radius must be >= 1, got {self.r}")
+        if self.width < 1 or self.height < 1:
+            raise ConfigurationError("grid dimensions must be positive")
+        side = 2 * self.r + 1
+        if self.torus:
+            if self.width < 2 * side or self.height < 2 * side:
+                raise ConfigurationError(
+                    f"toroidal grid must be at least {2 * side} per side for r={self.r}; "
+                    f"got {self.width}x{self.height}"
+                )
+            if self.width % side or self.height % side:
+                raise ConfigurationError(
+                    f"toroidal dimensions must be multiples of 2r+1={side} so the TDMA "
+                    f"coloring stays collision-free across the wrap; got "
+                    f"{self.width}x{self.height}"
+                )
+
+    @property
+    def n(self) -> int:
+        """Total number of nodes."""
+        return self.width * self.height
+
+    @property
+    def neighborhood_size(self) -> int:
+        """Open neighborhood size ``(2r+1)^2 - 1`` (interior nodes)."""
+        side = 2 * self.r + 1
+        return side * side - 1
+
+    @property
+    def half_neighborhood(self) -> int:
+        """The paper's recurring quantity ``r(2r+1)``."""
+        return self.r * (2 * self.r + 1)
+
+
+class Grid:
+    """A concrete grid with precomputed neighborhoods.
+
+    >>> grid = Grid(GridSpec(10, 10, r=1, torus=True))
+    >>> len(grid.neighbors(grid.id_of((0, 0))))
+    8
+    """
+
+    def __init__(self, spec: GridSpec) -> None:
+        self.spec = spec
+        self.width = spec.width
+        self.height = spec.height
+        self.r = spec.r
+        self.torus = spec.torus
+        self.n = spec.n
+        self._neighbors: list[tuple[NodeId, ...]] = self._build_neighbors()
+
+    # -- identity ---------------------------------------------------------
+
+    def id_of(self, coord: Coord) -> NodeId:
+        """Node id at a coordinate (wrapped on a torus, validated otherwise)."""
+        x, y = coord
+        if self.torus:
+            x %= self.width
+            y %= self.height
+        elif not (0 <= x < self.width and 0 <= y < self.height):
+            raise ConfigurationError(f"coordinate {coord} outside bounded grid")
+        return y * self.width + x
+
+    def coord_of(self, node_id: NodeId) -> Coord:
+        if not 0 <= node_id < self.n:
+            raise ConfigurationError(f"node id {node_id} out of range")
+        return (node_id % self.width, node_id // self.width)
+
+    def all_ids(self) -> range:
+        return range(self.n)
+
+    # -- metric -----------------------------------------------------------
+
+    def distance(self, a: NodeId, b: NodeId) -> int:
+        """L∞ distance between two nodes (toroidal if the grid wraps)."""
+        ca, cb = self.coord_of(a), self.coord_of(b)
+        if self.torus:
+            return chebyshev_torus(ca, cb, self.width, self.height)
+        return chebyshev(ca, cb)
+
+    def neighbors(self, node_id: NodeId) -> tuple[NodeId, ...]:
+        """Open L∞ neighborhood (excludes the node itself)."""
+        return self._neighbors[node_id]
+
+    def closed_neighborhood(self, node_id: NodeId) -> tuple[NodeId, ...]:
+        return self._neighbors[node_id] + (node_id,)
+
+    def are_neighbors(self, a: NodeId, b: NodeId) -> bool:
+        return a != b and self.distance(a, b) <= self.r
+
+    def common_neighbors(self, a: NodeId, b: NodeId) -> set[NodeId]:
+        return set(self._neighbors[a]) & set(self._neighbors[b])
+
+    # -- construction -----------------------------------------------------
+
+    def _build_neighbors(self) -> list[tuple[NodeId, ...]]:
+        offsets = linf_ball_offsets(self.r)
+        width, height = self.width, self.height
+        table: list[tuple[NodeId, ...]] = []
+        for node_id in range(self.n):
+            x, y = node_id % width, node_id // width
+            if self.torus:
+                ids = tuple(
+                    ((y + dy) % height) * width + ((x + dx) % width)
+                    for dx, dy in offsets
+                )
+            else:
+                ids = tuple(
+                    (y + dy) * width + (x + dx)
+                    for dx, dy in offsets
+                    if 0 <= x + dx < width and 0 <= y + dy < height
+                )
+            table.append(ids)
+        return table
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "torus" if self.torus else "bounded"
+        return f"<Grid {self.width}x{self.height} r={self.r} {kind}>"

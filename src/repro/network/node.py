@@ -1,0 +1,79 @@
+"""Node role bookkeeping.
+
+A :class:`NodeTable` assigns every grid node a :class:`~repro.types.Role`
+and validates the paper's standing assumptions eagerly:
+
+- exactly one source, and the source is honest;
+- the bad set is *locally bounded*: no neighborhood (closed L∞ ball of
+  radius r around any node) contains more than ``t`` bad nodes.
+
+The local-boundedness check is O(n·(2r+1)²) and runs once per scenario;
+placements that violate it fail fast with :class:`PlacementError`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import PlacementError
+from repro.network.grid import Grid
+from repro.types import NodeId, Role
+
+
+class NodeTable:
+    """Roles for every node of a grid."""
+
+    def __init__(self, grid: Grid, source: NodeId, bad: Iterable[NodeId]) -> None:
+        self.grid = grid
+        self.source = source
+        self.bad: frozenset[NodeId] = frozenset(bad)
+        if source in self.bad:
+            raise PlacementError("the base station (source) must be honest")
+        out_of_range = [b for b in self.bad if not 0 <= b < grid.n]
+        if out_of_range:
+            raise PlacementError(f"bad node ids outside grid: {out_of_range[:5]}")
+        self._roles: list[Role] = [Role.GOOD] * grid.n
+        for node_id in self.bad:
+            self._roles[node_id] = Role.BAD
+        self._roles[source] = Role.SOURCE
+
+    def role(self, node_id: NodeId) -> Role:
+        return self._roles[node_id]
+
+    def is_bad(self, node_id: NodeId) -> bool:
+        return self._roles[node_id] is Role.BAD
+
+    def is_honest(self, node_id: NodeId) -> bool:
+        return self._roles[node_id] is not Role.BAD
+
+    @property
+    def good_ids(self) -> list[NodeId]:
+        """All honest nodes, source included."""
+        return [nid for nid in self.grid.all_ids() if self._roles[nid] is not Role.BAD]
+
+    @property
+    def bad_ids(self) -> list[NodeId]:
+        return sorted(self.bad)
+
+    def bad_in_neighborhood(self, node_id: NodeId) -> int:
+        """Number of bad nodes in the closed neighborhood of ``node_id``."""
+        count = sum(1 for nb in self.grid.neighbors(node_id) if nb in self.bad)
+        if node_id in self.bad:
+            count += 1
+        return count
+
+    def max_bad_per_neighborhood(self) -> int:
+        """The realized local bound — max over all closed neighborhoods."""
+        if not self.bad:
+            return 0
+        return max(self.bad_in_neighborhood(nid) for nid in self.grid.all_ids())
+
+    def validate_locally_bounded(self, t: int) -> None:
+        """Raise :class:`PlacementError` unless every neighborhood has <= t bad."""
+        for node_id in self.grid.all_ids():
+            count = self.bad_in_neighborhood(node_id)
+            if count > t:
+                raise PlacementError(
+                    f"neighborhood of node {self.grid.coord_of(node_id)} contains "
+                    f"{count} bad nodes, exceeding t={t}"
+                )

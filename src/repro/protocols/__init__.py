@@ -1,0 +1,30 @@
+"""Broadcast protocols: the paper's contributions plus baselines."""
+
+from repro.protocols.base import BroadcastParams, BroadcastNode, ThresholdNode
+from repro.protocols.cpa import CpaNode, make_cpa_nodes
+from repro.protocols.koo_baseline import koo_required_budget, make_koo_nodes
+from repro.protocols.protocol_b import make_protocol_b_nodes, protocol_b_required_budget
+from repro.protocols.protocol_heter import make_protocol_heter_nodes
+from repro.protocols.reactive import (
+    CORRUPT_MARKER,
+    CodedJammerAdversary,
+    ReactiveNode,
+    make_reactive_nodes,
+)
+
+__all__ = [
+    "BroadcastParams",
+    "BroadcastNode",
+    "ThresholdNode",
+    "CpaNode",
+    "make_cpa_nodes",
+    "koo_required_budget",
+    "make_koo_nodes",
+    "make_protocol_b_nodes",
+    "protocol_b_required_budget",
+    "make_protocol_heter_nodes",
+    "CORRUPT_MARKER",
+    "CodedJammerAdversary",
+    "ReactiveNode",
+    "make_reactive_nodes",
+]

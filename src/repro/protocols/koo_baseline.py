@@ -1,0 +1,36 @@
+"""Baseline scheme suggested by Koo et al. [14] (paper §1.3, §3).
+
+Every good node individually simulates a collision-free transmission by
+repeating its message ``2*t*mf + 1`` times, so that even if all ``t`` bad
+neighbors of a receiver spend their whole budget corrupting its copies,
+correct copies still outnumber wrong ones. Acceptance is the same
+``t*mf + 1`` threshold.
+
+This works but costs each node ``2tmf+1`` messages —
+``~(r(2r+1)-t)/2`` times protocol B's budget; the paper uses it as the
+message-efficiency baseline (experiment E4).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import koo_budget
+from repro.network.node import NodeTable
+from repro.protocols.base import BroadcastParams, ThresholdNode
+from repro.types import NodeId, Role
+
+
+def koo_required_budget(t: int, mf: int) -> int:
+    """Per-node budget the baseline needs: ``2*t*mf + 1``."""
+    return koo_budget(t, mf)
+
+
+def make_koo_nodes(
+    table: NodeTable, params: BroadcastParams
+) -> dict[NodeId, ThresholdNode]:
+    """One baseline node per honest grid node."""
+    relay = koo_budget(params.t, params.mf)
+    nodes: dict[NodeId, ThresholdNode] = {}
+    for nid in table.good_ids:
+        role = Role.SOURCE if nid == table.source else Role.GOOD
+        nodes[nid] = ThresholdNode(nid, role, params, relay_count=relay)
+    return nodes

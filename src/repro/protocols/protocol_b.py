@@ -1,0 +1,37 @@
+"""Protocol B (paper §3.1) — homogeneous budgets, ``m >= 2*m0``.
+
+1. The source locally broadcasts the message ``2*t*mf + 1`` times.
+2. Every other good node, upon *accepting* a value, relays it
+   ``m' = ceil((2tmf+1) / ceil((r(2r+1)-t)/2))`` times. A node accepts a
+   value once received at least ``t*mf + 1`` times.
+
+The key idea (vs the Koo et al. baseline) is *concerted action*: a
+receiver pools the relays of the ``>= ceil((r(2r+1)-t)/2)`` good decided
+nodes in a half-neighborhood, so each of them only needs ``~2*m0``
+messages rather than individually out-shouting all possible collisions
+with ``2tmf+1``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import m0, protocol_b_relay_count
+from repro.network.node import NodeTable
+from repro.protocols.base import BroadcastParams, ThresholdNode
+from repro.types import NodeId, Role
+
+
+def protocol_b_required_budget(r: int, t: int, mf: int) -> int:
+    """Theorem 2's sufficient homogeneous budget: ``2 * m0``."""
+    return 2 * m0(r, t, mf)
+
+
+def make_protocol_b_nodes(
+    table: NodeTable, params: BroadcastParams
+) -> dict[NodeId, ThresholdNode]:
+    """One protocol-B node per honest grid node."""
+    relay = protocol_b_relay_count(params.r, params.t, params.mf)
+    nodes: dict[NodeId, ThresholdNode] = {}
+    for nid in table.good_ids:
+        role = Role.SOURCE if nid == table.source else Role.GOOD
+        nodes[nid] = ThresholdNode(nid, role, params, relay_count=relay)
+    return nodes

@@ -1,0 +1,34 @@
+"""Protocol B_heter (paper §4.1) — heterogeneous budgets.
+
+Identical message flow to protocol B, but the relay count is the node's
+*assigned budget*: ``m' = ceil((2tmf+1)/ceil((r(2r+1)-t)/2))`` inside the
+cross-shaped privileged region of Figure 5 and ``m0`` everywhere else.
+Acceptance is unchanged (``t*mf + 1`` copies).
+
+The cross lets ``Vtrue`` first fill a thin high-budget skeleton; the
+committed region then grows as a *circle* (Lemmas 5-11), whose boundary
+nodes see roughly half a neighborhood of decided suppliers instead of the
+quarter a square's corner node would — that is what makes the cheap
+``m0`` budget sufficient for the bulk of the network.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.budgets import BudgetAssignment
+from repro.network.node import NodeTable
+from repro.protocols.base import BroadcastParams, ThresholdNode
+from repro.types import NodeId, Role
+
+
+def make_protocol_heter_nodes(
+    table: NodeTable,
+    params: BroadcastParams,
+    assignment: BudgetAssignment,
+) -> dict[NodeId, ThresholdNode]:
+    """One B_heter node per honest grid node; relay count = assigned budget."""
+    nodes: dict[NodeId, ThresholdNode] = {}
+    for nid in table.good_ids:
+        role = Role.SOURCE if nid == table.source else Role.GOOD
+        relay = assignment.budgets[nid]
+        nodes[nid] = ThresholdNode(nid, role, params, relay_count=relay)
+    return nodes

@@ -1,0 +1,19 @@
+"""Radio substrate: messages, TDMA schedule, budgets, medium, MAC driver."""
+
+from repro.radio.budget import BudgetLedger
+from repro.radio.mac import RoundDriver, RunLimits
+from repro.radio.medium import Delivery, Medium
+from repro.radio.messages import BadTransmission, MessageKind, Transmission
+from repro.radio.schedule import TdmaSchedule
+
+__all__ = [
+    "BudgetLedger",
+    "RoundDriver",
+    "RunLimits",
+    "Medium",
+    "Delivery",
+    "Transmission",
+    "BadTransmission",
+    "MessageKind",
+    "TdmaSchedule",
+]

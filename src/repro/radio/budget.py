@@ -1,0 +1,81 @@
+"""Per-node message budget accounting.
+
+The paper's central resource: a good node may send at most ``m`` messages
+and a bad node at most ``mf``; the base station is unbounded. The ledger
+enforces this defensively — protocol and adversary implementations are
+expected to check ``remaining`` first, and a charge beyond the budget
+raises :class:`BudgetExceededError` to surface bugs immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import BudgetExceededError, ConfigurationError
+from repro.types import NodeId
+
+#: Sentinel budget meaning "unbounded" (the source).
+UNBOUNDED = None
+
+
+class BudgetLedger:
+    """Tracks sends against per-node budgets.
+
+    Budgets are given as a mapping ``node_id -> int | None`` where ``None``
+    means unbounded. Missing nodes default to ``default_budget``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        default_budget: int | None,
+        overrides: Mapping[NodeId, int | None] | None = None,
+    ) -> None:
+        if default_budget is not None and default_budget < 0:
+            raise ConfigurationError(f"negative default budget: {default_budget}")
+        self.n = n
+        self._budget: list[int | None] = [default_budget] * n
+        self._sent: list[int] = [0] * n
+        if overrides:
+            for node_id, budget in overrides.items():
+                if not 0 <= node_id < n:
+                    raise ConfigurationError(f"budget override for unknown node {node_id}")
+                if budget is not None and budget < 0:
+                    raise ConfigurationError(f"negative budget for node {node_id}")
+                self._budget[node_id] = budget
+
+    def budget_of(self, node_id: NodeId) -> int | None:
+        return self._budget[node_id]
+
+    def sent(self, node_id: NodeId) -> int:
+        return self._sent[node_id]
+
+    def remaining(self, node_id: NodeId) -> int | None:
+        """Messages the node may still send; ``None`` when unbounded."""
+        budget = self._budget[node_id]
+        if budget is None:
+            return None
+        return budget - self._sent[node_id]
+
+    def can_send(self, node_id: NodeId, count: int = 1) -> bool:
+        remaining = self.remaining(node_id)
+        return remaining is None or remaining >= count
+
+    def charge(self, node_id: NodeId, count: int = 1) -> None:
+        if count < 0:
+            raise ConfigurationError("cannot charge a negative number of messages")
+        if not self.can_send(node_id, count):
+            raise BudgetExceededError(
+                f"node {node_id} attempted send #{self._sent[node_id] + count} "
+                f"with budget {self._budget[node_id]}"
+            )
+        self._sent[node_id] += count
+
+    def total_sent(self, nodes: Iterable[NodeId] | None = None) -> int:
+        if nodes is None:
+            return sum(self._sent)
+        return sum(self._sent[node_id] for node_id in nodes)
+
+    def max_sent(self, nodes: Iterable[NodeId]) -> int:
+        counts = [self._sent[node_id] for node_id in nodes]
+        return max(counts) if counts else 0

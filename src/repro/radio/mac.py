@@ -1,0 +1,230 @@
+"""Slotted-round MAC driver.
+
+Drives the whole network through TDMA rounds: one round is one pass over
+the ``(2r+1)^2`` slot classes; in its owned slot every honest node with
+pending traffic (and remaining budget) performs one local broadcast. The
+adversary is consulted at every slot and may inject Byzantine
+transmissions anywhere, budget permitting.
+
+The driver is deliberately independent of any concrete protocol or
+adversary: both are structural interfaces (:class:`ProtocolNodeLike`,
+:class:`AdversaryLike`) so the radio layer never imports the higher
+layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+from repro.network.grid import Grid
+from repro.network.node import NodeTable
+from repro.radio.budget import BudgetLedger
+from repro.radio.medium import Delivery, Medium
+from repro.radio.messages import BadTransmission, MessageKind, Transmission
+from repro.radio.schedule import TdmaSchedule
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.types import NodeId, Value
+
+
+@runtime_checkable
+class ProtocolNodeLike(Protocol):
+    """What the driver needs from an honest protocol node."""
+
+    def has_pending(self) -> bool:
+        """Does the node currently want to transmit?"""
+
+    def pop_send(self) -> tuple[Value, MessageKind]:
+        """Dequeue the next message to transmit (called once per owned slot)."""
+
+    def on_receive(self, sender: NodeId, value: Value, kind: MessageKind) -> None:
+        """Handle one delivered message."""
+
+    def on_round_end(self, round_index: int) -> None:
+        """Hook run after every full round (timers, quiet windows)."""
+
+
+@runtime_checkable
+class AdversaryLike(Protocol):
+    """What the driver needs from the adversary (a single coordinated mind)."""
+
+    def on_slot(
+        self, round_index: int, slot: int, honest: list[Transmission]
+    ) -> list[BadTransmission]:
+        """Byzantine transmissions for this slot (may be empty)."""
+
+    def observe(self, deliveries: list[Delivery]) -> None:
+        """Full omniscient view of what was just delivered."""
+
+    def has_pending(self) -> bool:
+        """Does the adversary still intend to transmit spontaneously?"""
+
+
+@dataclass(frozen=True)
+class RunLimits:
+    """Bounds on a run.
+
+    ``max_rounds`` is a hard stop; runs that hit it are reported as not
+    quiescent (either the protocol livelocked or — in impossibility
+    experiments — the run was intentionally capped after stalling).
+    """
+
+    max_rounds: int
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+
+
+@dataclass
+class RunStats:
+    """Aggregate statistics of one driver run."""
+
+    rounds: int = 0
+    honest_transmissions: int = 0
+    byzantine_transmissions: int = 0
+    deliveries: int = 0
+    corrupted_deliveries: int = 0
+    quiescent: bool = False
+    idle_rounds: int = 0
+    per_kind_honest: dict[MessageKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in MessageKind}
+    )
+
+
+class RoundDriver:
+    """Runs the slotted network to quiescence or a round limit."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        table: NodeTable,
+        nodes: Mapping[NodeId, ProtocolNodeLike],
+        adversary: AdversaryLike,
+        ledger: BudgetLedger,
+        *,
+        batch_per_slot: int = 1,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        missing = [nid for nid in table.good_ids if nid not in nodes]
+        if missing:
+            raise ConfigurationError(
+                f"every honest node needs a protocol instance; missing {missing[:5]}"
+            )
+        if batch_per_slot < 1:
+            raise ConfigurationError("batch_per_slot must be >= 1")
+        self.grid = grid
+        self.table = table
+        self.nodes = nodes
+        self.adversary = adversary
+        self.ledger = ledger
+        self.batch_per_slot = batch_per_slot
+        self.schedule = TdmaSchedule(grid)
+        self.medium = Medium(grid)
+        self.tracer = tracer
+        self.stats = RunStats()
+        self._honest_ids = list(table.good_ids)
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self, limits: RunLimits) -> RunStats:
+        for round_index in range(limits.max_rounds):
+            transmitted = self._run_round(round_index)
+            self.stats.rounds = round_index + 1
+            if not transmitted:
+                self.stats.idle_rounds += 1
+            if self._quiescent():
+                self.stats.quiescent = True
+                break
+            if not transmitted and not self._any_honest_active():
+                # The adversary claims pending work but produced nothing for
+                # a whole round while honest nodes are done: treat as done
+                # to avoid spinning (a liar with budget but no trigger).
+                self.stats.quiescent = True
+                break
+        return self.stats
+
+    def _run_round(self, round_index: int) -> bool:
+        schedule = self.schedule
+        ledger = self.ledger
+        by_slot: dict[int, list[NodeId]] = {}
+        for nid in self._honest_ids:
+            node = self.nodes[nid]
+            if node.has_pending() and ledger.can_send(nid):
+                by_slot.setdefault(schedule.slot_of(nid), []).append(nid)
+
+        transmitted = False
+        for slot in range(schedule.period):
+            # `batch_per_slot > 1` stretches each slot into consecutive
+            # sub-slots in which the slot's owners drain several pending
+            # messages back-to-back. Every sub-slot is a full medium
+            # round (adversary consulted, budgets charged per message),
+            # so all counting arguments are untouched — only wall-clock
+            # round counts compress. Used by heavy experiments such as
+            # Figure 2's 2001-repetition source phase.
+            for _burst in range(self.batch_per_slot):
+                honest_txs: list[Transmission] = []
+                for nid in by_slot.get(slot, ()):  # at most a few per class
+                    node = self.nodes[nid]
+                    if not node.has_pending() or not ledger.can_send(nid):
+                        continue
+                    value, kind = node.pop_send()
+                    ledger.charge(nid)
+                    honest_txs.append(Transmission(nid, value, kind))
+                    self.stats.per_kind_honest[kind] += 1
+
+                byz_txs = self.adversary.on_slot(round_index, slot, honest_txs)
+                for tx in byz_txs:
+                    if not self.table.is_bad(tx.sender):
+                        raise ConfigurationError(
+                            f"adversary transmitted from honest node {tx.sender}"
+                        )
+                    ledger.charge(tx.sender)
+
+                if not honest_txs and not byz_txs:
+                    break
+                transmitted = True
+                self.stats.honest_transmissions += len(honest_txs)
+                self.stats.byzantine_transmissions += len(byz_txs)
+
+                deliveries = self.medium.resolve_slot(honest_txs, byz_txs)
+                self._distribute(deliveries, round_index, slot)
+
+        for nid in self._honest_ids:
+            self.nodes[nid].on_round_end(round_index)
+        return transmitted
+
+    def _distribute(
+        self, deliveries: list[Delivery], round_index: int, slot: int
+    ) -> None:
+        trace_on = self.tracer.enabled
+        for delivery in deliveries:
+            self.stats.deliveries += 1
+            if delivery.corrupted:
+                self.stats.corrupted_deliveries += 1
+            if trace_on:
+                self.tracer.emit(
+                    "radio.deliver",
+                    (round_index, slot),
+                    receiver=delivery.receiver,
+                    sender=delivery.sender,
+                    value=delivery.value,
+                    corrupted=delivery.corrupted,
+                )
+            node = self.nodes.get(delivery.receiver)
+            if node is not None:  # honest receiver
+                node.on_receive(delivery.sender, delivery.value, delivery.kind)
+        self.adversary.observe(deliveries)
+
+    # -- termination --------------------------------------------------------
+
+    def _any_honest_active(self) -> bool:
+        ledger = self.ledger
+        return any(
+            self.nodes[nid].has_pending() and ledger.can_send(nid)
+            for nid in self._honest_ids
+        )
+
+    def _quiescent(self) -> bool:
+        return not self._any_honest_active() and not self.adversary.has_pending()

@@ -1,0 +1,116 @@
+"""Shared radio medium: per-slot delivery resolution.
+
+Semantics (paper §1.2):
+
+- a local broadcast reaches every node within L∞ distance ``r`` of the
+  sender;
+- if a receiver is in range of two or more concurrent transmissions, the
+  result at that receiver is adversary-controlled: a wrong message or no
+  message at all, with no indication that anything abnormal happened;
+- honest nodes follow the TDMA schedule, so a collision implies at least
+  one Byzantine transmission is involved.
+
+The medium is stateless; :class:`~repro.radio.mac.RoundDriver` feeds it
+the transmissions of one slot and distributes the resulting deliveries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ScheduleConflictError
+from repro.network.grid import Grid
+from repro.radio.messages import BadTransmission, MessageKind, Transmission
+from repro.types import NodeId, Value
+
+
+@dataclass(frozen=True, slots=True)
+class Delivery:
+    """One value delivered to one receiver in one slot.
+
+    ``corrupted`` marks deliveries manufactured through a collision — it
+    is *simulation metadata* for metrics and adversary bookkeeping; the
+    receiving protocol node never sees it (receivers cannot detect
+    collisions in this model).
+    """
+
+    receiver: NodeId
+    sender: NodeId
+    value: Value
+    kind: MessageKind
+    corrupted: bool = False
+
+
+class Medium:
+    """Resolves concurrent transmissions into per-receiver deliveries."""
+
+    def __init__(self, grid: Grid) -> None:
+        self.grid = grid
+
+    def resolve_slot(
+        self,
+        honest: list[Transmission],
+        byzantine: list[BadTransmission],
+    ) -> list[Delivery]:
+        """Compute all deliveries for one slot.
+
+        Honest transmissions in the same slot must be mutually
+        non-interfering (the TDMA coloring guarantees it); a violation
+        raises :class:`ScheduleConflictError` because it indicates a bug,
+        not an attack.
+        """
+        if not honest and not byzantine:
+            return []
+
+        # Radios are half-duplex: a node transmitting in this slot cannot
+        # receive. (Only relevant when two Byzantine nodes are adjacent —
+        # honest same-slot senders are out of range by TDMA construction.)
+        transmitting = {tx.sender for tx in honest} | {tx.sender for tx in byzantine}
+
+        heard: dict[NodeId, list[Transmission | BadTransmission]] = {}
+        for tx in honest:
+            for receiver in self.grid.neighbors(tx.sender):
+                if receiver not in transmitting:
+                    heard.setdefault(receiver, []).append(tx)
+        for tx in byzantine:
+            for receiver in self.grid.neighbors(tx.sender):
+                if receiver not in transmitting:
+                    heard.setdefault(receiver, []).append(tx)
+
+        deliveries: list[Delivery] = []
+        for receiver, txs in heard.items():
+            if len(txs) == 1:
+                tx = txs[0]
+                deliveries.append(
+                    Delivery(receiver, tx.sender, tx.value, tx.kind, corrupted=False)
+                )
+                continue
+            bad_txs = [tx for tx in txs if isinstance(tx, BadTransmission)]
+            if not bad_txs:
+                senders = [self.grid.coord_of(tx.sender) for tx in txs]
+                raise ScheduleConflictError(
+                    f"honest transmissions collided at receiver "
+                    f"{self.grid.coord_of(receiver)}: senders {senders}"
+                )
+            # The adversary owns the collision outcome at this receiver.
+            # Deterministic tie-break: the lowest-id Byzantine transmitter
+            # involved dictates what the receiver perceives.
+            controller = min(bad_txs, key=lambda tx: tx.sender)
+            if controller.silence_at_collision:
+                continue  # receiver hears nothing and notices nothing
+            apparent_sender = (
+                controller.spoof_sender
+                if controller.spoof_sender is not None
+                else controller.sender
+            )
+            deliveries.append(
+                Delivery(
+                    receiver,
+                    apparent_sender,
+                    controller.value,
+                    controller.kind,
+                    corrupted=True,
+                )
+            )
+        deliveries.sort(key=lambda d: (d.receiver, d.sender))
+        return deliveries

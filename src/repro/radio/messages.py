@@ -1,0 +1,62 @@
+"""Message and transmission types for the slotted radio.
+
+A *transmission* is one local broadcast occupying one slot. Honest nodes
+send plain :class:`Transmission` objects carrying a protocol value; bad
+nodes send :class:`BadTransmission` objects which additionally specify the
+outcome they impose on receivers caught in a collision (the paper allows
+the adversary to make a collision look like a wrong message *or* like
+silence, indistinguishably).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.types import NodeId, Value
+
+
+class MessageKind(enum.Enum):
+    """Protocol-level message kinds.
+
+    ``DATA`` carries a broadcast value. ``NACK`` is the negative
+    acknowledgement of the Section-5 reactive local broadcast; it costs a
+    transmission like any other message.
+    """
+
+    DATA = "data"
+    NACK = "nack"
+
+
+@dataclass(frozen=True, slots=True)
+class Transmission:
+    """An honest local broadcast."""
+
+    sender: NodeId
+    value: Value
+    kind: MessageKind = MessageKind.DATA
+
+
+@dataclass(frozen=True, slots=True)
+class BadTransmission:
+    """A Byzantine local broadcast.
+
+    ``value`` is what a receiver hears when this is the only in-range
+    transmission (a plain lie). When this transmission collides with
+    another at some receiver, that receiver instead gets ``value`` as a
+    spoofed message, or nothing at all if ``silence_at_collision`` — the
+    receiver cannot tell either apart from a normal reception / absence.
+
+    Without cryptography nothing authenticates the origin of a garbled
+    signal, so at a collision the adversary may also choose whom the
+    spoofed message *appears* to come from (``spoof_sender``; defaults to
+    the Byzantine sender itself). Value-threshold protocols (§3-§4) ignore
+    sender identity, but this power is what defeats naive certified
+    propagation and motivates the §5 integrity code.
+    """
+
+    sender: NodeId
+    value: Value
+    silence_at_collision: bool = False
+    kind: MessageKind = MessageKind.DATA
+    spoof_sender: NodeId | None = None

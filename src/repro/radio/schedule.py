@@ -1,0 +1,71 @@
+"""Collision-free TDMA schedule.
+
+The paper assumes "a pre-determined time-slotted schedule such that if all
+nodes follow the schedule then no collision will occur". On a grid with
+L∞ radius ``r`` the canonical such schedule is a spatial coloring: node
+``(x, y)`` owns slot ``(x mod (2r+1)) + (2r+1) * (y mod (2r+1))`` within a
+period of ``(2r+1)^2`` slots. Two nodes sharing a slot are at least
+``2r+1`` apart on each wrapped axis, hence have no common neighbor, so
+their concurrent transmissions cannot collide anywhere.
+
+(This is why toroidal grids must have dimensions divisible by ``2r+1`` —
+otherwise the coloring would break across the wrap seam.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleConflictError
+from repro.network.grid import Grid
+from repro.types import NodeId
+
+
+class TdmaSchedule:
+    """Spatial-coloring TDMA schedule for a grid."""
+
+    def __init__(self, grid: Grid) -> None:
+        self.grid = grid
+        side = 2 * grid.r + 1
+        self.side = side
+        self.period = side * side
+        width = grid.width
+        self._slot_of: list[int] = [
+            (node_id % width) % side + side * ((node_id // width) % side)
+            for node_id in range(grid.n)
+        ]
+
+    def slot_of(self, node_id: NodeId) -> int:
+        """The slot index (within the period) owned by a node."""
+        return self._slot_of[node_id]
+
+    def owners(self, slot: int) -> list[NodeId]:
+        """All nodes owning a slot (useful for tests; O(n))."""
+        if not 0 <= slot < self.period:
+            raise ScheduleConflictError(f"slot {slot} outside period {self.period}")
+        return [nid for nid in self.grid.all_ids() if self._slot_of[nid] == slot]
+
+    def verify_collision_free(self) -> None:
+        """Check no two same-slot nodes share a neighbor (O(n * (4r+1)^2)).
+
+        Raises :class:`ScheduleConflictError` on violation. Used by tests
+        and by :class:`~repro.radio.mac.RoundDriver` in paranoid mode.
+        """
+        grid = self.grid
+        interference = 2 * grid.r  # senders share a receiver iff within 2r
+        for node_id in grid.all_ids():
+            x, y = grid.coord_of(node_id)
+            for dy in range(-interference, interference + 1):
+                for dx in range(-interference, interference + 1):
+                    if dx == 0 and dy == 0:
+                        continue
+                    if grid.torus:
+                        other = grid.id_of((x + dx, y + dy))
+                    else:
+                        ox, oy = x + dx, y + dy
+                        if not (0 <= ox < grid.width and 0 <= oy < grid.height):
+                            continue
+                        other = grid.id_of((ox, oy))
+                    if other != node_id and self._slot_of[other] == self._slot_of[node_id]:
+                        raise ScheduleConflictError(
+                            f"nodes {grid.coord_of(node_id)} and {grid.coord_of(other)} "
+                            f"share slot {self._slot_of[node_id]} within interference range"
+                        )

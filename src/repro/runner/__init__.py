@@ -1,0 +1,22 @@
+"""Scenario assembly, end-to-end runs, sweeps, and report formatting."""
+
+from repro.runner.broadcast_run import (
+    BroadcastReport,
+    ReactiveRunConfig,
+    ThresholdRunConfig,
+    run_reactive_broadcast,
+    run_threshold_broadcast,
+)
+from repro.runner.report import format_table
+from repro.runner.sweep import SweepResult, sweep
+
+__all__ = [
+    "BroadcastReport",
+    "ReactiveRunConfig",
+    "ThresholdRunConfig",
+    "run_reactive_broadcast",
+    "run_threshold_broadcast",
+    "format_table",
+    "SweepResult",
+    "sweep",
+]

@@ -1,0 +1,44 @@
+"""Plain-text table formatting for experiment and benchmark output.
+
+Experiments print the same rows the paper's analysis predicts; a tiny
+formatter keeps that output dependency-free and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], *, title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_render(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(part.ljust(width) for part, width in zip(parts, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * width for width in widths]))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)

@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate.
+
+A small, dependency-free discrete-event engine in the style of SimPy:
+
+- :class:`~repro.sim.engine.Simulator` — event heap + virtual clock;
+- :class:`~repro.sim.process.Process` — generator-based cooperative
+  processes (``yield delay`` / ``yield event``);
+- :mod:`~repro.sim.rng` — deterministic seeded random streams, one
+  independent substream per named component;
+- :mod:`~repro.sim.trace` — structured event tracing for debugging and
+  for experiment reports.
+
+The slotted-radio layers of this package are driven either directly by the
+engine or by the specialised round loop in :mod:`repro.radio.mac`, which is
+faster for dense TDMA workloads; both share these primitives.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.process import Process, Timeout
+from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Process",
+    "Timeout",
+    "RngRegistry",
+    "derive_seed",
+    "TraceEvent",
+    "Tracer",
+]

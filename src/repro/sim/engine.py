@@ -1,0 +1,194 @@
+"""Core discrete-event engine.
+
+The engine is deliberately minimal: a priority queue of timestamped
+events, a virtual clock, and callback scheduling. Determinism is a hard
+requirement for reproducible experiments, so ties in time are broken by a
+monotonically increasing sequence number (insertion order), never by
+object identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+Callback = Callable[["Event"], None]
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A one-shot occurrence with an optional payload and callbacks.
+
+    Events are created through :meth:`Simulator.schedule` (already timed)
+    or :meth:`Simulator.event` (untimed; trigger later). Callbacks added
+    after the event has fired run immediately — this removes a classic
+    race in callback-style simulation code.
+    """
+
+    __slots__ = ("sim", "name", "payload", "_callbacks", "_fired", "_cancelled")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.payload: Any = None
+        self._callbacks: list[Callback] = []
+        self._fired = False
+        self._cancelled = False
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def add_callback(self, callback: Callback) -> None:
+        if self._fired:
+            callback(self)
+            return
+        self._callbacks.append(callback)
+
+    def cancel(self) -> None:
+        """Prevent a scheduled event from firing (idempotent)."""
+        if self._fired:
+            raise SimulationError(f"cannot cancel already-fired event {self.name!r}")
+        self._cancelled = True
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self._fired else ("cancelled" if self._cancelled else "pending")
+        return f"<Event {self.name!r} {state}>"
+
+
+class Simulator:
+    """Event heap plus virtual clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(5.0, lambda ev: print("at", sim.now))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events fired so far (for diagnostics and tests)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for entry in self._heap if not entry.event.cancelled)
+
+    def event(self, name: str = "") -> Event:
+        """Create an untimed event, to be triggered via :meth:`trigger`."""
+        return Event(self, name)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callback | None = None,
+        *,
+        name: str = "",
+        payload: Any = None,
+    ) -> Event:
+        """Schedule a new event ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self, name)
+        event.payload = payload
+        if callback is not None:
+            event.add_callback(callback)
+        heapq.heappush(self._heap, _QueueEntry(self._now + delay, next(self._seq), event))
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callback | None = None,
+        *,
+        name: str = "",
+        payload: Any = None,
+    ) -> Event:
+        """Schedule a new event at absolute virtual time ``time``."""
+        return self.schedule(time - self._now, callback, name=name, payload=payload)
+
+    def trigger(self, event: Event, delay: float = 0.0, payload: Any = None) -> None:
+        """Arrange for an untimed event to fire ``delay`` from now."""
+        if payload is not None:
+            event.payload = payload
+        if delay < 0:
+            raise SimulationError(f"cannot trigger into the past (delay={delay})")
+        heapq.heappush(self._heap, _QueueEntry(self._now + delay, next(self._seq), event))
+
+    def step(self) -> bool:
+        """Fire the next pending event. Returns False if the heap is empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.event.cancelled:
+                continue
+            if entry.time < self._now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self._now = entry.time
+            self._processed += 1
+            entry.event._fire()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run until the heap drains, ``until`` is reached, or ``max_events``.
+
+        Returns the virtual time at which the run stopped.
+        """
+        fired = 0
+        while self._heap:
+            if max_events is not None and fired >= max_events:
+                break
+            next_time = self._peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            if self.step():
+                fired += 1
+        if until is not None and self._now < until and not self._heap:
+            self._now = until
+        return self._now
+
+    def _peek_time(self) -> float | None:
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

@@ -1,0 +1,79 @@
+"""Structured tracing for simulations.
+
+Protocol/adversary/radio layers emit :class:`TraceEvent` records through a
+shared :class:`Tracer`. Tracing is off by default (zero overhead beyond a
+boolean check) and is used by tests to assert fine-grained behavior (for
+example, that a jam was charged to the right bad node) and by experiment
+reports to reconstruct propagation timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One traced occurrence.
+
+    ``kind`` is a short dotted tag such as ``"radio.deliver"`` or
+    ``"adversary.jam"``; ``time`` is (round, slot) or engine time depending
+    on the emitting layer; ``data`` carries kind-specific fields.
+    """
+
+    kind: str
+    time: Any
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects trace events, optionally filtered by kind prefix."""
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        *,
+        keep: Callable[[TraceEvent], bool] | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+        self._keep = keep
+        self._max_events = max_events
+        self.dropped = 0
+
+    def emit(self, kind: str, time: Any, **data: Any) -> None:
+        if not self.enabled:
+            return
+        event = TraceEvent(kind, time, data)
+        if self._keep is not None and not self._keep(event):
+            return
+        if self._max_events is not None and len(self.events) >= self._max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def of_kind(self, prefix: str) -> list[TraceEvent]:
+        """All collected events whose kind equals or starts with ``prefix.``."""
+        return [
+            event
+            for event in self.events
+            if event.kind == prefix or event.kind.startswith(prefix + ".")
+        ]
+
+    def count(self, prefix: str) -> int:
+        return len(self.of_kind(prefix))
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    @staticmethod
+    def kinds(events: Iterable[TraceEvent]) -> list[str]:
+        return [event.kind for event in events]
+
+
+#: A process-wide tracer that stays disabled; layers default to this so
+#: call sites never need ``if tracer is not None`` checks.
+NULL_TRACER = Tracer(enabled=False)

@@ -1,0 +1,53 @@
+"""Shared primitive types used across the package.
+
+The simulator identifies nodes by dense integer ids (row-major index into
+the grid) for speed, and exposes coordinate tuples at API boundaries where
+readability matters (placements, experiment reports).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TypeAlias
+
+NodeId: TypeAlias = int
+Coord: TypeAlias = tuple[int, int]
+
+#: Protocol payloads are small integers; the convention throughout the
+#: package is that :data:`VTRUE` is the source's value and anything else is
+#: a wrong value an adversary may try to plant.
+Value: TypeAlias = int
+
+VTRUE: Value = 1
+VFALSE: Value = 0
+
+
+class Role(enum.Enum):
+    """Role of a node in a scenario."""
+
+    SOURCE = "source"
+    GOOD = "good"
+    BAD = "bad"
+
+    @property
+    def is_honest(self) -> bool:
+        return self is not Role.BAD
+
+
+@dataclass(frozen=True, slots=True)
+class SlotTime:
+    """A point in slotted time: TDMA round number plus slot index within it.
+
+    Ordering is lexicographic, which equals chronological order because all
+    rounds have the same number of slots.
+    """
+
+    round: int
+    slot: int
+
+    def __lt__(self, other: "SlotTime") -> bool:
+        return (self.round, self.slot) < (other.round, other.slot)
+
+    def __le__(self, other: "SlotTime") -> bool:
+        return (self.round, self.slot) <= (other.round, other.slot)

@@ -1,0 +1,144 @@
+"""Tests for bad-node placements (all must be locally bounded)."""
+
+import pytest
+
+from repro.adversary.placement import (
+    CombinedPlacement,
+    LatticePlacement,
+    RandomPlacement,
+    StripePlacement,
+    two_stripe_band,
+)
+from repro.errors import PlacementError
+from repro.network.grid import Grid, GridSpec
+from repro.network.node import NodeTable
+
+
+def make_grid(width=30, height=30, r=2):
+    return Grid(GridSpec(width, height, r=r, torus=True))
+
+
+class TestStripePlacement:
+    def test_count_per_window(self):
+        grid = make_grid()
+        bad = StripePlacement(y0=8, t=2).bad_ids(grid, source=0)
+        # 30 / (2r+1) = 6 windows, t = 2 each.
+        assert len(bad) == 12
+
+    def test_exactly_t_in_any_sliding_window(self):
+        grid = make_grid()
+        t = 3
+        bad = StripePlacement(y0=8, t=t).bad_ids(grid, source=0)
+        table = NodeTable(grid, source=0, bad=bad)
+        table.validate_locally_bounded(t)
+        # The window containing stripe rows sees exactly t (not fewer):
+        # check neighborhoods centered one row above the stripe top.
+        for x in range(grid.width):
+            center = grid.id_of((x, 8 + grid.r))
+            assert table.bad_in_neighborhood(center) == t
+
+    def test_fills_row_facing_victims(self):
+        grid = make_grid()
+        bad_above = StripePlacement(y0=8, t=1, victims_above=True).bad_ids(grid, 0)
+        rows = {grid.coord_of(b)[1] for b in bad_above}
+        assert rows == {8 + grid.r - 1}  # top stripe row
+        bad_below = StripePlacement(y0=8, t=1, victims_above=False).bad_ids(grid, 0)
+        rows = {grid.coord_of(b)[1] for b in bad_below}
+        assert rows == {8}
+
+    def test_multi_row_fill_when_t_exceeds_width(self):
+        grid = make_grid()
+        t = 7  # > 2r+1 = 5: spills into a second row
+        bad = StripePlacement(y0=8, t=t).bad_ids(grid, 0)
+        rows = {grid.coord_of(b)[1] for b in bad}
+        assert rows == {9, 8}
+
+    def test_t_too_large_rejected(self):
+        grid = make_grid()
+        with pytest.raises(PlacementError):
+            StripePlacement(y0=8, t=11).bad_ids(grid, 0)  # > r(2r+1)
+
+    def test_source_in_stripe_rejected(self):
+        grid = make_grid()
+        with pytest.raises(PlacementError):
+            StripePlacement(y0=0, t=5, victims_above=False).bad_ids(grid, 0)
+
+
+class TestTwoStripeBand:
+    def test_band_rows_and_local_bound(self):
+        grid = make_grid()
+        placement, band = two_stripe_band(grid, t=2, band_height=6, below_y0=8)
+        assert list(band) == list(range(10, 16))
+        bad = placement.bad_ids(grid, 0)
+        NodeTable(grid, 0, bad).validate_locally_bounded(2)
+
+    def test_band_too_thin_rejected(self):
+        grid = make_grid()
+        with pytest.raises(PlacementError):
+            two_stripe_band(grid, t=1, band_height=2, below_y0=8)
+
+
+class TestLatticePlacement:
+    def test_every_neighborhood_has_exactly_cluster_bad(self):
+        grid = make_grid(r=2)
+        bad = LatticePlacement(x0=2, y0=2, cluster=1).bad_ids(grid, 0)
+        table = NodeTable(grid, 0, bad)
+        for nid in grid.all_ids():
+            assert table.bad_in_neighborhood(nid) == 1
+
+    def test_cluster_two(self):
+        grid = make_grid(r=2)
+        bad = LatticePlacement(x0=2, y0=2, cluster=2).bad_ids(grid, 0)
+        table = NodeTable(grid, 0, bad)
+        assert table.max_bad_per_neighborhood() == 2
+        table.validate_locally_bounded(2)
+
+    def test_source_on_lattice_rejected(self):
+        grid = make_grid(r=2)
+        with pytest.raises(PlacementError):
+            LatticePlacement(x0=0, y0=0).bad_ids(grid, 0)
+
+    def test_dimensions_must_divide(self):
+        grid = Grid(GridSpec(30, 30, r=2, torus=False))  # 30 % 5 == 0: fine
+        LatticePlacement(x0=2, y0=2).bad_ids(grid, 0)
+        ragged = Grid(GridSpec(31, 30, r=2, torus=False))
+        with pytest.raises(PlacementError):
+            LatticePlacement(x0=2, y0=2).bad_ids(ragged, 0)
+
+
+class TestRandomPlacement:
+    def test_deterministic_given_seed(self):
+        grid = make_grid()
+        a = RandomPlacement(t=2, count=15, seed=3).bad_ids(grid, 0)
+        b = RandomPlacement(t=2, count=15, seed=3).bad_ids(grid, 0)
+        assert a == b
+
+    def test_respects_local_bound(self):
+        grid = make_grid()
+        bad = RandomPlacement(t=1, count=50, seed=1).bad_ids(grid, 0)
+        NodeTable(grid, 0, bad).validate_locally_bounded(1)
+
+    def test_never_includes_source(self):
+        grid = make_grid()
+        for seed in range(5):
+            assert 0 not in RandomPlacement(t=3, count=100, seed=seed).bad_ids(grid, 0)
+
+    def test_count_reached_when_feasible(self):
+        grid = make_grid()
+        bad = RandomPlacement(t=2, count=10, seed=0).bad_ids(grid, 0)
+        assert len(bad) == 10
+
+
+class TestCombinedPlacement:
+    def test_union(self):
+        grid = make_grid()
+        p1 = StripePlacement(y0=8, t=1)
+        p2 = StripePlacement(y0=20, t=1)
+        combined = CombinedPlacement((p1, p2)).bad_ids(grid, 0)
+        assert combined == p1.bad_ids(grid, 0) | p2.bad_ids(grid, 0)
+
+    def test_overlap_rejected(self):
+        grid = make_grid()
+        p = StripePlacement(y0=8, t=1)
+        with pytest.raises(PlacementError):
+            CombinedPlacement((p, p)).bad_ids(grid, 0)

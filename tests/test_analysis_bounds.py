@@ -1,0 +1,162 @@
+"""Tests for the closed-form bounds (Theorem 1/2/4, Corollary 1)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.bounds import (
+    accept_threshold,
+    budget_ratio_vs_koo,
+    corollary1_max_tolerable_t,
+    corollary1_min_breakable_t,
+    half_neighborhood,
+    koo_budget,
+    m0,
+    max_locally_bounded_t,
+    max_reactive_t,
+    protocol_b_relay_count,
+    source_send_count,
+    theorem4_budget,
+    uncertain_region,
+    validate_t,
+)
+from repro.errors import ConfigurationError
+
+params = st.tuples(
+    st.integers(1, 6),  # r
+    st.integers(0, 40),  # t (validated against r below)
+    st.integers(0, 200),  # mf
+)
+
+
+def valid(r, t, mf):
+    return t < half_neighborhood(r)
+
+
+class TestM0:
+    def test_figure2_value(self):
+        assert m0(4, 1, 1000) == 58  # the paper's worked example
+
+    def test_small_cases(self):
+        assert m0(1, 1, 1) == 2  # ceil(3/2)
+        assert m0(2, 2, 2) == 2  # ceil(9/8)
+        assert m0(2, 2, 3) == 2  # ceil(13/8)
+
+    def test_zero_t_gives_one(self):
+        assert m0(2, 0, 100) == 1  # ceil(1/10)
+
+    @given(params)
+    def test_exact_ceiling(self, p):
+        r, t, mf = p
+        if not valid(r, t, mf):
+            return
+        value = m0(r, t, mf)
+        denom = half_neighborhood(r) - t
+        assert value == math.ceil((2 * t * mf + 1) / denom)
+
+    def test_t_at_model_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            m0(1, 3, 1)  # t = r(2r+1)
+
+    def test_negative_mf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            m0(1, 1, -1)
+
+
+class TestDerivedQuantities:
+    def test_thresholds(self):
+        assert accept_threshold(2, 3) == 7
+        assert source_send_count(2, 3) == 13
+        assert koo_budget(1, 1000) == 2001
+
+    def test_relay_count_figure2(self):
+        # ceil(2001 / ceil(35/2)) = ceil(2001/18) = 112
+        assert protocol_b_relay_count(4, 1, 1000) == 112
+
+    @given(params)
+    def test_relay_count_at_most_twice_m0(self, p):
+        r, t, mf = p
+        if not valid(r, t, mf):
+            return
+        assert protocol_b_relay_count(r, t, mf) <= 2 * m0(r, t, mf)
+
+    @given(params)
+    def test_koo_ratio_tracks_half_window(self, p):
+        r, t, mf = p
+        if not valid(r, t, mf) or t == 0 or mf == 0:
+            return
+        ratio = budget_ratio_vs_koo(r, t, mf)
+        paper = (half_neighborhood(r) - t) / 2
+        # Exact up to ceiling effects; never more than the paper's factor + 1.
+        assert ratio <= paper + 1
+
+    def test_model_limits(self):
+        assert max_locally_bounded_t(2) == 9
+        assert max_reactive_t(2) == 4  # ceil(10/2) - 1
+        assert max_reactive_t(1) == 1
+
+    def test_uncertain_region(self):
+        low, high = uncertain_region(2, 2, 3)
+        assert (low, high) == (2, 4)
+
+
+class TestCorollary1:
+    @given(st.integers(1, 4), st.integers(1, 60), st.integers(0, 50))
+    def test_breakable_iff_m_below_m0(self, r, m, mf):
+        """Corollary 1's impossibility curve is exactly m < m0(t)."""
+        t_break = corollary1_min_breakable_t(r, m, mf)
+        for t in range(0, min(t_break + 3, half_neighborhood(r))):
+            if t < t_break:
+                assert m >= m0(r, t, mf)
+            else:
+                assert m < m0(r, t, mf)
+
+    @given(st.integers(1, 4), st.integers(1, 60), st.integers(0, 50))
+    def test_tolerable_implies_real_valued_budget_condition(self, r, m, mf):
+        """The possibility side implies ``m >= 2*(2tmf+1)/(r(2r+1)-t)``.
+
+        Note this is the *real-valued* form: the paper's Corollary 1 drops
+        Theorem 2's ceiling, so a tolerable point can sit up to one unit
+        below ``2 * m0`` (integer) — a documented ceiling slop.
+        """
+        t_ok = corollary1_max_tolerable_t(r, m, mf)
+        for t in range(0, min(t_ok + 1, half_neighborhood(r))):
+            denom = half_neighborhood(r) - t
+            assert m * denom >= 2 * (2 * t * mf + 1)
+            assert m >= 2 * m0(r, t, mf) - 1
+
+    @given(st.integers(1, 4), st.integers(1, 60), st.integers(0, 50))
+    def test_tolerable_below_breakable(self, r, m, mf):
+        assert corollary1_max_tolerable_t(r, m, mf) < corollary1_min_breakable_t(
+            r, m, mf
+        )
+
+    def test_invalid_m_rejected(self):
+        with pytest.raises(ConfigurationError):
+            corollary1_min_breakable_t(2, 0, 5)
+
+
+class TestTheorem4:
+    def test_formula(self):
+        value = theorem4_budget(t=2, mf=3, n=1024, mmax=2**20, k=64)
+        sub_bits = 2 * 10 + 1 + 20
+        k_factor = 64 + 2 * 6 + 2
+        assert value == pytest.approx(2 * 7 * sub_bits * k_factor)
+
+    def test_exact_k_terms_smaller(self):
+        loose = theorem4_budget(t=1, mf=2, n=324, mmax=10**6, k=64)
+        exact = theorem4_budget(t=1, mf=2, n=324, mmax=10**6, k=64, exact_k_terms=True)
+        assert exact <= loose
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theorem4_budget(t=0, mf=1, n=10, mmax=10, k=8)
+
+
+def test_validate_t_bounds():
+    validate_t(2, 9)
+    with pytest.raises(ConfigurationError):
+        validate_t(2, 10)
+    with pytest.raises(ConfigurationError):
+        validate_t(2, -1)

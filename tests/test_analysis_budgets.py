@@ -1,0 +1,75 @@
+"""Tests for budget assignments (homogeneous / heterogeneous cross)."""
+
+from repro.analysis.bounds import m0, protocol_b_relay_count
+from repro.analysis.budgets import heterogeneous_assignment, homogeneous_assignment
+from repro.network.grid import Grid, GridSpec
+
+
+def make_grid(width=30, r=2):
+    return Grid(GridSpec(width, width, r=r, torus=True))
+
+
+class TestHomogeneous:
+    def test_everyone_gets_m(self):
+        grid = make_grid()
+        assignment = homogeneous_assignment(grid, source=0, m=5)
+        assert assignment.budget_of(1) == 5
+        assert assignment.average == 5.0
+        assert assignment.maximum == 5
+        assert assignment.privileged == frozenset()
+
+    def test_source_unbounded(self):
+        grid = make_grid()
+        assignment = homogeneous_assignment(grid, source=0, m=5)
+        assert assignment.budget_of(0) is None
+        assert assignment.overrides()[0] is None
+
+
+class TestHeterogeneous:
+    def test_cross_gets_m_prime_rest_m0(self):
+        grid = make_grid()
+        t, mf = 2, 3
+        assignment = heterogeneous_assignment(grid, 0, t, mf)
+        low = m0(2, t, mf)
+        high = protocol_b_relay_count(2, t, mf)
+        on_axis = grid.id_of((7, 1))  # |y| <= r
+        off_axis = grid.id_of((7, 7))
+        assert assignment.budget_of(on_axis) == high
+        assert assignment.budget_of(off_axis) == low
+        assert on_axis in assignment.privileged
+        assert off_axis not in assignment.privileged
+
+    def test_cross_wraps_on_torus(self):
+        grid = make_grid()
+        assignment = heterogeneous_assignment(grid, 0, 2, 3)
+        wrapped = grid.id_of((29, 7))  # x = -1: within r of the y-axis
+        assert wrapped in assignment.privileged
+
+    def test_cross_size_scales_linearly_with_grid(self):
+        small = heterogeneous_assignment(make_grid(30), 0, 2, 3)
+        large = heterogeneous_assignment(make_grid(60), 0, 2, 3)
+        # Cross = two arms of width 2r+1 minus the overlap square.
+        def expected(width, r=2):
+            side = 2 * r + 1
+            return 2 * side * width - side * side
+
+        assert len(small.privileged) == expected(30)
+        assert len(large.privileged) == expected(60)
+
+    def test_average_between_m0_and_m_prime(self):
+        grid = make_grid(60)
+        t, mf = 2, 3
+        assignment = heterogeneous_assignment(grid, 0, t, mf)
+        assert m0(2, t, mf) < assignment.average < protocol_b_relay_count(2, t, mf)
+
+    def test_average_approaches_m0_with_growth(self):
+        t, mf = 2, 3
+        small = heterogeneous_assignment(make_grid(30), 0, t, mf)
+        large = heterogeneous_assignment(make_grid(90), 0, t, mf)
+        assert large.average < small.average
+
+    def test_overrides_cover_all_nodes(self):
+        grid = make_grid()
+        assignment = heterogeneous_assignment(grid, 0, 2, 3)
+        overrides = assignment.overrides()
+        assert len(overrides) == grid.n

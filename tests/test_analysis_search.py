@@ -1,0 +1,56 @@
+"""Tests for the minimum-budget bisection."""
+
+import pytest
+
+from repro.adversary.placement import two_stripe_band
+from repro.analysis.bounds import m0
+from repro.analysis.search import find_min_working_budget
+from repro.errors import ConfigurationError
+from repro.network.grid import Grid, GridSpec
+from repro.runner.broadcast_run import ThresholdRunConfig
+
+
+def make_base(t=2, mf=3):
+    spec = GridSpec(width=30, height=30, r=2, torus=True)
+    grid = Grid(spec)
+    placement, band_rows = two_stripe_band(grid, t=t, band_height=6, below_y0=8)
+    band = [grid.id_of((x, y)) for y in band_rows for x in range(30)]
+    return ThresholdRunConfig(
+        spec=spec,
+        t=t,
+        mf=mf,
+        placement=placement,
+        protocol="b",
+        protected=band,
+        batch_per_slot=8,
+    )
+
+
+def test_finds_the_stripe_frontier():
+    # r=2, t=2, mf=3: m=1 fails (E1), m=2=m0 succeeds under the stripe.
+    base = make_base()
+    result = find_min_working_budget(base, low=1, high=2 * m0(2, 2, 3))
+    assert result.min_working_m == 2
+    assert result.max_failing_m == 1
+    # Bisection on [1, 4] costs at most 4 evaluations.
+    assert result.evaluations <= 4
+
+
+def test_low_already_working_short_circuits():
+    base = make_base(t=1, mf=1)  # m0 = 1: even m=1 succeeds
+    result = find_min_working_budget(base, low=1, high=2)
+    assert result.min_working_m == 1
+    assert result.max_failing_m is None
+    assert result.evaluations == 2  # top check + low check
+
+
+def test_failing_top_rejected():
+    base = make_base()
+    with pytest.raises(ConfigurationError):
+        find_min_working_budget(base, low=1, high=1)
+
+
+def test_invalid_bracket_rejected():
+    base = make_base()
+    with pytest.raises(ConfigurationError):
+        find_min_working_budget(base, low=3, high=2)

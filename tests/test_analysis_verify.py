@@ -1,0 +1,77 @@
+"""Tests for outcome collection and verification helpers."""
+
+from repro.analysis.verify import (
+    check_broadcast,
+    collect_costs,
+    collect_outcome,
+    decisions_table,
+)
+from repro.network.grid import Grid, GridSpec
+from repro.network.node import NodeTable
+from repro.radio.budget import BudgetLedger
+from repro.radio.mac import RunStats
+
+
+class StubNode:
+    def __init__(self, decided=False, value=None, decide_round=None):
+        self.decided = decided
+        self.accepted_value = value
+        self.decide_round = decide_round
+
+
+def make_world(bad=()):
+    grid = Grid(GridSpec(6, 6, r=1, torus=True))
+    table = NodeTable(grid, source=0, bad=set(bad))
+    return grid, table
+
+
+def test_collect_outcome_counts():
+    grid, table = make_world(bad=[10])
+    nodes = {nid: StubNode() for nid in table.good_ids}
+    nodes[1] = StubNode(decided=True, value=1)
+    nodes[2] = StubNode(decided=True, value=1)
+    nodes[3] = StubNode(decided=True, value=0)  # wrong
+    stats = RunStats(rounds=7, quiescent=True)
+    outcome = collect_outcome(table, nodes, stats, vtrue=1)
+    assert outcome.total_good == 34  # 36 - source - 1 bad
+    assert outcome.decided_good == 3
+    assert outcome.correct_good == 2
+    assert outcome.wrong_good == 1
+    assert outcome.rounds == 7
+    assert not check_broadcast(outcome)
+
+
+def test_collect_outcome_excludes_source():
+    grid, table = make_world()
+    nodes = {nid: StubNode(decided=True, value=1) for nid in table.good_ids}
+    outcome = collect_outcome(table, nodes, RunStats(quiescent=True), vtrue=1)
+    assert outcome.total_good == 35
+    assert outcome.success
+
+
+def test_collect_costs_split_by_role():
+    grid, table = make_world(bad=[10, 11])
+    ledger = BudgetLedger(grid.n, default_budget=None)
+    ledger.charge(0, count=9)  # source
+    ledger.charge(1, count=2)
+    ledger.charge(2, count=4)
+    ledger.charge(10, count=3)  # bad
+    costs = collect_costs(table, ledger)
+    assert costs.source_sent == 9
+    assert costs.good_total == 6
+    assert costs.good_max == 4
+    assert costs.bad_total == 3
+    assert abs(costs.good_avg - 6 / 33) < 1e-9
+
+
+def test_decisions_table_sorted_and_complete():
+    grid, table = make_world(bad=[10])
+    nodes = {
+        nid: StubNode(decided=True, value=1, decide_round=5)
+        for nid in table.good_ids
+    }
+    records = decisions_table(table, nodes)
+    assert len(records) == 35  # all honest nodes incl. source
+    assert [r.node_id for r in records] == sorted(r.node_id for r in records)
+    assert records[1].decide_round == 5
+    assert records[0].coord == (0, 0)

@@ -1,0 +1,72 @@
+"""Tests for bit-vector helpers."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.bits import (
+    as_bits,
+    bits_from_int,
+    bits_to_int,
+    flips_are_unidirectional,
+    popcount,
+    random_bits,
+)
+from repro.errors import CodingError
+
+
+def test_as_bits_validates():
+    assert as_bits([0, 1, 1]) == (0, 1, 1)
+    with pytest.raises(CodingError):
+        as_bits([0, 2])
+
+
+def test_bits_from_int_examples():
+    assert bits_from_int(5, 4) == (0, 1, 0, 1)
+    assert bits_from_int(0, 3) == (0, 0, 0)
+    assert bits_from_int(7, 3) == (1, 1, 1)
+
+
+def test_bits_from_int_validation():
+    with pytest.raises(CodingError):
+        bits_from_int(-1, 4)
+    with pytest.raises(CodingError):
+        bits_from_int(8, 3)
+    with pytest.raises(CodingError):
+        bits_from_int(0, 0)
+
+
+@given(st.integers(0, 10**9))
+def test_int_roundtrip(value):
+    width = max(1, value.bit_length())
+    assert bits_to_int(bits_from_int(value, width)) == value
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=64))
+def test_popcount_matches_sum(bits):
+    assert popcount(tuple(bits)) == sum(bits)
+
+
+def test_random_bits_deterministic():
+    assert random_bits(16, random.Random(1)) == random_bits(16, random.Random(1))
+    assert len(random_bits(10, random.Random(0))) == 10
+
+
+class TestUnidirectional:
+    def test_pure_01_flips_detected_as_unidirectional(self):
+        assert flips_are_unidirectional((0, 1, 0), (1, 1, 0))
+        assert flips_are_unidirectional((0, 0), (0, 0))
+
+    def test_10_flip_is_not(self):
+        assert not flips_are_unidirectional((1, 0), (0, 0))
+
+    def test_length_mismatch(self):
+        assert not flips_are_unidirectional((1, 0), (1, 0, 0))
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=32))
+    def test_or_mask_always_unidirectional(self, bits):
+        rng = random.Random(7)
+        mask = [rng.getrandbits(1) for _ in bits]
+        tampered = tuple(b | m for b, m in zip(bits, mask))
+        assert flips_are_unidirectional(tuple(bits), tampered)

@@ -1,0 +1,144 @@
+"""Tests for the segment-chain (Berger-style) code of §5."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.bits import popcount, random_bits
+from repro.coding.chain import ChainCode, chain_segment_lengths, demonstrate_all_zero_forgery
+from repro.errors import CodingError
+
+messages = st.lists(st.integers(0, 1), min_size=2, max_size=96).map(tuple)
+
+
+class TestSegmentLengths:
+    def test_paper_recurrence(self):
+        # k_i = floor(log2 k_{i-1}) + 1, closing with two 2-bit segments.
+        assert chain_segment_lengths(8) == [8, 4, 3, 2, 2]
+        assert chain_segment_lengths(4) == [4, 3, 2, 2]
+        assert chain_segment_lengths(64) == [64, 7, 3, 2, 2]
+
+    def test_last_two_segments_are_two_bits(self):
+        for k in (2, 3, 5, 17, 100, 1000):
+            lengths = chain_segment_lengths(k)
+            assert lengths[-2:] == [2, 2]
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(CodingError):
+            chain_segment_lengths(1)
+
+    @given(st.integers(2, 4096))
+    def test_lengths_decrease_monotonically(self, k):
+        lengths = chain_segment_lengths(k)
+        for a, b in zip(lengths, lengths[1:]):
+            assert b <= a
+
+
+class TestEncodeVerifyDecode:
+    @given(messages)
+    def test_roundtrip(self, message):
+        code = ChainCode(len(message))
+        word = code.encode(message)
+        assert code.verify(word)
+        assert code.decode(word) == message
+
+    @given(messages)
+    def test_coded_length_matches(self, message):
+        code = ChainCode(len(message))
+        assert len(code.encode(message)) == code.coded_length
+
+    def test_wrong_message_length_rejected(self):
+        with pytest.raises(CodingError):
+            ChainCode(8).encode((1, 0, 1))
+
+    def test_wrong_codeword_length_fails_verification(self):
+        code = ChainCode(8)
+        assert not code.verify((0, 1) * 3)
+
+    def test_decode_tampered_raises(self):
+        code = ChainCode(8)
+        word = list(code.encode((0,) * 8))
+        word[2] = 1
+        with pytest.raises(CodingError):
+            code.decode(tuple(word))
+
+    def test_segments_count_predecessors(self):
+        code = ChainCode(16)
+        word = code.encode(tuple(random_bits(16, random.Random(0))))
+        segments = code.split_segments(word)
+        from repro.coding.bits import bits_to_int
+
+        for prev, cur in zip(segments, segments[1:]):
+            assert bits_to_int(cur) == popcount(prev)
+
+    def test_sentinel_forces_nonzero_chain(self):
+        # With the sentinel, even the all-zero payload yields final
+        # segment 01 or 10 — the invariant the paper asserts.
+        code = ChainCode(8)
+        word = code.encode((0,) * 8)
+        final = code.split_segments(word)[-1]
+        assert final in ((0, 1), (1, 0))
+
+    @given(messages)
+    def test_final_segment_invariant_for_all_payloads(self, message):
+        code = ChainCode(len(message))
+        final = code.split_segments(code.encode(message))[-1]
+        assert final in ((0, 1), (1, 0))
+
+    def test_sentinel_flip_detected(self):
+        code = ChainCode(8)
+        word = list(code.encode((1,) * 8))
+        # The sentinel is bit 0 and is always 1; an adversary cannot clear
+        # it (unidirectional) — but verify() must also reject a forged
+        # word whose sentinel is 0.
+        word[0] = 0
+        assert not code.verify(tuple(word))
+
+
+class TestUnidirectionalDetection:
+    @settings(max_examples=200)
+    @given(messages, st.data())
+    def test_any_01_flip_pattern_detected(self, message, data):
+        """The central §5 property: every 0→1 tampering is caught."""
+        code = ChainCode(len(message))
+        word = list(code.encode(message))
+        zero_positions = [i for i, bit in enumerate(word) if bit == 0]
+        if not zero_positions:
+            return
+        count = data.draw(st.integers(1, len(zero_positions)))
+        chosen = data.draw(
+            st.lists(
+                st.sampled_from(zero_positions),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+        for position in chosen:
+            word[position] = 1
+        assert not code.verify(tuple(word))
+
+    def test_all_zero_forgery_against_literal_construction(self):
+        """The documented gap: without the sentinel, the all-zero codeword
+        can be forged into a different valid codeword by 0→1 flips."""
+        original, forged = demonstrate_all_zero_forgery(8)
+        literal = ChainCode(8, sentinel=False)
+        assert literal.verify(original)
+        assert literal.verify(forged)
+        assert forged != original
+        assert all(o <= f for o, f in zip(original, forged))
+        assert literal.decode(forged) != literal.decode(original)
+
+    def test_sentinel_closes_the_gap(self):
+        code = ChainCode(8)  # sentinel enabled
+        word = list(code.encode((0,) * 8))
+        # Replay the same cascade the literal forgery used: flip the first
+        # payload bit and the low bit of every count segment.
+        lengths = code.segment_lengths
+        word[1] = 1  # first payload bit (index 0 is the sentinel)
+        index = lengths[0]
+        for length in lengths[1:]:
+            word[index + length - 1] = 1
+            index += length
+        assert not code.verify(tuple(word))

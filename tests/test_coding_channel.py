@@ -1,0 +1,72 @@
+"""Tests for the unidirectional adversarial channel."""
+
+import random
+
+import pytest
+
+from repro.coding.channel import UnidirectionalChannel
+from repro.coding.subbit import SubbitCodec
+from repro.errors import CodingError
+
+
+def make_channel(length=6, seed=0):
+    codec = SubbitCodec(block_length=length, rng=random.Random(seed))
+    return codec, UnidirectionalChannel(codec)
+
+
+def test_no_attack_is_identity():
+    codec, channel = make_channel()
+    signal = codec.encode((1, 0, 1))
+    assert channel.transmit(signal) == signal
+
+
+def test_attack_length_must_match():
+    codec, channel = make_channel()
+    with pytest.raises(CodingError):
+        channel.transmit((0, 1), (1,))
+
+
+def test_inject_attack_always_flips_zero_to_one():
+    codec, channel = make_channel()
+    signal = codec.encode((0, 0))
+    attack = channel.inject_attack(len(signal), block_index=1)
+    received = channel.transmit(signal, attack)
+    assert codec.decode(received) == (0, 1)
+
+
+def test_cancel_attack_rarely_succeeds():
+    codec, channel = make_channel(length=8)
+    rng = random.Random(5)
+    successes = 0
+    trials = 2000
+    for _ in range(trials):
+        signal = codec.encode_bit(1)
+        attack = channel.cancel_attack(len(signal), 0, rng)
+        if codec.decode_block(channel.transmit(signal, attack)) == 0:
+            successes += 1
+    # analytic rate 1/(2^8 - 1) ~ 0.0039; 2000 trials -> ~8 expected.
+    assert successes < 40
+
+
+def test_cancel_attack_on_zero_block_backfires():
+    # Attacking a silent block always creates a u: 0 becomes 1, which the
+    # bit-level chain code then catches — the paper's "nothing to cancel".
+    codec, channel = make_channel()
+    signal = codec.encode_bit(0)
+    rng = random.Random(1)
+    attack = channel.cancel_attack(len(signal), 0, rng)
+    received = channel.transmit(signal, attack)
+    assert codec.decode_block(received) == 1
+
+
+def test_oracle_cancel_flips_one_to_zero():
+    codec, channel = make_channel()
+    signal = codec.encode((1, 1))
+    attack = channel.oracle_cancel_attack(signal, block_index=0)
+    received = channel.transmit(signal, attack)
+    assert codec.decode(received) == (0, 1)
+
+
+def test_xor_algebra():
+    _, channel = make_channel()
+    assert channel.transmit((1, 0, 1, 0), (1, 1, 0, 0)) == (0, 1, 1, 0)

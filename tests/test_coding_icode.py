@@ -1,0 +1,54 @@
+"""Tests for the I-code baseline."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.icode import ICode
+from repro.errors import CodingError
+
+messages = st.lists(st.integers(0, 1), min_size=1, max_size=64).map(tuple)
+
+
+@given(messages)
+def test_roundtrip(message):
+    code = ICode(len(message))
+    word = code.encode(message)
+    assert len(word) == 2 * len(message)
+    assert code.verify(word)
+    assert code.decode(word) == message
+
+
+def test_manchester_pairs():
+    assert ICode(2).encode((1, 0)) == (1, 0, 0, 1)
+
+
+@given(messages, st.data())
+def test_any_unidirectional_flip_detected(message, data):
+    code = ICode(len(message))
+    word = list(code.encode(message))
+    zeros = [i for i, b in enumerate(word) if b == 0]
+    position = data.draw(st.sampled_from(zeros))
+    word[position] = 1
+    assert not code.verify(tuple(word))
+
+
+def test_invalid_positions_identifies_flipped_bit():
+    code = ICode(4)
+    word = list(code.encode((1, 0, 1, 1)))
+    word[2] = 1  # corrupt bit 1's pair (01 -> 11)
+    assert code.invalid_bit_positions(tuple(word)) == [1]
+
+
+def test_wrong_length_fails_verify():
+    assert not ICode(4).verify((1, 0))
+
+
+def test_decode_tampered_raises():
+    code = ICode(2)
+    with pytest.raises(CodingError):
+        code.decode((1, 1, 0, 1))
+
+
+def test_k_must_be_positive():
+    with pytest.raises(CodingError):
+        ICode(0)

@@ -1,0 +1,105 @@
+"""Tests for the faithful sub-bit link layer (DES-driven §5 sessions)."""
+
+import random
+
+import pytest
+
+from repro.coding.chain import ChainCode
+from repro.coding.channel import UnidirectionalChannel
+from repro.coding.linklayer import (
+    CodedLinkSession,
+    LinkAttacker,
+    run_link_session,
+)
+from repro.coding.subbit import SubbitCodec
+from repro.errors import ConfigurationError
+
+
+def make_session(budget=0, n_receivers=4, k=8, L=6, quiet_window=3, seed=0,
+                 inject_fraction=0.5, attack_nacks=True):
+    codec = SubbitCodec(block_length=L, rng=random.Random(seed))
+    attacker = LinkAttacker(
+        channel=UnidirectionalChannel(codec),
+        rng=random.Random(seed + 1),
+        budget=budget,
+        inject_fraction=inject_fraction,
+        attack_nacks=attack_nacks,
+    )
+    return CodedLinkSession(
+        message=tuple(random.Random(seed + 2).getrandbits(1) for _ in range(k)),
+        chain=ChainCode(k),
+        codec=codec,
+        attacker=attacker,
+        n_receivers=n_receivers,
+        quiet_window=quiet_window,
+    )
+
+
+class TestCleanChannel:
+    def test_single_round_delivery(self):
+        session = make_session(budget=0)
+        outcome = session.run()
+        assert outcome.all_delivered
+        assert outcome.data_rounds == 1
+        assert outcome.nack_rounds == 0
+        assert outcome.attacks == 0
+
+    def test_duration_covers_data_plus_quiet_window(self):
+        session = make_session(budget=0, quiet_window=3)
+        outcome = session.run()
+        # 1 data round + 3 quiet rounds, each K*L slots.
+        assert outcome.duration_slots == 4 * session.round_slots
+
+
+class TestUnderAttack:
+    def test_attack_triggers_nacks_and_retransmission(self):
+        session = make_session(budget=1, n_receivers=4)
+        outcome = session.run()
+        assert outcome.all_delivered
+        assert outcome.data_rounds == 2  # original + one retransmission
+        assert outcome.nack_rounds == 4  # every receiver NACKed once
+        assert outcome.attacks >= 1
+
+    def test_data_rounds_bounded_by_attacks_plus_one(self):
+        for seed in range(10):
+            outcome = run_link_session(
+                k=8, block_length=6, n_receivers=4, attacker_budget=4, seed=seed
+            )
+            assert outcome.all_delivered
+            assert outcome.data_rounds <= outcome.attacks + 1
+
+    def test_budget_limits_disruption(self):
+        outcome = run_link_session(
+            k=8, block_length=6, n_receivers=4, attacker_budget=2, seed=3
+        )
+        assert outcome.attacks <= 2 + 0  # data attacks + NACK attacks <= budget
+
+    def test_nack_attacks_do_not_block_recovery(self):
+        # Even when every NACK is attacked, corrupted NACKs still signal
+        # failure and the sender retransmits until the budget is gone.
+        outcome = run_link_session(
+            k=8,
+            block_length=6,
+            n_receivers=3,
+            attacker_budget=6,
+            seed=7,
+            attack_nacks=True,
+        )
+        assert outcome.all_delivered
+
+    def test_injection_only_attacker_always_detected(self):
+        session = make_session(budget=3, inject_fraction=1.0)
+        outcome = session.run()
+        assert outcome.all_delivered
+        assert outcome.undetected_forgeries == 0
+
+
+class TestValidation:
+    def test_at_least_one_receiver_required(self):
+        with pytest.raises(ConfigurationError):
+            make_session(n_receivers=0)
+
+    def test_outcome_counts_receivers(self):
+        outcome = run_link_session(n_receivers=5, attacker_budget=0, seed=1)
+        assert outcome.receivers == 5
+        assert outcome.delivered == 5

@@ -1,0 +1,85 @@
+"""Tests for closed-form coding parameters."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.chain import chain_segment_lengths
+from repro.coding.params import (
+    attack_success_probability,
+    coded_length,
+    coded_length_upper_bound,
+    message_round_slots,
+    quiet_window,
+    subbit_length,
+)
+from repro.errors import ConfigurationError
+
+
+def test_subbit_length_formula():
+    # L = 2 log2 n + log2 t + log2 mmax, rounded up.
+    assert subbit_length(1024, 2, 4) == 2 * 10 + 1 + 2
+    assert subbit_length(2, 1, 1) == 2
+
+
+def test_subbit_length_validation():
+    with pytest.raises(ConfigurationError):
+        subbit_length(0, 1, 1)
+
+
+def test_attack_probability():
+    assert attack_success_probability(1) == 1.0
+    assert attack_success_probability(2) == pytest.approx(1 / 3)
+    assert attack_success_probability(10) == pytest.approx(1 / 1023)
+
+
+def test_attack_probability_meets_paper_target():
+    # 2^-L <= 1/(n^2 t mmax) by construction of L.
+    for n, t, mmax in [(100, 2, 50), (1000, 5, 10**6)]:
+        length = subbit_length(n, t, mmax)
+        assert 2.0**-length <= 1.0 / (n * n * t * mmax)
+
+
+def test_coded_length_matches_chain():
+    for k in (2, 8, 100):
+        assert coded_length(k) == sum(chain_segment_lengths(k))
+    assert coded_length(8, sentinel=True) == sum(chain_segment_lengths(9))
+
+
+@given(st.integers(2, 5000))
+def test_coded_length_asymptotic_bound(k):
+    """K <= k + 2 log2 k + 2 + slack.
+
+    Reproduction note: the paper's bound is violated by a small constant
+    for some k (e.g. k=8 gives K=19 > 16, k=128 gives 147 > 144); it holds
+    with 3 extra bits of slack over the tested range.
+    """
+    assert coded_length(k) <= coded_length_upper_bound(k) + 3
+
+
+def test_coded_length_paper_bound_exceptions():
+    # Documented: the literal bound fails at k=8 and k=128.
+    assert coded_length(8) == 19 > coded_length_upper_bound(8)
+    assert coded_length(128) == 147 > coded_length_upper_bound(128)
+    # ...and holds at k=64 and k=1024.
+    assert coded_length(64) <= coded_length_upper_bound(64)
+    assert coded_length(1024) <= coded_length_upper_bound(1024)
+
+
+def test_message_round_slots():
+    assert message_round_slots(64, 324, 1, 10**6) == coded_length(64) * subbit_length(
+        324, 1, 10**6
+    )
+
+
+def test_quiet_window():
+    assert quiet_window(1) == 8
+    assert quiet_window(2) == 24
+    with pytest.raises(ConfigurationError):
+        quiet_window(0)
+
+
+def test_chain_shorter_than_icode_for_k_at_least_16():
+    for k in (16, 32, 64, 1024):
+        assert coded_length(k) < 2 * k

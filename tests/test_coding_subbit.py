@@ -1,0 +1,69 @@
+"""Tests for the sub-bit layer."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.subbit import SubbitCodec
+from repro.errors import CodingError
+
+
+def codec(length=6, seed=0):
+    return SubbitCodec(block_length=length, rng=random.Random(seed))
+
+
+def test_zero_bit_is_all_silent():
+    assert codec().encode_bit(0) == (0,) * 6
+
+
+def test_one_bit_is_never_all_silent():
+    c = codec()
+    for _ in range(200):
+        block = c.encode_bit(1)
+        assert any(block)
+        assert len(block) == 6
+
+
+def test_invalid_bit_rejected():
+    with pytest.raises(CodingError):
+        codec().encode_bit(2)
+
+
+def test_block_length_validation():
+    with pytest.raises(CodingError):
+        SubbitCodec(block_length=0, rng=random.Random(0))
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=32).map(tuple))
+def test_encode_decode_roundtrip(bits):
+    c = codec(length=5, seed=42)
+    assert c.decode(c.encode(bits)) == bits
+
+
+def test_decode_block_rules():
+    c = codec(length=4)
+    assert c.decode_block((0, 0, 0, 0)) == 0
+    assert c.decode_block((0, 0, 1, 0)) == 1
+    with pytest.raises(CodingError):
+        c.decode_block((0, 0))
+
+
+def test_decode_rejects_ragged_signal():
+    c = codec(length=4)
+    with pytest.raises(CodingError):
+        c.decode((0, 0, 0))
+
+
+def test_blocks_split():
+    c = codec(length=3)
+    signal = c.encode((1, 0))
+    blocks = c.blocks(signal)
+    assert len(blocks) == 2
+    assert blocks[1] == (0, 0, 0)
+
+
+def test_deterministic_given_rng():
+    a = SubbitCodec(5, random.Random(9)).encode((1, 1, 0))
+    b = SubbitCodec(5, random.Random(9)).encode((1, 1, 0))
+    assert a == b

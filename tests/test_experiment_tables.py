@@ -1,0 +1,90 @@
+"""Smoke tests: every experiment's table() renders its paper quantities.
+
+These guard the report layer — a broken column or a renamed field in a
+result dataclass would silently corrupt EXPERIMENTS.md regeneration.
+"""
+
+from repro.experiments import (
+    e1_impossibility,
+    e3_protocol_b,
+    e4_koo_comparison,
+    e5_heterogeneous,
+    e6_coding,
+    e8_corollary1,
+    e10_uncertain_region,
+    e11_refined_coding_cost,
+    e12_probabilistic_failures,
+    e13_subbit_link,
+)
+
+
+def test_e1_table_mentions_regions():
+    result = e1_impossibility.run_impossibility(ms=(1, 4))
+    text = e1_impossibility.table(result)
+    assert "fail (Thm 1)" in text
+    assert "succeed (Thm 2)" in text
+    assert f"m0={result.m0}" in text
+
+
+def test_e3_table_lists_all_points():
+    result = e3_protocol_b.run_theorem2(configs=((1, 1, 1),))
+    text = e3_protocol_b.table(result)
+    assert text.count("stripe-band") == 1
+    assert text.count("random") == 1
+    assert "m=2m0" in text
+
+
+def test_e4_table_contains_both_sections():
+    result = e4_koo_comparison.run_comparison()
+    text = e4_koo_comparison.table(result)
+    assert "Koo 2tmf+1" in text
+    assert "measured on shared scenario" in text
+    assert "2001" in text  # the Figure-2 scale row
+
+
+def test_e5_table_shows_savings():
+    result = e5_heterogeneous.run_heterogeneous(widths=(30,))
+    text = e5_heterogeneous.table(result)
+    assert "%" in text and "privileged" in text
+
+
+def test_e6_tables_have_three_sections():
+    result = e6_coding.run_coding(trials=2000, block_lengths=(4,))
+    text = e6_coding.table(result)
+    assert "E6a" in text and "E6b" in text and "E6c" in text
+    assert "I-code 2k" in text
+
+
+def test_e8_table_classifications():
+    result = e8_corollary1.run_boundary(ts=(1,), ms=(1, 6))
+    text = e8_corollary1.table(result)
+    assert "Corollary 1" in text
+
+
+def test_e10_table_shows_frontier():
+    result = e10_uncertain_region.run_uncertain_region(fractions=(2.0,))
+    text = e10_uncertain_region.table(result)
+    assert "3*t*mf/50" in text
+
+
+def test_e11_table_has_crossovers():
+    result = e11_refined_coding_cost.run_refined_cost(
+        ks=(32,), attack_counts=(0, 1)
+    )
+    text = e11_refined_coding_cost.table(result)
+    assert "crossover" in text
+
+
+def test_e12_table_lists_radii():
+    result = e12_probabilistic_failures.run_probabilistic_failures(
+        width=18, rs=(1,), ps=(0.0,), trials=1
+    )
+    text = e12_probabilistic_failures.table(result)
+    assert "p(fail)" in text
+
+
+def test_e13_table_reports_rates():
+    result = e13_subbit_link.run_link_validation(sessions=20)
+    text = e13_subbit_link.table(result)
+    assert "delivery rate" in text
+    assert "analytic 1/(2^L - 1)" in text

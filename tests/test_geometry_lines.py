@@ -1,0 +1,124 @@
+"""Tests for the §4 committed-line geometry."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry.lines import (
+    CommittedLine,
+    committed_disk_radius,
+    cross_square_side,
+    exact_min_angle_sin,
+    expanding_line_clearance,
+    frontier,
+    frontier_reach_lower_bound,
+    min_expanding_angle_sin,
+    ring_growth_delta,
+)
+
+
+def make_line(r=2, rho=-1, p0=(0, 0), l=5):
+    return CommittedLine.from_integer_endpoints(r, rho, p0, l)
+
+
+class TestCommittedLine:
+    def test_points_follow_slope(self):
+        line = make_line(r=2, rho=-1, p0=(0, 0), l=4)
+        assert line.point(0) == (0, 0)
+        assert line.point(1) == (2, -1)
+        assert line.point(4) == (8, -4)
+
+    def test_slope(self):
+        assert make_line(r=4, rho=-3).slope == Fraction(-3, 4)
+
+    def test_integer_nodes(self):
+        line = make_line(r=2, rho=-1, p0=(0, 0), l=3)
+        assert list(line.integer_nodes()) == [(0, 0), (2, -1), (4, -2), (6, -3)]
+
+    def test_rho_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            CommittedLine(2, 1, Fraction(0), Fraction(0), 4)  # rho > 0
+        with pytest.raises(ValueError):
+            CommittedLine(2, -3, Fraction(0), Fraction(0), 4)  # rho < -r
+
+    def test_length(self):
+        line = make_line(r=3, rho=0, l=4)
+        assert line.length == pytest.approx(12.0)
+
+    def test_back_area(self):
+        line = make_line(r=2, rho=0, p0=(0, 0), l=4)  # horizontal at y=0
+        assert line.back_area_contains((3, 0))
+        assert line.back_area_contains((3, -4))  # 2r deep
+        assert not line.back_area_contains((3, -5))
+        assert not line.back_area_contains((9, 0))  # beyond x-range
+        assert not line.back_area_contains((3, 1))  # above the line
+
+    def test_shifted_moves_along_line(self):
+        line = make_line(r=2, rho=-1, p0=(0, 0), l=4)
+        shifted = line.shifted(Fraction(1, 2))
+        assert shifted.p0 == (Fraction(1), Fraction(-1, 2))
+        assert shifted.slope == line.slope
+
+    def test_translated_is_float_line(self):
+        line = make_line().translated(Fraction(1, 3), Fraction(2, 5))
+        assert line.p0 == (Fraction(1, 3), Fraction(2, 5))
+
+
+class TestFrontier:
+    def test_requires_l_greater_than_3(self):
+        with pytest.raises(ValueError):
+            frontier(make_line(l=3))
+
+    def test_horizontal_line_frontier_is_above_midpoint(self):
+        # rho = 0, r = 2, l = 6: P1 = (2, 0), P5 = (10, 0); frontier where
+        # slopes +1/2 from P1 and -1/2 from P5 meet: x = 6, y = 2.
+        line = make_line(r=2, rho=0, p0=(0, 0), l=6)
+        v0 = frontier(line)
+        assert v0 == (Fraction(6), Fraction(2))
+
+    def test_frontier_exact_for_sloped_line(self):
+        line = make_line(r=2, rho=-2, p0=(0, 0), l=6)
+        v0 = frontier(line)
+        # Lines: from P1=(2,-2) slope -1/2; from P5=(10,-10) slope -3/2.
+        # -1/2 x - 1 = -3/2 x + 5  =>  x = 6, y = -4.
+        assert v0 == (Fraction(6), Fraction(-4))
+
+    def test_reach_lower_bound_scales_with_length(self):
+        short = make_line(r=2, rho=0, l=6)
+        long = make_line(r=2, rho=0, l=40)
+        assert frontier_reach_lower_bound(long) > frontier_reach_lower_bound(short)
+
+
+class TestConstants:
+    def test_min_angle_bound_is_conservative(self):
+        for r in (1, 2, 3, 4, 8):
+            assert float(min_expanding_angle_sin(r)) <= exact_min_angle_sin(r)
+
+    def test_clearance_exceeds_paper_threshold(self):
+        for r in (1, 2, 4, 8):
+            assert expanding_line_clearance(r) > 1.25
+
+    def test_ring_growth_delta_positive(self):
+        # Lemma 10 needs delta > 0; the paper's stronger "delta > 0.53"
+        # does not hold at R = 550 r^2 (documented reproduction note).
+        for r in (1, 2, 4):
+            assert 0 < ring_growth_delta(r) < 0.53
+
+    def test_paper_constant_would_need_larger_disk(self):
+        # |HH1| < 0.72 (the paper's claim) is achieved once R >= 952 r^2.
+        for r in (1, 2, 4):
+            radius = 952.0 * r * r
+            half_chord = 37.0 * r
+            sagitta = radius - math.sqrt(radius**2 - half_chord**2)
+            assert sagitta < 0.72
+        # ...but not at the paper's R = 550 r^2:
+        for r in (1, 2, 4):
+            radius = float(committed_disk_radius(r))
+            half_chord = 37.0 * r
+            sagitta = radius - math.sqrt(radius**2 - half_chord**2)
+            assert 1.2 < sagitta < 1.25
+
+    def test_paper_constants(self):
+        assert committed_disk_radius(2) == 550 * 4
+        assert cross_square_side(3) == 778 * 9

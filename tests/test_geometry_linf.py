@@ -1,0 +1,109 @@
+"""Tests for the L∞ metric, planar and toroidal (incl. metric axioms)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.linf import (
+    chebyshev,
+    chebyshev_torus,
+    half_neighborhood_size,
+    linf_ball_offsets,
+    neighborhood_size,
+    torus_delta,
+    wrap,
+)
+
+coords = st.tuples(st.integers(-50, 50), st.integers(-50, 50))
+sizes = st.integers(3, 40)
+
+
+def test_chebyshev_examples():
+    assert chebyshev((0, 0), (3, 1)) == 3
+    assert chebyshev((0, 0), (-2, -5)) == 5
+    assert chebyshev((4, 4), (4, 4)) == 0
+
+
+def test_wrap():
+    assert wrap(7, 5) == 2
+    assert wrap(-1, 5) == 4
+    assert wrap(5, 5) == 0
+
+
+def test_torus_delta_examples():
+    assert torus_delta(0, 9, 10) == 1  # wrap-around is shorter
+    assert torus_delta(2, 5, 10) == 3
+    assert torus_delta(0, 5, 10) == 5
+
+
+def test_chebyshev_torus_wraps_both_axes():
+    assert chebyshev_torus((0, 0), (9, 9), 10, 10) == 1
+    assert chebyshev_torus((0, 0), (5, 1), 10, 10) == 5
+
+
+@given(coords, coords)
+def test_planar_metric_symmetry(a, b):
+    assert chebyshev(a, b) == chebyshev(b, a)
+
+
+@given(coords, coords, coords)
+def test_planar_triangle_inequality(a, b, c):
+    assert chebyshev(a, c) <= chebyshev(a, b) + chebyshev(b, c)
+
+
+@given(coords, coords)
+def test_planar_identity(a, b):
+    assert (chebyshev(a, b) == 0) == (a == b)
+
+
+@given(coords, coords, sizes, sizes)
+def test_torus_metric_symmetry(a, b, w, h):
+    assert chebyshev_torus(a, b, w, h) == chebyshev_torus(b, a, w, h)
+
+
+@given(coords, coords, coords, sizes, sizes)
+def test_torus_triangle_inequality(a, b, c, w, h):
+    ab = chebyshev_torus(a, b, w, h)
+    bc = chebyshev_torus(b, c, w, h)
+    ac = chebyshev_torus(a, c, w, h)
+    assert ac <= ab + bc
+
+
+@given(coords, sizes, sizes)
+def test_torus_distance_invariant_under_wrapping(a, w, h):
+    shifted = (a[0] + 3 * w, a[1] - 2 * h)
+    assert chebyshev_torus(a, shifted, w, h) == 0
+
+
+@given(coords, coords, sizes, sizes)
+def test_torus_never_exceeds_planar(a, b, w, h):
+    wrapped_a = (a[0] % w, a[1] % h)
+    wrapped_b = (b[0] % w, b[1] % h)
+    assert chebyshev_torus(a, b, w, h) <= chebyshev(wrapped_a, wrapped_b)
+
+
+def test_ball_offsets_count_matches_formula():
+    for r in range(1, 5):
+        assert len(linf_ball_offsets(r)) == neighborhood_size(r)
+        assert len(linf_ball_offsets(r, include_center=True)) == (2 * r + 1) ** 2
+
+
+def test_ball_offsets_exclude_center_by_default():
+    assert (0, 0) not in linf_ball_offsets(2)
+    assert (0, 0) in linf_ball_offsets(2, include_center=True)
+
+
+def test_ball_offsets_all_within_radius():
+    for r in (1, 3):
+        for dx, dy in linf_ball_offsets(r):
+            assert max(abs(dx), abs(dy)) <= r
+
+
+def test_ball_offsets_negative_radius_rejected():
+    with pytest.raises(ValueError):
+        linf_ball_offsets(-1)
+
+
+def test_half_neighborhood_is_r_times_2r_plus_1():
+    assert half_neighborhood_size(1) == 3
+    assert half_neighborhood_size(2) == 10
+    assert half_neighborhood_size(4) == 36

@@ -1,0 +1,140 @@
+"""Tests for the node-set region algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.regions import (
+    Cross,
+    Disk,
+    HalfPlane,
+    Rect,
+    RegionUnion,
+    Stripe,
+    torus_chebyshev_ball,
+)
+
+points = st.tuples(st.integers(-30, 30), st.integers(-30, 30))
+
+
+class TestRect:
+    def test_contains_boundary_and_interior(self):
+        rect = Rect(0, 4, 1, 3)
+        assert rect.contains((0, 1))
+        assert rect.contains((4, 3))
+        assert rect.contains((2, 2))
+        assert not rect.contains((5, 2))
+        assert not rect.contains((2, 0))
+
+    def test_degenerate_row_column(self):
+        row = Rect(0, 5, 2, 2)
+        assert row.contains((3, 2)) and not row.contains((3, 3))
+        col = Rect(1, 1, 0, 4)
+        assert col.contains((1, 4)) and not col.contains((2, 4))
+
+    def test_empty_rect_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(3, 2, 0, 0)
+
+    def test_around_builds_closed_ball(self):
+        ball = Rect.around((2, 2), 1)
+        assert ball == Rect(1, 3, 1, 3)
+        assert ball.area == 9
+
+    def test_dimensions(self):
+        rect = Rect(0, 4, 1, 3)
+        assert rect.width == 5 and rect.height == 3 and rect.area == 15
+
+    def test_iter_points_row_major(self):
+        pts = list(Rect(0, 1, 0, 1).iter_points())
+        assert pts == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    @given(points)
+    def test_members_equals_contains(self, p):
+        rect = Rect(-3, 3, -2, 5)
+        inside = set(rect.members((-10, 10), (-10, 10)))
+        assert ((p in inside) == rect.contains(p)) or not (
+            -10 <= p[0] <= 10 and -10 <= p[1] <= 10
+        )
+
+    def test_torus_membership_wraps(self):
+        rect = Rect(0, 2, 0, 2)
+        assert rect.contains_torus((10, 11), 10, 10)  # == (0, 1)
+        assert not rect.contains_torus((5, 5), 10, 10)
+
+
+class TestStripe:
+    def test_rows(self):
+        stripe = Stripe(y0=4, height=2)
+        assert list(stripe.rows) == [4, 5]
+        assert stripe.contains((100, 4))
+        assert stripe.contains((-7, 5))
+        assert not stripe.contains((0, 6))
+
+    def test_torus_wrap(self):
+        stripe = Stripe(y0=9, height=2)  # rows 9, 10 -> wraps on height 10
+        assert stripe.contains_torus((0, 9), 10, 10)
+        assert stripe.contains_torus((0, 0), 10, 10)  # row 10 == row 0
+        assert not stripe.contains_torus((0, 5), 10, 10)
+
+    def test_positive_height_required(self):
+        with pytest.raises(ValueError):
+            Stripe(y0=0, height=0)
+
+
+class TestCross:
+    def test_planar_membership(self):
+        cross = Cross(center=(0, 0), arm_half_width=2)
+        assert cross.contains((2, 100))
+        assert cross.contains((-100, -2))
+        assert not cross.contains((3, 3))
+
+    def test_torus_membership(self):
+        cross = Cross(center=(0, 0), arm_half_width=1)
+        assert cross.contains_torus((9, 5), 10, 10)  # x wraps to -1
+        assert not cross.contains_torus((5, 5), 10, 10)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            Cross(center=(0, 0), arm_half_width=-1)
+
+
+class TestDisk:
+    def test_euclidean_membership(self):
+        disk = Disk.of_radius((0, 0), 5.0)
+        assert disk.contains((3, 4))  # 25 == 25
+        assert not disk.contains((4, 4))  # 32 > 25
+
+    def test_torus_membership(self):
+        disk = Disk.of_radius((0, 0), 2.0)
+        assert disk.contains_torus((19, 0), 20, 20)
+        assert not disk.contains_torus((10, 10), 20, 20)
+
+
+class TestHalfPlane:
+    def test_above_below(self):
+        above = HalfPlane(y0=3, above=True)
+        below = HalfPlane(y0=3, above=False)
+        assert above.contains((0, 3)) and below.contains((0, 3))
+        assert above.contains((0, 9)) and not below.contains((0, 9))
+
+    def test_torus_use_rejected(self):
+        with pytest.raises(ValueError):
+            HalfPlane(y0=0).contains_torus((0, 0), 10, 10)
+
+
+class TestUnion:
+    def test_union_membership(self):
+        union = RegionUnion((Rect(0, 1, 0, 1), Rect(5, 6, 5, 6)))
+        assert union.contains((0, 0))
+        assert union.contains((6, 6))
+        assert not union.contains((3, 3))
+
+    def test_union_builder(self):
+        union = Rect(0, 0, 0, 0).union(Rect(2, 2, 2, 2))
+        assert union.contains((2, 2))
+
+
+@given(st.integers(1, 4), st.integers(0, 19), st.integers(0, 19))
+def test_torus_ball_size(r, x, y):
+    ball = torus_chebyshev_ball((x, y), r, 20, 20)
+    assert len(ball) == (2 * r + 1) ** 2

@@ -1,0 +1,126 @@
+"""Tests for the grid topology."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network.grid import Grid, GridSpec
+
+
+def torus(width=12, height=12, r=1):
+    return Grid(GridSpec(width=width, height=height, r=r, torus=True))
+
+
+def bounded(width=10, height=8, r=2):
+    return Grid(GridSpec(width=width, height=height, r=r, torus=False))
+
+
+class TestGridSpec:
+    def test_basic_properties(self):
+        spec = GridSpec(12, 12, r=2, torus=False)
+        assert spec.n == 144
+        assert spec.neighborhood_size == 24
+        assert spec.half_neighborhood == 10
+
+    def test_radius_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            GridSpec(12, 12, r=0)
+
+    def test_torus_requires_multiple_of_2r_plus_1(self):
+        with pytest.raises(ConfigurationError):
+            GridSpec(13, 12, r=1, torus=True)
+
+    def test_torus_requires_min_size(self):
+        with pytest.raises(ConfigurationError):
+            GridSpec(3, 3, r=1, torus=True)  # needs >= 2*(2r+1) = 6
+
+    def test_bounded_grid_any_size(self):
+        assert GridSpec(5, 7, r=2, torus=False).n == 35
+
+
+class TestIdentity:
+    def test_row_major_ids(self):
+        grid = torus()
+        assert grid.id_of((0, 0)) == 0
+        assert grid.id_of((3, 2)) == 2 * 12 + 3
+        assert grid.coord_of(27) == (3, 2)
+
+    def test_torus_id_wraps(self):
+        grid = torus()
+        assert grid.id_of((-1, 0)) == grid.id_of((11, 0))
+        assert grid.id_of((0, 12)) == 0
+
+    def test_bounded_rejects_out_of_range(self):
+        grid = bounded()
+        with pytest.raises(ConfigurationError):
+            grid.id_of((-1, 0))
+
+    def test_coord_of_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            torus().coord_of(10_000)
+
+    @given(st.integers(0, 143))
+    def test_id_coord_roundtrip(self, node_id):
+        grid = torus()
+        assert grid.id_of(grid.coord_of(node_id)) == node_id
+
+
+class TestNeighborhoods:
+    def test_interior_neighborhood_size(self):
+        grid = torus(r=1)
+        assert len(grid.neighbors(grid.id_of((5, 5)))) == 8
+
+    def test_torus_neighborhood_wraps(self):
+        grid = torus(r=1)
+        corner = grid.id_of((0, 0))
+        neighbors = {grid.coord_of(n) for n in grid.neighbors(corner)}
+        assert (11, 11) in neighbors
+        assert (1, 1) in neighbors
+        assert len(neighbors) == 8
+
+    def test_bounded_corner_clipped(self):
+        grid = bounded(r=2)
+        corner = grid.id_of((0, 0))
+        assert len(grid.neighbors(corner)) == 8  # 3x3 minus self
+
+    def test_neighbors_exclude_self(self):
+        grid = torus(r=2, width=15, height=15)
+        for nid in (0, 37, 100):
+            assert nid not in grid.neighbors(nid)
+
+    def test_closed_neighborhood_includes_self(self):
+        grid = torus(r=1)
+        assert 0 in grid.closed_neighborhood(0)
+
+    def test_are_neighbors_symmetric(self):
+        grid = torus(r=2, width=15, height=15)
+        a, b = grid.id_of((0, 0)), grid.id_of((2, 2))
+        assert grid.are_neighbors(a, b) and grid.are_neighbors(b, a)
+        c = grid.id_of((3, 0))
+        assert not grid.are_neighbors(a, c)
+
+    def test_common_neighbors(self):
+        grid = torus(r=1)
+        a, b = grid.id_of((0, 0)), grid.id_of((2, 0))
+        common = {grid.coord_of(n) for n in grid.common_neighbors(a, b)}
+        assert common == {(1, 0), (1, 1), (1, 11)}
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 224))
+    def test_neighbor_relation_matches_distance(self, node_id):
+        grid = torus(r=2, width=15, height=15)
+        neighbor_set = set(grid.neighbors(node_id))
+        for other in range(grid.n):
+            in_range = 0 < grid.distance(node_id, other) <= grid.r
+            assert (other in neighbor_set) == in_range
+
+
+class TestDistance:
+    def test_torus_distance(self):
+        grid = torus(r=1)
+        assert grid.distance(grid.id_of((0, 0)), grid.id_of((11, 11))) == 1
+        assert grid.distance(grid.id_of((0, 0)), grid.id_of((6, 0))) == 6
+
+    def test_bounded_distance(self):
+        grid = bounded()
+        assert grid.distance(grid.id_of((0, 0)), grid.id_of((9, 7))) == 9

@@ -1,0 +1,109 @@
+"""Tests for protocol parameters and the threshold node machinery."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import BroadcastParams, ThresholdNode
+from repro.radio.messages import MessageKind
+from repro.types import Role
+
+
+def make_params(r=2, t=2, mf=3):
+    return BroadcastParams(r=r, t=t, mf=mf)
+
+
+class TestBroadcastParams:
+    def test_threshold_and_source_sends(self):
+        params = make_params()
+        assert params.threshold == 7  # t*mf + 1
+        assert params.source_sends == 13  # 2*t*mf + 1
+
+    def test_t_must_respect_model_bound(self):
+        with pytest.raises(ConfigurationError):
+            BroadcastParams(r=1, t=3, mf=1)  # t >= r(2r+1) = 3
+
+    def test_negative_mf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BroadcastParams(r=1, t=1, mf=-1)
+
+
+class TestThresholdNode:
+    def test_source_queues_2tmf_plus_1_sends(self):
+        node = ThresholdNode(0, Role.SOURCE, make_params(), relay_count=4)
+        assert node.decided
+        assert node.accepted_value == 1
+        sends = 0
+        while node.has_pending():
+            node.pop_send()
+            sends += 1
+        assert sends == 13
+
+    def test_good_node_accepts_at_threshold(self):
+        node = ThresholdNode(1, Role.GOOD, make_params(), relay_count=4)
+        for i in range(6):
+            node.on_receive(10 + i, 1, MessageKind.DATA)
+            assert not node.decided
+        node.on_receive(99, 1, MessageKind.DATA)
+        assert node.decided and node.accepted_value == 1
+        assert node.has_pending()
+
+    def test_relay_count_queued_on_decision(self):
+        node = ThresholdNode(1, Role.GOOD, make_params(), relay_count=4)
+        for _ in range(7):
+            node.on_receive(0, 1, MessageKind.DATA)
+        sends = 0
+        while node.has_pending():
+            value, kind = node.pop_send()
+            assert value == 1 and kind is MessageKind.DATA
+            sends += 1
+        assert sends == 4
+
+    def test_counts_per_value_independently(self):
+        node = ThresholdNode(1, Role.GOOD, make_params(), relay_count=1)
+        for _ in range(6):
+            node.on_receive(0, 0, MessageKind.DATA)  # wrong value
+        for _ in range(6):
+            node.on_receive(0, 1, MessageKind.DATA)
+        assert not node.decided
+        node.on_receive(0, 0, MessageKind.DATA)  # 7th wrong copy
+        assert node.decided and node.accepted_value == 0  # threshold rule is value-blind
+
+    def test_decides_only_once(self):
+        node = ThresholdNode(1, Role.GOOD, make_params(), relay_count=2)
+        for _ in range(20):
+            node.on_receive(0, 1, MessageKind.DATA)
+        # Only the first threshold crossing queues relays.
+        sends = 0
+        while node.has_pending():
+            node.pop_send()
+            sends += 1
+        assert sends == 2
+        assert node.count_of(1) == 20
+
+    def test_nack_ignored_by_threshold_node(self):
+        node = ThresholdNode(1, Role.GOOD, make_params(), relay_count=1)
+        for _ in range(10):
+            node.on_receive(0, 1, MessageKind.NACK)
+        assert not node.decided
+        assert node.received_total == 0
+
+    def test_pop_send_without_pending_raises(self):
+        node = ThresholdNode(1, Role.GOOD, make_params(), relay_count=1)
+        with pytest.raises(ConfigurationError):
+            node.pop_send()
+
+    def test_bad_role_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdNode(1, Role.BAD, make_params(), relay_count=1)
+
+    def test_negative_relay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdNode(1, Role.GOOD, make_params(), relay_count=-1)
+
+    def test_decide_round_tracks_current_round(self):
+        node = ThresholdNode(1, Role.GOOD, make_params(), relay_count=1)
+        node.on_round_end(0)
+        node.on_round_end(1)
+        for _ in range(7):
+            node.on_receive(0, 1, MessageKind.DATA)
+        assert node.decide_round == 2

@@ -1,0 +1,108 @@
+"""Focused unit tests for CPA and heterogeneous protocol nodes."""
+
+import pytest
+
+from repro.analysis.budgets import heterogeneous_assignment
+from repro.analysis.bounds import m0, protocol_b_relay_count
+from repro.network.grid import Grid, GridSpec
+from repro.network.node import NodeTable
+from repro.protocols.base import BroadcastParams
+from repro.protocols.cpa import CpaNode, make_cpa_nodes
+from repro.protocols.protocol_heter import make_protocol_heter_nodes
+from repro.radio.messages import MessageKind
+from repro.types import Role
+
+
+def params(r=2, t=2, mf=3):
+    return BroadcastParams(r=r, t=t, mf=mf)
+
+
+class TestCpaNode:
+    def test_accepts_directly_from_source(self):
+        node = CpaNode(5, Role.GOOD, params(), source_id=0)
+        node.on_value(0, 1)
+        assert node.decided and node.accepted_value == 1
+
+    def test_needs_t_plus_1_distinct_endorsers(self):
+        node = CpaNode(5, Role.GOOD, params(t=2), source_id=0)
+        node.on_value(7, 1)
+        node.on_value(7, 1)  # duplicates don't count
+        node.on_value(8, 1)
+        assert not node.decided
+        node.on_value(9, 1)
+        assert node.decided
+
+    def test_endorsements_per_value(self):
+        node = CpaNode(5, Role.GOOD, params(t=1), source_id=0)
+        node.on_value(7, 0)
+        node.on_value(8, 1)
+        assert not node.decided
+        node.on_value(9, 0)
+        assert node.decided and node.accepted_value == 0
+
+    def test_ignores_after_decision(self):
+        node = CpaNode(5, Role.GOOD, params(t=1), source_id=0)
+        node.on_value(0, 1)
+        node.on_value(7, 0)
+        node.on_value(8, 0)
+        assert node.accepted_value == 1
+
+    def test_source_sends_relay_repeats(self):
+        node = CpaNode(0, Role.SOURCE, params(), source_id=0, relay_repeats=3)
+        sends = 0
+        while node.has_pending():
+            value, kind = node.pop_send()
+            assert kind is MessageKind.DATA
+            sends += 1
+        assert sends == 3
+
+    def test_factory_builds_all_honest(self):
+        grid = Grid(GridSpec(12, 12, r=1, torus=True))
+        table = NodeTable(grid, source=0, bad={5})
+        nodes = make_cpa_nodes(table, BroadcastParams(r=1, t=1, mf=0))
+        assert set(nodes) == set(table.good_ids)
+        assert nodes[0].decided  # the source knows its value
+
+
+class TestHeterNodes:
+    def test_relay_counts_follow_assignment(self):
+        grid = Grid(GridSpec(30, 30, r=2, torus=True))
+        table = NodeTable(grid, source=0, bad=set())
+        p = params()
+        assignment = heterogeneous_assignment(grid, 0, p.t, p.mf)
+        nodes = make_protocol_heter_nodes(table, p, assignment)
+        on_axis = grid.id_of((7, 1))
+        off_axis = grid.id_of((7, 7))
+        assert nodes[on_axis].relay_count() == protocol_b_relay_count(2, p.t, p.mf)
+        assert nodes[off_axis].relay_count() == m0(2, p.t, p.mf)
+
+    def test_source_still_sends_2tmf_plus_1(self):
+        grid = Grid(GridSpec(30, 30, r=2, torus=True))
+        table = NodeTable(grid, source=0, bad=set())
+        p = params()
+        assignment = heterogeneous_assignment(grid, 0, p.t, p.mf)
+        nodes = make_protocol_heter_nodes(table, p, assignment)
+        sends = 0
+        while nodes[0].has_pending():
+            nodes[0].pop_send()
+            sends += 1
+        assert sends == p.source_sends
+
+
+class TestEngineInternals:
+    def test_peek_skips_cancelled(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        first = sim.schedule(1.0)
+        sim.schedule(2.0)
+        first.cancel()
+        assert sim._peek_time() == 2.0
+        assert sim.pending_events == 1
+
+    def test_run_on_empty_heap_with_until_advances_clock(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        assert sim.run(until=5.0) == 5.0
+        assert sim.now == 5.0

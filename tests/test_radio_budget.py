@@ -1,0 +1,83 @@
+"""Tests for message-budget accounting."""
+
+import pytest
+
+from repro.errors import BudgetExceededError, ConfigurationError
+from repro.radio.budget import BudgetLedger
+
+
+def test_default_budget_applies():
+    ledger = BudgetLedger(4, default_budget=2)
+    assert ledger.budget_of(0) == 2
+    assert ledger.remaining(3) == 2
+
+
+def test_overrides():
+    ledger = BudgetLedger(4, default_budget=2, overrides={1: 5, 2: None})
+    assert ledger.budget_of(1) == 5
+    assert ledger.budget_of(2) is None
+    assert ledger.remaining(2) is None
+
+
+def test_charge_and_remaining():
+    ledger = BudgetLedger(2, default_budget=3)
+    ledger.charge(0)
+    ledger.charge(0)
+    assert ledger.sent(0) == 2
+    assert ledger.remaining(0) == 1
+    assert ledger.can_send(0)
+    ledger.charge(0)
+    assert not ledger.can_send(0)
+
+
+def test_charge_beyond_budget_raises():
+    ledger = BudgetLedger(1, default_budget=1)
+    ledger.charge(0)
+    with pytest.raises(BudgetExceededError):
+        ledger.charge(0)
+
+
+def test_charge_multiple():
+    ledger = BudgetLedger(1, default_budget=5)
+    ledger.charge(0, count=4)
+    assert ledger.remaining(0) == 1
+    assert not ledger.can_send(0, count=2)
+    with pytest.raises(BudgetExceededError):
+        ledger.charge(0, count=2)
+
+
+def test_unbounded_never_exhausts():
+    ledger = BudgetLedger(1, default_budget=None)
+    for _ in range(100):
+        ledger.charge(0)
+    assert ledger.can_send(0)
+    assert ledger.remaining(0) is None
+    assert ledger.sent(0) == 100
+
+
+def test_negative_budgets_rejected():
+    with pytest.raises(ConfigurationError):
+        BudgetLedger(1, default_budget=-1)
+    with pytest.raises(ConfigurationError):
+        BudgetLedger(1, default_budget=1, overrides={0: -2})
+
+
+def test_override_for_unknown_node_rejected():
+    with pytest.raises(ConfigurationError):
+        BudgetLedger(2, default_budget=1, overrides={5: 1})
+
+
+def test_negative_charge_rejected():
+    ledger = BudgetLedger(1, default_budget=1)
+    with pytest.raises(ConfigurationError):
+        ledger.charge(0, count=-1)
+
+
+def test_totals():
+    ledger = BudgetLedger(3, default_budget=10)
+    ledger.charge(0, count=2)
+    ledger.charge(1, count=5)
+    assert ledger.total_sent() == 7
+    assert ledger.total_sent([0, 2]) == 2
+    assert ledger.max_sent([0, 1, 2]) == 5
+    assert ledger.max_sent([]) == 0

@@ -1,0 +1,62 @@
+"""Tests for the TDMA coloring schedule."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ScheduleConflictError
+from repro.network.grid import Grid, GridSpec
+from repro.radio.schedule import TdmaSchedule
+
+
+def test_period_is_2r_plus_1_squared():
+    grid = Grid(GridSpec(12, 12, r=1, torus=True))
+    assert TdmaSchedule(grid).period == 9
+    grid2 = Grid(GridSpec(15, 15, r=2, torus=True))
+    assert TdmaSchedule(grid2).period == 25
+
+
+def test_slot_assignment_by_coordinates():
+    grid = Grid(GridSpec(12, 12, r=1, torus=True))
+    schedule = TdmaSchedule(grid)
+    assert schedule.slot_of(grid.id_of((0, 0))) == 0
+    assert schedule.slot_of(grid.id_of((1, 0))) == 1
+    assert schedule.slot_of(grid.id_of((0, 1))) == 3
+    assert schedule.slot_of(grid.id_of((3, 3))) == 0  # same color class
+
+
+def test_owners_inverse_of_slot_of():
+    grid = Grid(GridSpec(12, 12, r=1, torus=True))
+    schedule = TdmaSchedule(grid)
+    for slot in range(schedule.period):
+        for owner in schedule.owners(slot):
+            assert schedule.slot_of(owner) == slot
+
+
+def test_owners_rejects_bad_slot():
+    grid = Grid(GridSpec(12, 12, r=1, torus=True))
+    with pytest.raises(ScheduleConflictError):
+        TdmaSchedule(grid).owners(99)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.sampled_from([(1, 6), (1, 9), (2, 10), (2, 15), (3, 14)]))
+def test_collision_free_on_tori(params):
+    r, k = params
+    side = k
+    grid = Grid(GridSpec(side, side, r=r, torus=True))
+    TdmaSchedule(grid).verify_collision_free()
+
+
+def test_collision_free_on_bounded_grid():
+    grid = Grid(GridSpec(11, 7, r=2, torus=False))
+    TdmaSchedule(grid).verify_collision_free()
+
+
+def test_same_slot_nodes_share_no_neighbor():
+    grid = Grid(GridSpec(12, 12, r=1, torus=True))
+    schedule = TdmaSchedule(grid)
+    for slot in range(schedule.period):
+        owners = schedule.owners(slot)
+        for i, a in enumerate(owners):
+            for b in owners[i + 1 :]:
+                assert not grid.common_neighbors(a, b)

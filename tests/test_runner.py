@@ -1,0 +1,77 @@
+"""Tests for report formatting, sweeps, and runner verification helpers."""
+
+import pytest
+
+from repro.analysis.metrics import BroadcastOutcome
+from repro.runner.report import format_table
+from repro.runner.sweep import sweep
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1], ["b", 22.5]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1] == "===="
+        assert "name" in lines[2] and "value" in lines[2]
+        assert lines[4].startswith("alpha")
+
+    def test_bools_render_yes_no(self):
+        text = format_table(["x"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_floats_compact(self):
+        text = format_table(["x"], [[0.333333333]])
+        assert "0.3333" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestSweep:
+    def test_runs_all_points_in_order(self):
+        result = sweep([1, 2, 3], lambda x: x * x)
+        assert result.points == (1, 2, 3)
+        assert result.results == (1, 4, 9)
+        assert len(result) == 3
+
+    def test_on_result_callback(self):
+        seen = []
+        sweep([1, 2], lambda x: -x, on_result=lambda p, r: seen.append((p, r)))
+        assert seen == [(1, -1), (2, -2)]
+
+    def test_rows_mapping(self):
+        result = sweep([2, 3], lambda x: x + 1)
+        rows = result.rows(lambda p, r: [p, r])
+        assert rows == [[2, 3], [3, 4]]
+
+
+class TestOutcome:
+    def test_success_requires_complete_and_correct(self):
+        good = BroadcastOutcome(
+            total_good=10, decided_good=10, correct_good=10, wrong_good=0,
+            rounds=5, quiescent=True,
+        )
+        assert good.success and good.complete and good.correct
+        incomplete = BroadcastOutcome(
+            total_good=10, decided_good=9, correct_good=9, wrong_good=0,
+            rounds=5, quiescent=True,
+        )
+        assert not incomplete.success and incomplete.undecided_good == 1
+        poisoned = BroadcastOutcome(
+            total_good=10, decided_good=10, correct_good=9, wrong_good=1,
+            rounds=5, quiescent=True,
+        )
+        assert not poisoned.success and not poisoned.correct
+
+    def test_decided_fraction(self):
+        outcome = BroadcastOutcome(
+            total_good=4, decided_good=1, correct_good=1, wrong_good=0,
+            rounds=1, quiescent=False,
+        )
+        assert outcome.decided_fraction == 0.25

@@ -1,0 +1,151 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.pending_events == 0
+
+
+def test_schedule_and_run_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda ev: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+    assert sim.now == 5.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, lambda ev: order.append("c"))
+    sim.schedule(1.0, lambda ev: order.append("a"))
+    sim.schedule(2.0, lambda ev: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for name in "abcde":
+        sim.schedule(1.0, lambda ev, n=name: order.append(n))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_schedule_during_callback():
+    sim = Simulator()
+    times = []
+
+    def first(ev):
+        times.append(sim.now)
+        sim.schedule(2.0, lambda ev2: times.append(sim.now))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert times == [1.0, 3.0]
+
+
+def test_zero_delay_event_fires_at_current_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda ev: sim.schedule(0.0, lambda e2: seen.append(sim.now)))
+    sim.run()
+    assert seen == [1.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1)
+
+
+def test_run_until_stops_clock_at_deadline():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, lambda ev: fired.append("late"))
+    sim.run(until=4.0)
+    assert fired == []
+    assert sim.now == 4.0
+    sim.run()
+    assert fired == ["late"]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda ev, i=i: fired.append(i))
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda ev: fired.append(1))
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert event.cancelled
+
+
+def test_cancel_after_fire_raises():
+    sim = Simulator()
+    event = sim.schedule(1.0)
+    sim.run()
+    with pytest.raises(SimulationError):
+        event.cancel()
+
+
+def test_callback_added_after_fire_runs_immediately():
+    sim = Simulator()
+    event = sim.schedule(1.0)
+    sim.run()
+    called = []
+    event.add_callback(lambda ev: called.append(True))
+    assert called == [True]
+
+
+def test_untimed_event_trigger_with_payload():
+    sim = Simulator()
+    got = []
+    event = sim.event("signal")
+    event.add_callback(lambda ev: got.append(ev.payload))
+    sim.trigger(event, delay=2.0, payload="hello")
+    sim.run()
+    assert got == ["hello"]
+    assert sim.now == 2.0
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    sim.schedule(1.0)
+    sim.run()
+    fired = []
+    sim.schedule_at(5.0, lambda ev: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+
+
+def test_processed_events_counter():
+    sim = Simulator()
+    for i in range(7):
+        sim.schedule(float(i))
+    sim.run()
+    assert sim.processed_events == 7
+
+
+def test_event_fires_only_once():
+    sim = Simulator()
+    event = sim.schedule(1.0)
+    sim.run()
+    with pytest.raises(SimulationError):
+        event._fire()

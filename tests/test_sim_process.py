@@ -1,0 +1,94 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, Timeout
+
+
+def test_timeout_sequence():
+    sim = Simulator()
+    times = []
+
+    def body():
+        times.append(sim.now)
+        yield Timeout(1.5)
+        times.append(sim.now)
+        yield Timeout(2.5)
+        times.append(sim.now)
+
+    Process(sim, body(), name="p")
+    sim.run()
+    assert times == [0.0, 1.5, 4.0]
+
+
+def test_process_result_and_completion_event():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(1.0)
+        return 42
+
+    proc = Process(sim, body(), name="p")
+    results = []
+    proc.completion.add_callback(lambda ev: results.append(ev.payload))
+    sim.run()
+    assert proc.done
+    assert proc.result == 42
+    assert results == [42]
+
+
+def test_process_waits_on_event_payload():
+    sim = Simulator()
+    got = []
+    gate = sim.event("gate")
+
+    def body():
+        payload = yield gate
+        got.append((sim.now, payload))
+
+    Process(sim, body(), name="waiter")
+    sim.trigger(gate, delay=3.0, payload="go")
+    sim.run()
+    assert got == [(3.0, "go")]
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def ticker(name, period):
+        for _ in range(3):
+            yield Timeout(period)
+            log.append((name, sim.now))
+
+    Process(sim, ticker("fast", 1.0), name="fast")
+    Process(sim, ticker("slow", 1.5), name="slow")
+    sim.run()
+    # At the t=3.0 tie, "slow" resumes first: its timer was scheduled at
+    # t=1.5, before fast's (scheduled at t=2.0) — ties break by insertion.
+    assert log == [
+        ("fast", 1.0),
+        ("slow", 1.5),
+        ("fast", 2.0),
+        ("slow", 3.0),
+        ("fast", 3.0),
+        ("slow", 4.5),
+    ]
+
+
+def test_invalid_yield_raises():
+    sim = Simulator()
+
+    def body():
+        yield "nonsense"
+
+    Process(sim, body(), name="bad")
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)

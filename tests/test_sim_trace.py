@@ -1,0 +1,48 @@
+"""Unit tests for structured tracing."""
+
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.emit("radio.deliver", 0, x=1)
+    assert tracer.events == []
+
+
+def test_null_tracer_is_disabled():
+    assert not NULL_TRACER.enabled
+
+
+def test_emit_and_filter_by_kind():
+    tracer = Tracer(enabled=True)
+    tracer.emit("radio.deliver", (0, 1), receiver=3)
+    tracer.emit("radio.deliver", (0, 2), receiver=4)
+    tracer.emit("adversary.jam", (0, 2), jammer=9)
+    assert tracer.count("radio.deliver") == 2
+    assert tracer.count("radio") == 2  # prefix match
+    assert tracer.count("adversary") == 1
+    assert tracer.of_kind("adversary.jam")[0].data["jammer"] == 9
+
+
+def test_keep_filter():
+    tracer = Tracer(enabled=True, keep=lambda ev: ev.kind.startswith("a"))
+    tracer.emit("a.x", 0)
+    tracer.emit("b.x", 0)
+    assert [e.kind for e in tracer.events] == ["a.x"]
+
+
+def test_max_events_drops_extra():
+    tracer = Tracer(enabled=True, max_events=2)
+    for i in range(5):
+        tracer.emit("k", i)
+    assert len(tracer.events) == 2
+    assert tracer.dropped == 3
+
+
+def test_clear_resets():
+    tracer = Tracer(enabled=True, max_events=1)
+    tracer.emit("k", 0)
+    tracer.emit("k", 1)
+    tracer.clear()
+    assert tracer.events == []
+    assert tracer.dropped == 0

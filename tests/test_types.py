@@ -1,0 +1,25 @@
+"""Tests for shared primitive types."""
+
+from repro.types import VFALSE, VTRUE, Role, SlotTime
+
+
+def test_role_honesty():
+    assert Role.SOURCE.is_honest
+    assert Role.GOOD.is_honest
+    assert not Role.BAD.is_honest
+
+
+def test_distinguished_values_differ():
+    assert VTRUE != VFALSE
+
+
+def test_slot_time_ordering_is_chronological():
+    assert SlotTime(0, 5) < SlotTime(1, 0)
+    assert SlotTime(2, 3) < SlotTime(2, 4)
+    assert SlotTime(2, 3) <= SlotTime(2, 3)
+    assert not SlotTime(1, 0) < SlotTime(0, 9)
+
+
+def test_slot_time_equality_and_hash():
+    assert SlotTime(1, 2) == SlotTime(1, 2)
+    assert len({SlotTime(1, 2), SlotTime(1, 2), SlotTime(1, 3)}) == 2
