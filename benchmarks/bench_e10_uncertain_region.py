@@ -1,11 +1,11 @@
 """E10 — mapping the paper's open region m ∈ (m0, 2m0) (extension)."""
 
-from benchmarks.conftest import run_once
-from repro.experiments.e10_uncertain_region import run_uncertain_region, table
+from benchmarks.conftest import run_registry
+from repro.experiments.e10_uncertain_region import table
 
 
 def test_e10_open_region_map(benchmark):
-    result = run_once(benchmark, run_uncertain_region)
+    result = run_registry(benchmark, "e10")
     print()
     print(table(result))
     # The Figure-2 construction funds attacks only up to m = 3*t*mf/50.

@@ -1,11 +1,11 @@
 """E11 — refined chain-vs-I-code efficiency model (§5 future work)."""
 
-from benchmarks.conftest import run_once
-from repro.experiments.e11_refined_coding_cost import run_refined_cost, table
+from benchmarks.conftest import run_registry
+from repro.experiments.e11_refined_coding_cost import table
 
 
 def test_e11_refined_cost_model(benchmark):
-    result = run_once(benchmark, run_refined_cost)
+    result = run_registry(benchmark, "e11")
     print()
     print(table(result))
     assert result.model_matches_simulation

@@ -1,14 +1,11 @@
 """E12 — probabilistic crash failures (§6 future work, model of [4])."""
 
-from benchmarks.conftest import run_once
-from repro.experiments.e12_probabilistic_failures import (
-    run_probabilistic_failures,
-    table,
-)
+from benchmarks.conftest import run_registry
+from repro.experiments.e12_probabilistic_failures import table
 
 
 def test_e12_failure_percolation(benchmark):
-    result = run_once(benchmark, run_probabilistic_failures)
+    result = run_registry(benchmark, "e12")
     print()
     print(table(result))
     assert result.larger_radius_tolerates_more

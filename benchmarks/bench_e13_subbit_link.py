@@ -2,12 +2,12 @@
 
 import pytest
 
-from benchmarks.conftest import run_once
-from repro.experiments.e13_subbit_link import run_link_validation, table
+from benchmarks.conftest import run_registry
+from repro.experiments.e13_subbit_link import table
 
 
 def test_e13_link_abstraction_validation(benchmark):
-    result = run_once(benchmark, run_link_validation)
+    result = run_registry(benchmark, "e13")
     print()
     print(table(result))
     assert result.delivery_rate == 1.0

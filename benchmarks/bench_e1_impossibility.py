@@ -1,11 +1,11 @@
 """E1 — Theorem 1 / Figure 1: stripe impossibility series (decided fraction vs m)."""
 
-from benchmarks.conftest import run_once
-from repro.experiments.e1_impossibility import run_impossibility, table
+from benchmarks.conftest import run_registry
+from repro.experiments.e1_impossibility import table
 
 
 def test_e1_stripe_impossibility(benchmark):
-    result = run_once(benchmark, run_impossibility)
+    result = run_registry(benchmark, "e1")
     print()
     print(table(result))
     assert result.fails_below_m0, "Theorem 1: every m < m0 must fail"

@@ -1,7 +1,7 @@
 """E2 — Figure 2 worked example at the paper's exact parameters."""
 
-from benchmarks.conftest import run_once
-from repro.experiments.e2_figure2 import run_figure2, table
+from benchmarks.conftest import run_once, run_registry
+from repro.experiments.e2_figure2 import run_figure2, sweep_table, table
 
 
 def test_e2_figure2_exact_numbers(benchmark):
@@ -16,3 +16,13 @@ def test_e2_figure2_exact_numbers(benchmark):
     assert result.p_clean <= 1000  # t*mf: one copy short of acceptance
     assert result.defender_spend <= 1000  # within the bad node's budget mf
     assert result.broadcast_failed  # m = m0 + 1 is not sufficient
+
+
+def test_e2_generalized_sweep(benchmark):
+    sweep = run_registry(benchmark, "e2")
+    print()
+    print(sweep_table(sweep))
+    # Every fundable budget in the sweep window stalls the broadcast.
+    assert all(s.broadcast_failed for s in sweep.results)
+    paper = {s.m: s for s in sweep.results}[59]
+    assert paper.p_clean <= 1000 and paper.defender_spend <= 1000

@@ -1,11 +1,11 @@
 """E3 — Theorem 2: protocol B at m = 2*m0 across (r, t, mf) and placements."""
 
-from benchmarks.conftest import run_once
-from repro.experiments.e3_protocol_b import run_theorem2, table
+from benchmarks.conftest import run_registry
+from repro.experiments.e3_protocol_b import table
 
 
 def test_e3_protocol_b_sufficiency(benchmark):
-    result = run_once(benchmark, run_theorem2)
+    result = run_registry(benchmark, "e3")
     print()
     print(table(result))
     assert result.all_succeed, "Theorem 2: m = 2*m0 must always succeed"

@@ -2,12 +2,12 @@
 
 import pytest
 
-from benchmarks.conftest import run_once
-from repro.experiments.e4_koo_comparison import run_comparison, table
+from benchmarks.conftest import run_registry
+from repro.experiments.e4_koo_comparison import table
 
 
 def test_e4_budget_comparison(benchmark):
-    result = run_once(benchmark, run_comparison)
+    result = run_registry(benchmark, "e4")
     print()
     print(table(result))
     # The paper's headline: baseline/B budget ratio ~ (r(2r+1) - t)/2.

@@ -1,11 +1,11 @@
 """E5 — Theorem 3 / Figure 5: heterogeneous budget savings vs grid size."""
 
-from benchmarks.conftest import run_once
-from repro.experiments.e5_heterogeneous import run_heterogeneous, table
+from benchmarks.conftest import run_registry
+from repro.experiments.e5_heterogeneous import table
 
 
 def test_e5_heterogeneous_budgets(benchmark):
-    result = run_once(benchmark, run_heterogeneous)
+    result = run_registry(benchmark, "e5")
     print()
     print(table(result))
     assert result.all_succeed, "Theorem 3: B_heter must broadcast reliably"

@@ -9,14 +9,14 @@ import random
 
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_registry
 from repro.coding.chain import ChainCode
 from repro.coding.subbit import SubbitCodec
-from repro.experiments.e6_coding import run_coding, table
+from repro.experiments.e6_coding import table
 
 
 def test_e6_coding_experiment(benchmark):
-    result = run_once(benchmark, run_coding)
+    result = run_registry(benchmark, "e6")
     print()
     print(table(result))
     assert result.detection.detection_rate == 1.0

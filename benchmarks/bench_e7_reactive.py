@@ -1,11 +1,11 @@
 """E7 — Theorem 4: B_reactive reliability and message cost."""
 
-from benchmarks.conftest import run_once
-from repro.experiments.e7_reactive import run_reactive, table
+from benchmarks.conftest import run_registry
+from repro.experiments.e7_reactive import table
 
 
 def test_e7_reactive_broadcast(benchmark):
-    result = run_once(benchmark, run_reactive)
+    result = run_registry(benchmark, "e7")
     print()
     print(table(result))
     assert result.success_rate >= 1.0 - 1.0 / result.n

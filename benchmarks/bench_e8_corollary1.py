@@ -1,11 +1,11 @@
 """E8 — Corollary 1 feasibility map in the (t, m) plane."""
 
-from benchmarks.conftest import run_once
-from repro.experiments.e8_corollary1 import run_boundary, table
+from benchmarks.conftest import run_registry
+from repro.experiments.e8_corollary1 import table
 
 
 def test_e8_feasibility_boundary(benchmark):
-    result = run_once(benchmark, run_boundary)
+    result = run_registry(benchmark, "e8")
     print()
     print(table(result))
     assert result.all_consistent, "no tolerable point may fail"

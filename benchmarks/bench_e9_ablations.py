@@ -1,6 +1,6 @@
 """E9 — design-choice ablations (relay count, growth shape, quiet window)."""
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import BENCH_WORKERS, run_once
 from repro.experiments.e9_ablations import (
     run_growth_shape,
     run_quiet_window,
@@ -12,7 +12,7 @@ from repro.experiments.e9_ablations import (
 
 
 def test_e9a_relay_count(benchmark):
-    points = run_once(benchmark, run_relay_sweep)
+    points = run_once(benchmark, run_relay_sweep, workers=BENCH_WORKERS)
     print()
     print(table_a(points))
     by_label = {p.label: p for p in points}
@@ -29,7 +29,7 @@ def test_e9b_growth_shape(benchmark):
 
 
 def test_e9c_quiet_window(benchmark):
-    points = run_once(benchmark, run_quiet_window)
+    points = run_once(benchmark, run_quiet_window, workers=BENCH_WORKERS)
     print()
     print(table_c(points))
     paper_window = next(p for p in points if p.window == 8)

@@ -1,6 +1,7 @@
 """Shared helpers for the benchmark harness.
 
-Every experiment benchmark runs its harness exactly once per pytest-
+Every experiment benchmark resolves its harness through
+:mod:`repro.experiments.registry` and runs it exactly once per pytest-
 benchmark round (the experiments are deterministic end-to-end runs, not
 microbenchmarks), prints the regenerated table — the same rows the
 paper's analysis predicts — and asserts the headline claim.
@@ -9,11 +10,32 @@ Run with::
 
     pytest benchmarks/ --benchmark-only            # timings + assertions
     pytest benchmarks/ --benchmark-only -s         # ... plus the tables
+    REPRO_BENCH_WORKERS=4 pytest benchmarks/ ...   # parallel sweeps
+
+``REPRO_BENCH_WORKERS`` fans each experiment's sweep points out over
+worker processes; results are bit-identical to the serial default (the
+determinism suite under ``tests/`` enforces this), so assertions hold at
+any worker count.
 """
 
 from __future__ import annotations
+
+import os
+
+from repro.experiments import registry
+
+#: Worker processes per experiment sweep (0 = one per CPU).
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark a deterministic end-to-end harness with one invocation."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def run_registry(benchmark, exp_id: str):
+    """Benchmark one experiment end-to-end through the registry."""
+    experiment = registry.get(exp_id)
+    return benchmark.pedantic(
+        lambda: experiment.run(workers=BENCH_WORKERS), rounds=1, iterations=1
+    )

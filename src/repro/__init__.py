@@ -31,6 +31,25 @@ Quickstart::
     )
     report = run_threshold_broadcast(cfg)
     assert report.success  # m = 2*m0 suffices (Theorem 2)
+
+Regenerating the paper (CLI)::
+
+    python -m repro list                        # the 13 experiments
+    python -m repro run e2 e7 --workers 4       # parallel sweeps
+    python -m repro run all --cache-dir .cache  # memoize per-point results
+
+Experiments resolve through :mod:`repro.experiments.registry` and execute
+on :func:`repro.runner.parallel.sweep`: points fan out over spawn-safe
+worker processes (``--workers``, bit-identical to a serial run) and an
+on-disk JSON cache keyed by a stable hash of each config point
+(``--cache-dir``) skips everything already computed — re-running an
+experiment only pays for points whose configuration changed.
+Programmatic use::
+
+    from repro import ResultCache, parallel_sweep
+    from repro.experiments import registry
+
+    result = registry.get("e8").run(workers=4, cache=ResultCache(".cache"))
 """
 
 from repro._version import __version__
@@ -82,8 +101,14 @@ from repro.radio import BudgetLedger, RoundDriver, RunLimits, TdmaSchedule
 from repro.runner import (
     BroadcastReport,
     ReactiveRunConfig,
+    ResultCache,
+    SweepProgress,
+    SweepResult,
     ThresholdRunConfig,
     format_table,
+    parallel_sweep,
+    point_key,
+    point_seed,
     run_reactive_broadcast,
     run_threshold_broadcast,
     sweep,
@@ -138,8 +163,14 @@ __all__ = [
     # runner
     "BroadcastReport",
     "ReactiveRunConfig",
+    "ResultCache",
+    "SweepProgress",
+    "SweepResult",
     "ThresholdRunConfig",
     "format_table",
+    "parallel_sweep",
+    "point_key",
+    "point_seed",
     "run_reactive_broadcast",
     "run_threshold_broadcast",
     "sweep",

@@ -2,66 +2,117 @@
 
 Usage::
 
-    python -m repro list            # show available experiments
-    python -m repro e2              # run one experiment, print its table
-    python -m repro all             # run every experiment (minutes)
+    python -m repro list                        # show available experiments
+    python -m repro run e2                      # run one experiment
+    python -m repro run e2 e7 --workers 4       # several, in parallel
+    python -m repro run all --cache-dir .cache  # everything, memoized
+    python -m repro e2                          # legacy alias for `run e2`
+
+``--workers N`` fans each experiment's sweep points out over ``N``
+spawn-safe worker processes (``0`` = one per CPU); results are
+bit-identical to a serial run. ``--cache-dir`` memoizes per-point results
+as JSON keyed by a stable hash of the point, so re-running only computes
+points whose configuration changed.
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
 import sys
 import time
 
-#: experiment id -> (module, description)
-EXPERIMENTS: dict[str, tuple[str, str]] = {
-    "e1": ("repro.experiments.e1_impossibility", "Thm 1 / Fig 1: stripe impossibility"),
-    "e2": ("repro.experiments.e2_figure2", "Fig 2 worked example (exact numbers)"),
-    "e3": ("repro.experiments.e3_protocol_b", "Thm 2: protocol B at m = 2*m0"),
-    "e4": ("repro.experiments.e4_koo_comparison", "budget comparison vs Koo [14]"),
-    "e5": ("repro.experiments.e5_heterogeneous", "Thm 3 / Fig 5: heterogeneous budgets"),
-    "e6": ("repro.experiments.e6_coding", "Fig 9: coding overhead + attacks"),
-    "e7": ("repro.experiments.e7_reactive", "Thm 4: B_reactive, unknown mf"),
-    "e8": ("repro.experiments.e8_corollary1", "Cor 1 feasibility map"),
-    "e9": ("repro.experiments.e9_ablations", "design ablations"),
-    "e10": ("repro.experiments.e10_uncertain_region", "open region (m0, 2m0) [ext]"),
-    "e11": ("repro.experiments.e11_refined_coding_cost", "refined coding cost [ext]"),
-    "e12": ("repro.experiments.e12_probabilistic_failures", "crash failures [ext]"),
-    "e13": ("repro.experiments.e13_subbit_link", "sub-bit link validation [ext]"),
-}
+from repro.errors import ReproError
+from repro.experiments import registry
+from repro.runner.parallel import ResultCache, SweepProgress
 
 
-def run_experiment(exp_id: str) -> None:
-    module_name, description = EXPERIMENTS[exp_id]
-    print(f"== {exp_id}: {description} ==")
+def run_experiment(
+    exp_id: str,
+    *,
+    workers: int = 1,
+    cache_dir: str | None = None,
+    show_progress: bool = True,
+    position: tuple[int, int] | None = None,
+) -> None:
+    """Run one experiment and print its regenerated table."""
+    experiment = registry.get(exp_id)
+    prefix = f"[{position[0]}/{position[1]}] " if position else ""
+    print(f"== {prefix}{exp_id}: {experiment.description} ==")
+    cache = (
+        ResultCache(cache_dir, namespace=exp_id) if cache_dir is not None else None
+    )
+    progress = SweepProgress(exp_id) if show_progress else None
     start = time.perf_counter()
-    importlib.import_module(module_name).main()
-    print(f"[{exp_id} finished in {time.perf_counter() - start:.1f}s]\n")
+    result = experiment.run(workers=workers, cache=cache, progress=progress)
+    elapsed = time.perf_counter() - start
+    print(experiment.format(result))
+    suffix = ""
+    if cache is not None:
+        suffix = f"; cache: {cache.stats.hits} hits, {cache.stats.stores} stored"
+    print(f"[{exp_id} finished in {elapsed:.1f}s{suffix}]\n")
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    ids = registry.experiment_ids()
+    # Legacy spelling: `python -m repro e2` / `python -m repro all`.
+    if argv and argv[0] in (*ids, "all"):
+        argv = ["run", *argv]
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's figures/theorems as experiments.",
     )
-    parser.add_argument(
-        "target",
-        choices=[*EXPERIMENTS, "all", "list"],
-        help="experiment id, 'all', or 'list'",
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="show available experiments")
+    run_parser = sub.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=[*ids, "all"],
+        metavar="exp",
+        help=f"experiment id ({', '.join(ids)}) or 'all'",
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per sweep (0 = one per CPU; default 1)",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk JSON result cache (default: off)",
+    )
+    run_parser.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress per-sweep progress/ETA output",
     )
     args = parser.parse_args(argv)
 
-    if args.target == "list":
-        width = max(len(k) for k in EXPERIMENTS)
-        for exp_id, (_, description) in EXPERIMENTS.items():
-            print(f"{exp_id.ljust(width)}  {description}")
+    if args.command == "list":
+        width = max(len(exp_id) for exp_id in ids)
+        for experiment in registry.all_experiments():
+            print(f"{experiment.exp_id.ljust(width)}  {experiment.description}")
         return 0
-    if args.target == "all":
-        for exp_id in EXPERIMENTS:
-            run_experiment(exp_id)
-        return 0
-    run_experiment(args.target)
+
+    targets = list(ids) if "all" in args.experiments else args.experiments
+    overall = time.perf_counter()
+    for index, exp_id in enumerate(targets, start=1):
+        try:
+            run_experiment(
+                exp_id,
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                show_progress=not args.no_progress,
+                position=(index, len(targets)) if len(targets) > 1 else None,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if len(targets) > 1:
+        print(f"[{len(targets)} experiments in {time.perf_counter() - overall:.1f}s]")
     return 0
 
 

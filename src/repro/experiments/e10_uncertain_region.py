@@ -24,6 +24,7 @@ defense's budget arithmetic), not only on the ratio ``m/m0``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.analysis.bounds import m0
 from repro.errors import ReproError
@@ -31,6 +32,8 @@ from repro.experiments import e2_figure2
 from repro.network.grid import Grid, GridSpec
 from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
 from repro.adversary.placement import two_stripe_band
+from repro.runner.parallel import ResultCache
+from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
 
 
@@ -103,34 +106,59 @@ def _lattice_attack_wins(m: int, mf: int) -> bool:
     return result.broadcast_failed
 
 
+@dataclass(frozen=True)
+class UncertainSweepPoint:
+    """One budget fraction of the open-region map (picklable)."""
+
+    r: int
+    t: int
+    mf: int
+    m: int
+
+
+def _run_uncertain_point(point: UncertainSweepPoint) -> UncertainPoint:
+    """Attack one budget point with every implemented adversary (worker-safe)."""
+    r, t, mf, m = point.r, point.t, point.mf, point.m
+    stripe_spec = GridSpec(
+        width=6 * (2 * r + 1), height=6 * (2 * r + 1), r=r, torus=True
+    )
+    stripe = _stripe_attack_wins(stripe_spec, t, mf, m) if r <= 2 else False
+    if r == 4 and t == 1:
+        lattice = _lattice_attack_wins(m, mf)
+    else:
+        lattice = False
+    return UncertainPoint(
+        m=m,
+        m_over_m0=m / m0(r, t, mf),
+        stripe_wins=stripe,
+        lattice_wins=lattice,
+    )
+
+
 def run_uncertain_region(
     *,
     r: int = 4,
     t: int = 1,
     mf: int = 1000,
     fractions: tuple[float, ...] = (1.0, 1.02, 1.1, 1.3, 1.6, 2.0),
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> UncertainRegionResult:
     lower = m0(r, t, mf)
     corner_suppliers = 2 * (2 * r) * r + 1  # 32 square suppliers + 1 mid-side
-    stripe_spec = GridSpec(
-        width=6 * (2 * r + 1), height=6 * (2 * r + 1), r=r, torus=True
+    sweep_points = [
+        UncertainSweepPoint(r=r, t=t, mf=mf, m=max(lower, round(lower * fraction)))
+        for fraction in fractions
+    ]
+    result = parallel_sweep(
+        sweep_points,
+        _run_uncertain_point,
+        workers=workers,
+        cache=cache,
+        progress=progress,
     )
-    points = []
-    for fraction in fractions:
-        m = max(lower, round(lower * fraction))
-        stripe = _stripe_attack_wins(stripe_spec, t, mf, m) if r <= 2 else False
-        if r == 4 and t == 1:
-            lattice = _lattice_attack_wins(m, mf)
-        else:
-            lattice = False
-        points.append(
-            UncertainPoint(
-                m=m,
-                m_over_m0=m / lower,
-                stripe_wins=stripe,
-                lattice_wins=lattice,
-            )
-        )
+    points = list(result.results)
     return UncertainRegionResult(
         r=r,
         t=t,
@@ -140,6 +168,16 @@ def run_uncertain_region(
         lattice_breakable_until=lattice_breakable_max_m(mf, t),
         points=tuple(points),
     )
+
+
+def run(
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> UncertainRegionResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    return run_uncertain_region(workers=workers, cache=cache, progress=progress)
 
 
 def table(result: UncertainRegionResult) -> str:

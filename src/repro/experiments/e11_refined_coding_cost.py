@@ -33,10 +33,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.coding.chain import ChainCode
 from repro.coding.icode import ICode
 from repro.coding.params import coded_length
+from repro.runner.parallel import ResultCache
+from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
 from repro.sim.rng import RngRegistry
 
@@ -126,32 +129,70 @@ def _simulate_icode(k: int, attacks: int, rng: random.Random) -> int:
             sent += 2 + ADDR_OVERHEAD_BITS
 
 
+@dataclass(frozen=True)
+class RefinedCostPoint:
+    """One (k, attacks) cell of the refined-cost study (picklable)."""
+
+    k: int
+    attacks: int
+    seed: int
+
+
+def _run_refined_cost_point(point: RefinedCostPoint) -> RefinedCostRow:
+    """Simulate one (k, attacks) cell (worker-safe).
+
+    Uses the historical stream name ``(k, attacks)`` off
+    ``RngRegistry(seed)``, with the chain simulation drawing before the
+    I-code simulation on the same stream — identical to the serial loop.
+    """
+    k, attacks = point.k, point.attacks
+    chain_bits = chain_cost_bits(k, attacks)
+    icode_bits = icode_cost_bits(k, attacks)
+    rng = RngRegistry(point.seed).stream(k, attacks)
+    return RefinedCostRow(
+        k=k,
+        attacks=attacks,
+        chain_bits=chain_bits,
+        icode_bits=icode_bits,
+        chain_wins=chain_bits <= icode_bits,
+        simulated_chain_bits=_simulate_chain(k, attacks, rng),
+        simulated_icode_bits=_simulate_icode(k, attacks, rng),
+    )
+
+
 def run_refined_cost(
     *,
     ks: tuple[int, ...] = (32, 128, 512),
     attack_counts: tuple[int, ...] = (0, 1, 2, 5, 20),
     seed: int = 13,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> RefinedCostResult:
-    registry = RngRegistry(seed)
-    rows = []
-    for k in ks:
-        for attacks in attack_counts:
-            chain_bits = chain_cost_bits(k, attacks)
-            icode_bits = icode_cost_bits(k, attacks)
-            rng = registry.stream(k, attacks)
-            rows.append(
-                RefinedCostRow(
-                    k=k,
-                    attacks=attacks,
-                    chain_bits=chain_bits,
-                    icode_bits=icode_bits,
-                    chain_wins=chain_bits <= icode_bits,
-                    simulated_chain_bits=_simulate_chain(k, attacks, rng),
-                    simulated_icode_bits=_simulate_icode(k, attacks, rng),
-                )
-            )
+    points = [
+        RefinedCostPoint(k=k, attacks=attacks, seed=seed)
+        for k in ks
+        for attacks in attack_counts
+    ]
+    result = parallel_sweep(
+        points,
+        _run_refined_cost_point,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
     crossovers = tuple((k, crossover_attacks(k)) for k in ks)
-    return RefinedCostResult(rows=tuple(rows), crossovers=crossovers)
+    return RefinedCostResult(rows=tuple(result.results), crossovers=crossovers)
+
+
+def run(
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> RefinedCostResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    return run_refined_cost(workers=workers, cache=cache, progress=progress)
 
 
 def table(result: RefinedCostResult) -> str:

@@ -19,10 +19,13 @@ markedly higher failure probabilities.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.adversary.placement import BernoulliPlacement
 from repro.network.grid import GridSpec
 from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
+from repro.runner.parallel import ResultCache
+from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
 
 
@@ -58,6 +61,48 @@ class ProbabilisticFailureResult:
         return True
 
 
+@dataclass(frozen=True)
+class FailureSweepPoint:
+    """One (r, p) crash-failure cell, all trials included (picklable)."""
+
+    r: int
+    p: float
+    trials: int
+    seed: int
+    width: int
+
+
+def _run_failure_point(point: FailureSweepPoint) -> FailurePoint:
+    """Run every trial of one (r, p) cell (worker-safe)."""
+    r, p = point.r, point.p
+    side = 2 * r + 1
+    grid_width = (point.width // side) * side
+    spec = GridSpec(width=grid_width, height=grid_width, r=r, torus=True)
+    fractions = []
+    complete = True
+    for trial in range(point.trials):
+        cfg = ThresholdRunConfig(
+            spec=spec,
+            t=0,  # crash faults only: no Byzantine values
+            mf=0,
+            placement=BernoulliPlacement(p=p, seed=point.seed + 97 * trial),
+            protocol="b",
+            behavior="none",
+            validate_local_bound=False,
+            batch_per_slot=4,
+        )
+        report = run_threshold_broadcast(cfg)
+        fractions.append(report.outcome.decided_fraction)
+        complete = complete and report.outcome.complete
+    return FailurePoint(
+        r=r,
+        p=p,
+        trials=point.trials,
+        mean_decided_fraction=sum(fractions) / len(fractions),
+        all_complete=complete,
+    )
+
+
 def run_probabilistic_failures(
     *,
     width: int = 30,
@@ -65,39 +110,35 @@ def run_probabilistic_failures(
     ps: tuple[float, ...] = (0.0, 0.1, 0.25, 0.4, 0.55, 0.7),
     trials: int = 3,
     seed: int = 23,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> ProbabilisticFailureResult:
-    points = []
-    for r in rs:
-        side = 2 * r + 1
-        grid_width = (width // side) * side
-        spec = GridSpec(width=grid_width, height=grid_width, r=r, torus=True)
-        for p in ps:
-            fractions = []
-            complete = True
-            for trial in range(trials):
-                cfg = ThresholdRunConfig(
-                    spec=spec,
-                    t=0,  # crash faults only: no Byzantine values
-                    mf=0,
-                    placement=BernoulliPlacement(p=p, seed=seed + 97 * trial),
-                    protocol="b",
-                    behavior="none",
-                    validate_local_bound=False,
-                    batch_per_slot=4,
-                )
-                report = run_threshold_broadcast(cfg)
-                fractions.append(report.outcome.decided_fraction)
-                complete = complete and report.outcome.complete
-            points.append(
-                FailurePoint(
-                    r=r,
-                    p=p,
-                    trials=trials,
-                    mean_decided_fraction=sum(fractions) / len(fractions),
-                    all_complete=complete,
-                )
-            )
-    return ProbabilisticFailureResult(width=width, points=tuple(points))
+    sweep_points = [
+        FailureSweepPoint(r=r, p=p, trials=trials, seed=seed, width=width)
+        for r in rs
+        for p in ps
+    ]
+    result = parallel_sweep(
+        sweep_points,
+        _run_failure_point,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
+    return ProbabilisticFailureResult(width=width, points=tuple(result.results))
+
+
+def run(
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> ProbabilisticFailureResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    return run_probabilistic_failures(
+        workers=workers, cache=cache, progress=progress
+    )
 
 
 def table(result: ProbabilisticFailureResult) -> str:

@@ -14,10 +14,17 @@ of single-hop sessions with a budgeted sub-bit attacker, measuring
 
 from __future__ import annotations
 
+import random as _random
 from dataclasses import dataclass
+from typing import Callable
 
-from repro.coding.linklayer import run_link_session
+from repro.coding.chain import ChainCode
+from repro.coding.channel import UnidirectionalChannel
+from repro.coding.linklayer import CodedLinkSession, LinkAttacker, run_link_session
 from repro.coding.params import attack_success_probability
+from repro.coding.subbit import SubbitCodec
+from repro.runner.parallel import ResultCache
+from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
 
 
@@ -51,27 +58,46 @@ class LinkValidationResult:
         return attack_success_probability(self.block_length)
 
 
-def run_link_validation(
-    *,
-    sessions: int = 300,
-    k: int = 16,
-    block_length: int = 8,
-    n_receivers: int = 8,
-    attacker_budget: int = 3,
-    seed: int = 42,
-) -> LinkValidationResult:
+@dataclass(frozen=True)
+class LinkSessionChunk:
+    """A contiguous range of single-hop sessions (picklable sweep point).
+
+    Per-session seeds derive from the absolute session index, so the
+    partition into chunks cannot change any session's randomness.
+    """
+
+    start: int
+    count: int
+    k: int
+    block_length: int
+    n_receivers: int
+    attacker_budget: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class LinkChunkStats:
+    """Partial sums over one chunk, merged by :func:`run_link_validation`."""
+
+    delivered_all: int
+    exact_cost_matches: int
+    forgeries: int
+    cancellation_attempts: int
+    cancellation_successes: int
+
+
+def _run_link_chunk(chunk: LinkSessionChunk) -> LinkChunkStats:
+    """Run both validation passes over one session range (worker-safe)."""
     delivered = 0
     exact_cost = 0
-    cancel_attempts = 0
-    cancel_successes = 0
     forgeries = 0
-    for index in range(sessions):
+    for index in range(chunk.start, chunk.start + chunk.count):
         outcome = run_link_session(
-            k=k,
-            block_length=block_length,
-            n_receivers=n_receivers,
-            attacker_budget=attacker_budget,
-            seed=seed + index,
+            k=chunk.k,
+            block_length=chunk.block_length,
+            n_receivers=chunk.n_receivers,
+            attacker_budget=chunk.attacker_budget,
+            seed=chunk.seed + index,
         )
         delivered += outcome.all_delivered
         # Model: every attack on DATA costs one retransmission. Attacks on
@@ -83,43 +109,94 @@ def run_link_validation(
 
     # Second pass with explicit attacker objects (cancellations only) to
     # aggregate the 1->0 success-rate statistics.
-    import random as _random
-
-    from repro.coding.chain import ChainCode
-    from repro.coding.channel import UnidirectionalChannel
-    from repro.coding.linklayer import CodedLinkSession, LinkAttacker
-    from repro.coding.subbit import SubbitCodec
-
-    for index in range(sessions):
-        rng = _random.Random(10_000 + seed + index)
-        codec = SubbitCodec(block_length=block_length, rng=_random.Random(index))
+    cancel_attempts = 0
+    cancel_successes = 0
+    for index in range(chunk.start, chunk.start + chunk.count):
+        rng = _random.Random(10_000 + chunk.seed + index)
+        codec = SubbitCodec(
+            block_length=chunk.block_length, rng=_random.Random(index)
+        )
         attacker = LinkAttacker(
             channel=UnidirectionalChannel(codec),
             rng=rng,
-            budget=attacker_budget,
+            budget=chunk.attacker_budget,
             inject_fraction=0.0,  # cancellations only, to measure the rate
         )
         session = CodedLinkSession(
-            message=tuple(_random.Random(index + 1).getrandbits(1) for _ in range(k)),
-            chain=ChainCode(k),
+            message=tuple(
+                _random.Random(index + 1).getrandbits(1) for _ in range(chunk.k)
+            ),
+            chain=ChainCode(chunk.k),
             codec=codec,
             attacker=attacker,
-            n_receivers=n_receivers,
+            n_receivers=chunk.n_receivers,
         )
         session.run()
         cancel_attempts += attacker.cancellations_attempted
         cancel_successes += attacker.cancellations_succeeded
 
+    return LinkChunkStats(
+        delivered_all=delivered,
+        exact_cost_matches=exact_cost,
+        forgeries=forgeries,
+        cancellation_attempts=cancel_attempts,
+        cancellation_successes=cancel_successes,
+    )
+
+
+def run_link_validation(
+    *,
+    sessions: int = 300,
+    k: int = 16,
+    block_length: int = 8,
+    n_receivers: int = 8,
+    attacker_budget: int = 3,
+    seed: int = 42,
+    chunk_sessions: int = 50,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> LinkValidationResult:
+    chunks = [
+        LinkSessionChunk(
+            start=start,
+            count=min(chunk_sessions, sessions - start),
+            k=k,
+            block_length=block_length,
+            n_receivers=n_receivers,
+            attacker_budget=attacker_budget,
+            seed=seed,
+        )
+        for start in range(0, sessions, chunk_sessions)
+    ]
+    result = parallel_sweep(
+        chunks,
+        _run_link_chunk,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
+    stats = list(result.results)
     return LinkValidationResult(
         sessions=sessions,
         block_length=block_length,
         attacker_budget=attacker_budget,
-        delivered_all=delivered,
-        exact_cost_matches=exact_cost,
-        total_cancellation_attempts=cancel_attempts,
-        total_cancellation_successes=cancel_successes,
-        total_forgeries=forgeries,
+        delivered_all=sum(s.delivered_all for s in stats),
+        exact_cost_matches=sum(s.exact_cost_matches for s in stats),
+        total_cancellation_attempts=sum(s.cancellation_attempts for s in stats),
+        total_cancellation_successes=sum(s.cancellation_successes for s in stats),
+        total_forgeries=sum(s.forgeries for s in stats),
     )
+
+
+def run(
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> LinkValidationResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    return run_link_validation(workers=workers, cache=cache, progress=progress)
 
 
 def table(result: LinkValidationResult) -> str:

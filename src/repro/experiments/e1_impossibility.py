@@ -25,11 +25,14 @@ E8 maps the resulting empirical boundary against Corollary 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.adversary.placement import two_stripe_band
 from repro.analysis.bounds import m0
 from repro.network.grid import Grid, GridSpec
 from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
+from repro.runner.parallel import ResultCache
+from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
 from repro.types import NodeId
 
@@ -65,6 +68,56 @@ class ImpossibilityResult:
         return all(p.success for p in self.points if p.m >= 2 * self.m0)
 
 
+@dataclass(frozen=True)
+class StripePoint:
+    """One self-contained sweep point: everything a worker needs."""
+
+    r: int
+    t: int
+    mf: int
+    width: int
+    height: int
+    band_height: int
+    below_y0: int
+    m: int
+
+
+def _run_stripe_point(point: StripePoint) -> ImpossibilityPoint:
+    """Rebuild the stripe scenario from the point and run it (worker-safe)."""
+    spec = GridSpec(
+        width=point.width, height=point.height, r=point.r, torus=True
+    )
+    grid = Grid(spec)
+    placement, band_rows = two_stripe_band(
+        grid, t=point.t, band_height=point.band_height, below_y0=point.below_y0
+    )
+    band_ids: list[NodeId] = [
+        grid.id_of((x, y)) for y in band_rows for x in range(point.width)
+    ]
+    cfg = ThresholdRunConfig(
+        spec=spec,
+        t=point.t,
+        mf=point.mf,
+        placement=placement,
+        protocol="b",
+        m=point.m,
+        protected=band_ids,
+        batch_per_slot=4,
+    )
+    report = run_threshold_broadcast(cfg)
+    band_good = [nid for nid in band_ids if nid in report.nodes]
+    decided = sum(1 for nid in band_good if report.nodes[nid].decided)
+    lower = m0(point.r, point.t, point.mf)
+    return ImpossibilityPoint(
+        m=point.m,
+        m_over_m0=point.m / lower,
+        band_decided=decided,
+        band_total=len(band_good),
+        success=report.success,
+        jams_spent=report.costs.bad_total,
+    )
+
+
 def run_impossibility(
     *,
     r: int = 2,
@@ -75,47 +128,42 @@ def run_impossibility(
     band_height: int = 6,
     below_y0: int = 8,
     ms: tuple[int, ...] | None = None,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> ImpossibilityResult:
     """Sweep ``m`` through the stripe scenario and record band coverage."""
-    spec = GridSpec(width=width, height=height, r=r, torus=True)
-    grid = Grid(spec)
-    placement, band_rows = two_stripe_band(
-        grid, t=t, band_height=band_height, below_y0=below_y0
-    )
     lower = m0(r, t, mf)
     if ms is None:
         ms = tuple(sorted({1, lower - 1, lower, lower + 1, 2 * lower, 2 * lower + 1}))
         ms = tuple(m for m in ms if m >= 1)
-
-    band_ids: list[NodeId] = [
-        grid.id_of((x, y)) for y in band_rows for x in range(width)
+    points = [
+        StripePoint(
+            r=r, t=t, mf=mf, width=width, height=height,
+            band_height=band_height, below_y0=below_y0, m=m,
+        )
+        for m in ms
     ]
-    points = []
-    for m in ms:
-        cfg = ThresholdRunConfig(
-            spec=spec,
-            t=t,
-            mf=mf,
-            placement=placement,
-            protocol="b",
-            m=m,
-            protected=band_ids,
-            batch_per_slot=4,
-        )
-        report = run_threshold_broadcast(cfg)
-        band_good = [nid for nid in band_ids if nid in report.nodes]
-        decided = sum(1 for nid in band_good if report.nodes[nid].decided)
-        points.append(
-            ImpossibilityPoint(
-                m=m,
-                m_over_m0=m / lower,
-                band_decided=decided,
-                band_total=len(band_good),
-                success=report.success,
-                jams_spent=report.costs.bad_total,
-            )
-        )
-    return ImpossibilityResult(r=r, t=t, mf=mf, m0=lower, points=tuple(points))
+    result = parallel_sweep(
+        points,
+        _run_stripe_point,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
+    return ImpossibilityResult(
+        r=r, t=t, mf=mf, m0=lower, points=tuple(result.results)
+    )
+
+
+def run(
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> ImpossibilityResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    return run_impossibility(workers=workers, cache=cache, progress=progress)
 
 
 def table(result: ImpossibilityResult) -> str:

@@ -28,6 +28,7 @@ to exactly 1000 clean copies.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.adversary.jamming import PlannedJammer
 from repro.adversary.placement import LatticePlacement
@@ -35,7 +36,10 @@ from repro.analysis.bounds import m0
 from repro.errors import ConfigurationError
 from repro.network.grid import Grid, GridSpec
 from repro.runner.broadcast_run import BroadcastReport, ThresholdRunConfig, run_threshold_broadcast
+from repro.runner.parallel import ResultCache
+from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
+from repro.runner.sweep import SweepResult
 from repro.types import Coord, NodeId
 
 R, T, MF = 4, 1, 1000
@@ -200,6 +204,123 @@ def _collect(report, cfg: ThresholdRunConfig, m: int, mf: int) -> Figure2Result:
         defender_spend=report.ledger.sent(defender),
         broadcast_failed=not report.outcome.complete,
         report=report,
+    )
+
+
+@dataclass(frozen=True)
+class Figure2SweepPoint:
+    """One generalized Figure-2 instance (picklable sweep point)."""
+
+    m: int
+    mf: int
+    max_rounds: int = 130
+    batch_per_slot: int = 25
+
+
+@dataclass(frozen=True)
+class Figure2Summary:
+    """Comparison-friendly projection of :class:`Figure2Result`.
+
+    Carries the outcome bits, paper quantities, and message counts —
+    everything the determinism suite compares point-for-point — but not
+    the live :class:`BroadcastReport` (worker results must be picklable
+    and cacheable).
+    """
+
+    m: int
+    mf: int
+    m0: int
+    decided_good: int
+    expected_decided: int
+    p_potential: int
+    p_clean: int
+    p_suppliers: int
+    midside_potential: int
+    defender_spend: int
+    broadcast_failed: bool
+    good_total_sent: int
+    good_max_sent: int
+    bad_total_sent: int
+    rounds: int
+
+
+#: Default sweep: the paper instance m = m0 + 1 = 59 plus neighbors inside
+#: the fundable window 51 <= m <= 60 of validate_figure2_attack at mf=1000.
+DEFAULT_SWEEP_POINTS: tuple[Figure2SweepPoint, ...] = (
+    Figure2SweepPoint(m=57, mf=MF),
+    Figure2SweepPoint(m=M, mf=MF),
+    Figure2SweepPoint(m=60, mf=MF),
+)
+
+
+def _run_sweep_point(point: Figure2SweepPoint) -> Figure2Summary:
+    """Run one generalized Figure-2 instance and summarize (worker-safe)."""
+    result = run_figure2_generalized(
+        m=point.m,
+        mf=point.mf,
+        max_rounds=point.max_rounds,
+        batch_per_slot=point.batch_per_slot,
+    )
+    report = result.report
+    return Figure2Summary(
+        m=point.m,
+        mf=point.mf,
+        m0=result.m0,
+        decided_good=result.decided_good,
+        expected_decided=result.expected_decided,
+        p_potential=result.p_potential,
+        p_clean=result.p_clean,
+        p_suppliers=result.p_suppliers,
+        midside_potential=result.midside_potential,
+        defender_spend=result.defender_spend,
+        broadcast_failed=result.broadcast_failed,
+        good_total_sent=report.costs.good_total,
+        good_max_sent=report.costs.good_max,
+        bad_total_sent=report.costs.bad_total,
+        rounds=report.outcome.rounds,
+    )
+
+
+def run_sweep(
+    *,
+    points: tuple[Figure2SweepPoint, ...] = DEFAULT_SWEEP_POINTS,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> SweepResult:
+    """Sweep generalized Figure-2 instances (registry entry point)."""
+    return parallel_sweep(
+        points,
+        _run_sweep_point,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
+
+
+def sweep_table(result: SweepResult) -> str:
+    rows = result.rows(
+        lambda point, s: [
+            s.m,
+            s.mf,
+            s.m0,
+            s.decided_good + 1,
+            s.p_suppliers,
+            s.p_clean,
+            s.defender_spend,
+            s.broadcast_failed,
+            s.good_max_sent,
+            s.rounds,
+        ]
+    )
+    return format_table(
+        ["m", "mf", "m0", "decided+src", "p suppliers", "p clean",
+         "defender spent", "fails", "max good sent", "rounds"],
+        rows,
+        title=(
+            "E2 - generalized Figure 2 corner-starvation sweep "
+            f"(r={R}, t={T}; paper instance is m={M}, mf={MF})"
+        ),
     )
 
 

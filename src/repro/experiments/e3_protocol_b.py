@@ -11,11 +11,14 @@ ratio to the lower bound ``m0`` (paper: within twice the lower bound).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.adversary.placement import RandomPlacement, two_stripe_band
 from repro.analysis.bounds import m0, protocol_b_relay_count
 from repro.network.grid import Grid, GridSpec
 from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
+from repro.runner.parallel import ResultCache
+from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
 
 #: Default sweep: (r, t, mf) triples exercising low/high collision budgets
@@ -64,59 +67,92 @@ def _grid_for(r: int) -> GridSpec:
     return GridSpec(width=dim, height=dim, r=r, torus=True)
 
 
+@dataclass(frozen=True)
+class TheoremTwoSweepPoint:
+    """One (r, t, mf, placement) scenario, self-contained for workers."""
+
+    r: int
+    t: int
+    mf: int
+    placement: str  # "stripe-band" | "random"
+    seed: int
+
+
+def _run_theorem2_point(point: TheoremTwoSweepPoint) -> TheoremTwoPoint:
+    """Rebuild and run one Theorem-2 scenario (worker-safe)."""
+    r, t, mf = point.r, point.t, point.mf
+    spec = _grid_for(r)
+    grid = Grid(spec)
+    lower = m0(r, t, mf)
+    m = 2 * lower
+    if point.placement == "stripe-band":
+        placement, band_rows = two_stripe_band(
+            grid, t=t, band_height=2 * r + 2, below_y0=3 * r
+        )
+        protected = [
+            grid.id_of((x, y)) for y in band_rows for x in range(spec.width)
+        ]
+    else:
+        placement = RandomPlacement(
+            t=t, count=grid.n // (2 * (2 * r + 1) ** 2), seed=point.seed
+        )
+        protected = None
+    cfg = ThresholdRunConfig(
+        spec=spec,
+        t=t,
+        mf=mf,
+        placement=placement,
+        protocol="b",
+        m=m,
+        protected=protected,
+        batch_per_slot=4,
+    )
+    report = run_threshold_broadcast(cfg)
+    return TheoremTwoPoint(
+        r=r,
+        t=t,
+        mf=mf,
+        m0=lower,
+        m=m,
+        relay_count=protocol_b_relay_count(r, t, mf),
+        placement=point.placement,
+        success=report.success,
+        max_good_sent=report.costs.good_max,
+        cost_over_lower_bound=report.costs.good_max / lower,
+    )
+
+
 def run_theorem2(
     configs: tuple[tuple[int, int, int], ...] = DEFAULT_CONFIGS,
     *,
     seed: int = 7,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> TheoremTwoResult:
-    points: list[TheoremTwoPoint] = []
-    for r, t, mf in configs:
-        spec = _grid_for(r)
-        grid = Grid(spec)
-        lower = m0(r, t, mf)
-        m = 2 * lower
-        relay = protocol_b_relay_count(r, t, mf)
+    points = [
+        TheoremTwoSweepPoint(r=r, t=t, mf=mf, placement=label, seed=seed)
+        for r, t, mf in configs
+        for label in ("stripe-band", "random")
+    ]
+    result = parallel_sweep(
+        points,
+        _run_theorem2_point,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
+    return TheoremTwoResult(points=tuple(result.results))
 
-        stripe_placement, band_rows = two_stripe_band(
-            grid, t=t, band_height=2 * r + 2, below_y0=3 * r
-        )
-        band_ids = [
-            grid.id_of((x, y)) for y in band_rows for x in range(spec.width)
-        ]
-        random_placement = RandomPlacement(
-            t=t, count=grid.n // (2 * (2 * r + 1) ** 2), seed=seed
-        )
 
-        for label, placement, protected in (
-            ("stripe-band", stripe_placement, band_ids),
-            ("random", random_placement, None),
-        ):
-            cfg = ThresholdRunConfig(
-                spec=spec,
-                t=t,
-                mf=mf,
-                placement=placement,
-                protocol="b",
-                m=m,
-                protected=protected,
-                batch_per_slot=4,
-            )
-            report = run_threshold_broadcast(cfg)
-            points.append(
-                TheoremTwoPoint(
-                    r=r,
-                    t=t,
-                    mf=mf,
-                    m0=lower,
-                    m=m,
-                    relay_count=relay,
-                    placement=label,
-                    success=report.success,
-                    max_good_sent=report.costs.good_max,
-                    cost_over_lower_bound=report.costs.good_max / lower,
-                )
-            )
-    return TheoremTwoResult(points=tuple(points))
+def run(
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> TheoremTwoResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    return run_theorem2(workers=workers, cache=cache, progress=progress)
 
 
 def table(result: TheoremTwoResult) -> str:

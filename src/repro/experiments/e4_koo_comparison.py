@@ -11,6 +11,7 @@ differs).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.adversary.placement import RandomPlacement
 from repro.analysis.bounds import (
@@ -21,6 +22,8 @@ from repro.analysis.bounds import (
 )
 from repro.network.grid import GridSpec
 from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
+from repro.runner.parallel import ResultCache
+from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
 
 DEFAULT_CONFIGS: tuple[tuple[int, int, int], ...] = (
@@ -85,36 +88,87 @@ def analytic_rows(
     return tuple(rows)
 
 
+@dataclass(frozen=True)
+class ProtocolRunPoint:
+    """One protocol's run on the shared scenario (picklable)."""
+
+    protocol: str  # "koo" | "b"
+    r: int
+    t: int
+    mf: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class ProtocolRunOutcome:
+    protocol: str
+    success: bool
+    max_good_sent: int
+
+
+def _run_protocol_point(point: ProtocolRunPoint) -> ProtocolRunOutcome:
+    """Run one protocol on the shared comparison scenario (worker-safe)."""
+    side = 2 * point.r + 1
+    spec = GridSpec(width=6 * side, height=6 * side, r=point.r, torus=True)
+    cfg = ThresholdRunConfig(
+        spec=spec,
+        t=point.t,
+        mf=point.mf,
+        placement=RandomPlacement(t=point.t, count=20, seed=point.seed),
+        protocol=point.protocol,  # type: ignore[arg-type]
+        batch_per_slot=4,
+    )
+    report = run_threshold_broadcast(cfg)
+    return ProtocolRunOutcome(
+        protocol=point.protocol,
+        success=report.success,
+        max_good_sent=report.costs.good_max,
+    )
+
+
 def run_comparison(
-    *, r: int = 2, t: int = 2, mf: int = 3, seed: int = 11
+    *,
+    r: int = 2,
+    t: int = 2,
+    mf: int = 3,
+    seed: int = 11,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> KooComparisonResult:
     """Tabulate budgets and measure both protocols on one shared scenario."""
-    side = 2 * r + 1
-    spec = GridSpec(width=6 * side, height=6 * side, r=r, torus=True)
-    placement = RandomPlacement(t=t, count=20, seed=seed)
-
-    reports = {}
-    for name in ("koo", "b"):
-        cfg = ThresholdRunConfig(
-            spec=spec,
-            t=t,
-            mf=mf,
-            placement=placement,
-            protocol=name,  # type: ignore[arg-type]
-            batch_per_slot=4,
-        )
-        reports[name] = run_threshold_broadcast(cfg)
-
+    points = [
+        ProtocolRunPoint(protocol=name, r=r, t=t, mf=mf, seed=seed)
+        for name in ("koo", "b")
+    ]
+    result = parallel_sweep(
+        points,
+        _run_protocol_point,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
+    by_name = {outcome.protocol: outcome for outcome in result.results}
     measured = MeasuredComparison(
         r=r,
         t=t,
         mf=mf,
-        koo_success=reports["koo"].success,
-        koo_max_sent=reports["koo"].costs.good_max,
-        b_success=reports["b"].success,
-        b_max_sent=reports["b"].costs.good_max,
+        koo_success=by_name["koo"].success,
+        koo_max_sent=by_name["koo"].max_good_sent,
+        b_success=by_name["b"].success,
+        b_max_sent=by_name["b"].max_good_sent,
     )
     return KooComparisonResult(rows=analytic_rows(), measured=measured)
+
+
+def run(
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> KooComparisonResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    return run_comparison(workers=workers, cache=cache, progress=progress)
 
 
 def table(result: KooComparisonResult) -> str:

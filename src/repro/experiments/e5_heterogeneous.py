@@ -15,12 +15,15 @@ experiment verifies:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.adversary.placement import RandomPlacement, two_stripe_band
 from repro.analysis.bounds import m0, protocol_b_relay_count
 from repro.analysis.budgets import heterogeneous_assignment
 from repro.network.grid import Grid, GridSpec
 from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
+from repro.runner.parallel import ResultCache
+from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
 
 
@@ -55,6 +58,71 @@ class HeterogeneousResult:
         return all(p.average_budget < p.homogeneous_budget for p in self.points)
 
 
+@dataclass(frozen=True)
+class HeterogeneousSweepPoint:
+    """One (width, placement) heterogeneous scenario (picklable)."""
+
+    width: int
+    r: int
+    t: int
+    mf: int
+    placement: str  # "stripe-band" | "random"
+    seed: int
+
+
+def _run_heterogeneous_point(
+    point: HeterogeneousSweepPoint,
+) -> HeterogeneousPoint:
+    """Rebuild and run one B_heter scenario (worker-safe)."""
+    width, r, t, mf = point.width, point.r, point.t, point.mf
+    lower = m0(r, t, mf)
+    homogeneous = 2 * lower
+    spec = GridSpec(width=width, height=width, r=r, torus=True)
+    grid = Grid(spec)
+    source = grid.id_of((0, 0))
+    assignment = heterogeneous_assignment(grid, source, t, mf)
+    if point.placement == "stripe-band":
+        placement, band_rows = two_stripe_band(
+            grid, t=t, band_height=2 * r + 2, below_y0=3 * r
+        )
+        protected = [
+            gid
+            for y in band_rows
+            for gid in (grid.id_of((x, y)) for x in range(width))
+        ]
+    else:
+        placement = RandomPlacement(
+            t=t, count=grid.n // (2 * (2 * r + 1) ** 2), seed=point.seed
+        )
+        protected = None
+    cfg = ThresholdRunConfig(
+        spec=spec,
+        t=t,
+        mf=mf,
+        placement=placement,
+        protocol="heter",
+        protected=protected,
+        batch_per_slot=4,
+    )
+    report = run_threshold_broadcast(cfg)
+    return HeterogeneousPoint(
+        width=width,
+        r=r,
+        t=t,
+        mf=mf,
+        m0=lower,
+        m_prime=protocol_b_relay_count(r, t, mf),
+        placement=point.placement,
+        success=report.success,
+        privileged=len(assignment.privileged),
+        privileged_fraction=len(assignment.privileged) / grid.n,
+        average_budget=assignment.average,
+        homogeneous_budget=homogeneous,
+        savings_fraction=1 - assignment.average / homogeneous,
+        max_sent=report.costs.good_max,
+    )
+
+
 def run_heterogeneous(
     *,
     r: int = 2,
@@ -62,57 +130,35 @@ def run_heterogeneous(
     mf: int = 3,
     widths: tuple[int, ...] = (30, 60, 90),
     seed: int = 5,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> HeterogeneousResult:
-    points: list[HeterogeneousPoint] = []
-    lower = m0(r, t, mf)
-    m_prime = protocol_b_relay_count(r, t, mf)
-    homogeneous = 2 * lower
-    for width in widths:
-        spec = GridSpec(width=width, height=width, r=r, torus=True)
-        grid = Grid(spec)
-        source = grid.id_of((0, 0))
-        assignment = heterogeneous_assignment(grid, source, t, mf)
+    points = [
+        HeterogeneousSweepPoint(
+            width=width, r=r, t=t, mf=mf, placement=label, seed=seed
+        )
+        for width in widths
+        for label in ("stripe-band", "random")
+    ]
+    result = parallel_sweep(
+        points,
+        _run_heterogeneous_point,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
+    return HeterogeneousResult(points=tuple(result.results))
 
-        stripe_placement, band_rows = two_stripe_band(
-            grid, t=t, band_height=2 * r + 2, below_y0=3 * r
-        )
-        band_ids = [gid for y in band_rows for gid in (grid.id_of((x, y)) for x in range(width))]
-        random_placement = RandomPlacement(
-            t=t, count=grid.n // (2 * (2 * r + 1) ** 2), seed=seed
-        )
-        for label, placement, protected in (
-            ("stripe-band", stripe_placement, band_ids),
-            ("random", random_placement, None),
-        ):
-            cfg = ThresholdRunConfig(
-                spec=spec,
-                t=t,
-                mf=mf,
-                placement=placement,
-                protocol="heter",
-                protected=protected,
-                batch_per_slot=4,
-            )
-            report = run_threshold_broadcast(cfg)
-            points.append(
-                HeterogeneousPoint(
-                    width=width,
-                    r=r,
-                    t=t,
-                    mf=mf,
-                    m0=lower,
-                    m_prime=m_prime,
-                    placement=label,
-                    success=report.success,
-                    privileged=len(assignment.privileged),
-                    privileged_fraction=len(assignment.privileged) / grid.n,
-                    average_budget=assignment.average,
-                    homogeneous_budget=homogeneous,
-                    savings_fraction=1 - assignment.average / homogeneous,
-                    max_sent=report.costs.good_max,
-                )
-            )
-    return HeterogeneousResult(points=tuple(points))
+
+def run(
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> HeterogeneousResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    return run_heterogeneous(workers=workers, cache=cache, progress=progress)
 
 
 def table(result: HeterogeneousResult) -> str:

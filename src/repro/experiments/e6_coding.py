@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.coding.bits import random_bits
 from repro.coding.chain import ChainCode, demonstrate_all_zero_forgery
@@ -30,6 +31,8 @@ from repro.coding.params import (
     coded_length_upper_bound,
 )
 from repro.coding.subbit import SubbitCodec
+from repro.runner.parallel import ResultCache
+from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
 from repro.sim.rng import RngRegistry
 
@@ -114,44 +117,91 @@ def run_detection(*, k: int = 32, trials: int = 2000, seed: int = 3) -> Detectio
     )
 
 
+@dataclass(frozen=True)
+class CancellationPoint:
+    """One block length's Monte-Carlo cancellation study (picklable)."""
+
+    block_length: int
+    trials: int
+    seed: int
+
+
+def _run_cancellation_point(point: CancellationPoint) -> CancellationRow:
+    """Monte-Carlo one block length (worker-safe).
+
+    Streams are named exactly as the historical serial loop named them —
+    ``("encode", L)`` and ``("attack", L)`` off ``RngRegistry(seed)`` — so
+    results are bit-identical regardless of which worker runs the point.
+    """
+    length = point.block_length
+    registry = RngRegistry(point.seed)
+    codec = SubbitCodec(block_length=length, rng=registry.stream("encode", length))
+    channel = UnidirectionalChannel(codec)
+    attack_rng: random.Random = registry.stream("attack", length)
+    successes = 0
+    for _ in range(point.trials):
+        signal = codec.encode_bit(1)
+        attack = channel.cancel_attack(len(signal), 0, attack_rng)
+        received = channel.transmit(signal, attack)
+        if codec.decode_block(received) == 0:
+            successes += 1
+    return CancellationRow(
+        block_length=length,
+        trials=point.trials,
+        successes=successes,
+        measured_rate=successes / point.trials,
+        analytic_rate=attack_success_probability(length),
+    )
+
+
 def run_cancellation(
     *,
     block_lengths: tuple[int, ...] = (2, 4, 6, 8),
     trials: int = 30000,
     seed: int = 9,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> tuple[CancellationRow, ...]:
     """Monte-Carlo 1→0 cancellation attacks vs the analytic rate."""
-    rows = []
-    registry = RngRegistry(seed)
-    for length in block_lengths:
-        codec = SubbitCodec(block_length=length, rng=registry.stream("encode", length))
-        channel = UnidirectionalChannel(codec)
-        attack_rng: random.Random = registry.stream("attack", length)
-        successes = 0
-        for _ in range(trials):
-            signal = codec.encode_bit(1)
-            attack = channel.cancel_attack(len(signal), 0, attack_rng)
-            received = channel.transmit(signal, attack)
-            if codec.decode_block(received) == 0:
-                successes += 1
-        rows.append(
-            CancellationRow(
-                block_length=length,
-                trials=trials,
-                successes=successes,
-                measured_rate=successes / trials,
-                analytic_rate=attack_success_probability(length),
-            )
-        )
-    return tuple(rows)
+    points = [
+        CancellationPoint(block_length=length, trials=trials, seed=seed)
+        for length in block_lengths
+    ]
+    result = parallel_sweep(
+        points,
+        _run_cancellation_point,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
+    return tuple(result.results)
 
 
-def run_coding(**kwargs) -> CodingResult:
+def run_coding(
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+    **kwargs,
+) -> CodingResult:
     return CodingResult(
         overhead=overhead_rows(),
         detection=run_detection(),
-        cancellation=run_cancellation(**kwargs),
+        cancellation=run_cancellation(
+            workers=workers, cache=cache, progress=progress, **kwargs
+        ),
     )
+
+
+def run(
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> CodingResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    return run_coding(workers=workers, cache=cache, progress=progress)
 
 
 def table(result: CodingResult) -> str:

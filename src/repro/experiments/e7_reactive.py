@@ -18,12 +18,15 @@ and checks the theorem's guarantees:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.adversary.placement import RandomPlacement
 from repro.analysis.bounds import max_reactive_t, theorem4_budget
 from repro.coding.params import coded_length, subbit_length
 from repro.network.grid import GridSpec
 from repro.runner.broadcast_run import ReactiveRunConfig, run_reactive_broadcast
+from repro.runner.parallel import ResultCache
+from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
 
 
@@ -75,6 +78,49 @@ class ReactiveResult:
         return self.max_message_rounds <= 2 * self.paper_msg_bound
 
 
+@dataclass(frozen=True)
+class ReactiveSweepPoint:
+    """One seeded B_reactive run (picklable sweep point)."""
+
+    seed: int
+    r: int
+    t: int
+    mf: int
+    mmax: int
+    width: int
+    bad_count: int
+
+
+def _run_reactive_point(point: ReactiveSweepPoint) -> ReactivePoint:
+    """Rebuild and run one seeded B_reactive scenario (worker-safe)."""
+    spec = GridSpec(width=point.width, height=point.width, r=point.r, torus=True)
+    cfg = ReactiveRunConfig(
+        spec=spec,
+        t=point.t,
+        mf=point.mf,
+        mmax=point.mmax,
+        placement=RandomPlacement(
+            t=point.t, count=point.bad_count, seed=1000 + point.seed
+        ),
+        seed=point.seed,
+    )
+    report = run_reactive_broadcast(cfg)
+    nodes = report.nodes
+    return ReactivePoint(
+        seed=point.seed,
+        success=report.success,
+        decided_fraction=report.outcome.decided_fraction,
+        wrong=report.outcome.wrong_good,
+        max_data_sent=max(node.data_sent for node in nodes.values()),
+        max_nacks_sent=max(node.nacks_sent for node in nodes.values()),
+        max_total_sent=max(
+            node.data_sent + node.nacks_sent for node in nodes.values()
+        ),
+        attacks=report.adversary.attacks,
+        forgeries=report.adversary.successful_forgeries,
+    )
+
+
 def run_reactive(
     *,
     r: int = 1,
@@ -85,6 +131,9 @@ def run_reactive(
     k: int = 64,
     bad_count: int = 8,
     seeds: tuple[int, ...] = (0, 1, 2, 3, 4, 5, 6, 7),
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> ReactiveResult:
     if t > max_reactive_t(r):
         raise ValueError(
@@ -93,33 +142,21 @@ def run_reactive(
     spec = GridSpec(width=width, height=width, r=r, torus=True)
     n = spec.n
 
-    points = []
-    for seed in seeds:
-        cfg = ReactiveRunConfig(
-            spec=spec,
-            t=t,
-            mf=mf,
-            mmax=mmax,
-            placement=RandomPlacement(t=t, count=bad_count, seed=1000 + seed),
-            seed=seed,
+    sweep_points = [
+        ReactiveSweepPoint(
+            seed=seed, r=r, t=t, mf=mf, mmax=mmax, width=width,
+            bad_count=bad_count,
         )
-        report = run_reactive_broadcast(cfg)
-        nodes = report.nodes
-        points.append(
-            ReactivePoint(
-                seed=seed,
-                success=report.success,
-                decided_fraction=report.outcome.decided_fraction,
-                wrong=report.outcome.wrong_good,
-                max_data_sent=max(node.data_sent for node in nodes.values()),
-                max_nacks_sent=max(node.nacks_sent for node in nodes.values()),
-                max_total_sent=max(
-                    node.data_sent + node.nacks_sent for node in nodes.values()
-                ),
-                attacks=report.adversary.attacks,
-                forgeries=report.adversary.successful_forgeries,
-            )
-        )
+        for seed in seeds
+    ]
+    sweep_result = parallel_sweep(
+        sweep_points,
+        _run_reactive_point,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
+    points = list(sweep_result.results)
 
     # Forced-failure demonstration: p_forge = 0.5 lets spoofed
     # endorsements through and certified propagation accepts wrong values.
@@ -149,6 +186,16 @@ def run_reactive(
         points=tuple(points),
         forced_failure_wrong=forced.outcome.wrong_good,
     )
+
+
+def run(
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> ReactiveResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    return run_reactive(workers=workers, cache=cache, progress=progress)
 
 
 def table(result: ReactiveResult) -> str:

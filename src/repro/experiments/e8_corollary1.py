@@ -21,6 +21,7 @@ reproduction note from E1.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.adversary.placement import two_stripe_band
 from repro.analysis.bounds import (
@@ -30,6 +31,8 @@ from repro.analysis.bounds import (
 )
 from repro.network.grid import Grid, GridSpec
 from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
+from repro.runner.parallel import ResultCache
+from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
 
 
@@ -74,6 +77,50 @@ class BoundaryResult:
         return sum(not p.success for p in breakable) / len(breakable)
 
 
+@dataclass(frozen=True)
+class BoundarySweepPoint:
+    """One (t, m) cell of the feasibility map (picklable)."""
+
+    r: int
+    mf: int
+    t: int
+    m: int
+    width: int
+    height: int
+
+
+def _run_boundary_point(point: BoundarySweepPoint) -> BoundaryPoint:
+    """Rebuild and run one feasibility-map cell (worker-safe)."""
+    r, mf, t, m = point.r, point.mf, point.t, point.m
+    spec = GridSpec(width=point.width, height=point.height, r=r, torus=True)
+    grid = Grid(spec)
+    placement, band_rows = two_stripe_band(
+        grid, t=t, band_height=2 * r + 2, below_y0=3 * r
+    )
+    band_ids = [
+        grid.id_of((x, y)) for y in band_rows for x in range(point.width)
+    ]
+    cfg = ThresholdRunConfig(
+        spec=spec,
+        t=t,
+        mf=mf,
+        placement=placement,
+        protocol="b",
+        m=m,
+        protected=band_ids,
+        batch_per_slot=4,
+    )
+    report = run_threshold_broadcast(cfg)
+    return BoundaryPoint(
+        t=t,
+        m=m,
+        m0=m0(r, t, mf),
+        success=report.success,
+        breakable=t >= corollary1_min_breakable_t(r, m, mf),
+        tolerable=t <= corollary1_max_tolerable_t(r, m, mf),
+    )
+
+
 def run_boundary(
     *,
     r: int = 2,
@@ -82,40 +129,33 @@ def run_boundary(
     ms: tuple[int, ...] = (1, 2, 3, 4, 6),
     width: int = 30,
     height: int = 30,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> BoundaryResult:
-    spec = GridSpec(width=width, height=height, r=r, torus=True)
-    grid = Grid(spec)
-    points: list[BoundaryPoint] = []
-    for t in ts:
-        placement, band_rows = two_stripe_band(
-            grid, t=t, band_height=2 * r + 2, below_y0=3 * r
-        )
-        band_ids = [
-            grid.id_of((x, y)) for y in band_rows for x in range(width)
-        ]
-        for m in ms:
-            cfg = ThresholdRunConfig(
-                spec=spec,
-                t=t,
-                mf=mf,
-                placement=placement,
-                protocol="b",
-                m=m,
-                protected=band_ids,
-                batch_per_slot=4,
-            )
-            report = run_threshold_broadcast(cfg)
-            points.append(
-                BoundaryPoint(
-                    t=t,
-                    m=m,
-                    m0=m0(r, t, mf),
-                    success=report.success,
-                    breakable=t >= corollary1_min_breakable_t(r, m, mf),
-                    tolerable=t <= corollary1_max_tolerable_t(r, m, mf),
-                )
-            )
-    return BoundaryResult(r=r, mf=mf, points=tuple(points))
+    points = [
+        BoundarySweepPoint(r=r, mf=mf, t=t, m=m, width=width, height=height)
+        for t in ts
+        for m in ms
+    ]
+    result = parallel_sweep(
+        points,
+        _run_boundary_point,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
+    return BoundaryResult(r=r, mf=mf, points=tuple(result.results))
+
+
+def run(
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> BoundaryResult:
+    """Registry entry point (see :mod:`repro.experiments.registry`)."""
+    return run_boundary(workers=workers, cache=cache, progress=progress)
 
 
 def table(result: BoundaryResult) -> str:

@@ -21,6 +21,7 @@ Three studies backing the claims DESIGN.md calls out:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.adversary.placement import RandomPlacement, two_stripe_band
 from repro.analysis.bounds import koo_budget, m0, protocol_b_relay_count
@@ -43,6 +44,8 @@ from repro.runner.broadcast_run import (
     run_reactive_broadcast,
     run_threshold_broadcast,
 )
+from repro.runner.parallel import ResultCache
+from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
 
 
@@ -57,17 +60,58 @@ class RelayPoint:
     max_sent: int
 
 
-def run_relay_sweep(
-    *, r: int = 2, t: int = 2, mf: int = 3, width: int = 30
-) -> tuple[RelayPoint, ...]:
-    """Success vs relay count under the stripe adversary (budget = relay)."""
+@dataclass(frozen=True)
+class RelaySweepPoint:
+    """One relay-count candidate of the E9a ablation (picklable)."""
+
+    r: int
+    t: int
+    mf: int
+    width: int
+    relay: int
+    label: str
+
+
+def _run_relay_point(point: RelaySweepPoint) -> RelayPoint:
+    """Rebuild and run one relay-count candidate (worker-safe)."""
+    r, t, mf, width = point.r, point.t, point.mf, point.width
     spec = GridSpec(width=width, height=width, r=r, torus=True)
     grid = Grid(spec)
     placement, band_rows = two_stripe_band(
         grid, t=t, band_height=2 * r + 2, below_y0=3 * r
     )
     band_ids = [grid.id_of((x, y)) for y in band_rows for x in range(width)]
+    cfg = ThresholdRunConfig(
+        spec=spec,
+        t=t,
+        mf=mf,
+        placement=placement,
+        protocol="b",
+        m=point.relay,  # budget == relay count: exactly `relay` sends each
+        relay_override=point.relay,
+        protected=band_ids,
+        batch_per_slot=4,
+    )
+    report = run_threshold_broadcast(cfg)
+    return RelayPoint(
+        relay_count=point.relay,
+        label=point.label,
+        success=report.success,
+        max_sent=report.costs.good_max,
+    )
 
+
+def run_relay_sweep(
+    *,
+    r: int = 2,
+    t: int = 2,
+    mf: int = 3,
+    width: int = 30,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> tuple[RelayPoint, ...]:
+    """Success vs relay count under the stripe adversary (budget = relay)."""
     m_prime = protocol_b_relay_count(r, t, mf)
     candidates: dict[int, str] = {}
     for relay, label in (
@@ -82,31 +126,19 @@ def run_relay_sweep(
         candidates[relay] = (
             f"{candidates[relay]} = {label}" if relay in candidates else label
         )
-    points = []
-    for relay, label in sorted(candidates.items()):
-        if relay < 1:
-            continue
-        cfg = ThresholdRunConfig(
-            spec=spec,
-            t=t,
-            mf=mf,
-            placement=placement,
-            protocol="b",
-            m=relay,  # budget == relay count: exactly `relay` sends each
-            relay_override=relay,
-            protected=band_ids,
-            batch_per_slot=4,
-        )
-        report = run_threshold_broadcast(cfg)
-        points.append(
-            RelayPoint(
-                relay_count=relay,
-                label=label,
-                success=report.success,
-                max_sent=report.costs.good_max,
-            )
-        )
-    return tuple(points)
+    points = [
+        RelaySweepPoint(r=r, t=t, mf=mf, width=width, relay=relay, label=label)
+        for relay, label in sorted(candidates.items())
+        if relay >= 1
+    ]
+    result = parallel_sweep(
+        points,
+        _run_relay_point,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
+    return tuple(result.results)
 
 
 # -- (b) growth shape (Figure 2 scenario, homogeneous vs cross) ----------------
@@ -158,6 +190,52 @@ class QuietWindowPoint:
     avg_max_sent: float
 
 
+@dataclass(frozen=True)
+class QuietWindowSweepPoint:
+    """One (window, seed) B_reactive run of the E9c ablation (picklable)."""
+
+    window: int
+    seed: int
+    width: int
+    mf: int
+    bad_count: int
+
+
+@dataclass(frozen=True)
+class QuietWindowRun:
+    """Per-run record aggregated into :class:`QuietWindowPoint`."""
+
+    window: int
+    seed: int
+    success: bool
+    rounds: int
+    max_sent: int
+
+
+def _run_quiet_window_point(point: QuietWindowSweepPoint) -> QuietWindowRun:
+    """Rebuild and run one quiet-window scenario (worker-safe)."""
+    spec = GridSpec(width=point.width, height=point.width, r=1, torus=True)
+    cfg = ReactiveRunConfig(
+        spec=spec,
+        t=1,
+        mf=point.mf,
+        mmax=10**6,
+        placement=RandomPlacement(t=1, count=point.bad_count, seed=500 + point.seed),
+        seed=point.seed,
+        quiet_window_override=point.window,
+    )
+    report = run_reactive_broadcast(cfg)
+    return QuietWindowRun(
+        window=point.window,
+        seed=point.seed,
+        success=report.success,
+        rounds=report.stats.rounds,
+        max_sent=max(
+            node.data_sent + node.nacks_sent for node in report.nodes.values()
+        ),
+    )
+
+
 def run_quiet_window(
     *,
     windows: tuple[int, ...] = (1, 8),
@@ -165,6 +243,9 @@ def run_quiet_window(
     width: int = 18,
     mf: int = 25,
     bad_count: int = 24,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> tuple[QuietWindowPoint, ...]:
     """B_reactive quiet-window sensitivity (r=1: paper window is 8).
 
@@ -180,37 +261,29 @@ def run_quiet_window(
     measured cost difference between windows is what this ablation
     quantifies.
     """
-    spec = GridSpec(width=width, height=width, r=1, torus=True)
+    sweep_points = [
+        QuietWindowSweepPoint(
+            window=window, seed=seed, width=width, mf=mf, bad_count=bad_count
+        )
+        for window in windows
+        for seed in seeds
+    ]
+    result = parallel_sweep(
+        sweep_points,
+        _run_quiet_window_point,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
     points = []
     for window in windows:
-        successes = 0
-        rounds = []
-        max_sent = []
-        for seed in seeds:
-            cfg = ReactiveRunConfig(
-                spec=spec,
-                t=1,
-                mf=mf,
-                mmax=10**6,
-                placement=RandomPlacement(t=1, count=bad_count, seed=500 + seed),
-                seed=seed,
-                quiet_window_override=window,
-            )
-            report = run_reactive_broadcast(cfg)
-            successes += bool(report.success)
-            rounds.append(report.stats.rounds)
-            max_sent.append(
-                max(
-                    node.data_sent + node.nacks_sent
-                    for node in report.nodes.values()
-                )
-            )
+        runs = [run_ for run_ in result.results if run_.window == window]
         points.append(
             QuietWindowPoint(
                 window=window,
-                success_rate=successes / len(seeds),
-                avg_rounds=sum(rounds) / len(rounds),
-                avg_max_sent=sum(max_sent) / len(max_sent),
+                success_rate=sum(run_.success for run_ in runs) / len(runs),
+                avg_rounds=sum(run_.rounds for run_ in runs) / len(runs),
+                avg_max_sent=sum(run_.max_sent for run_ in runs) / len(runs),
             )
         )
     return tuple(points)
@@ -248,6 +321,39 @@ def table_c(points: tuple[QuietWindowPoint, ...]) -> str:
             "E9c - NACK quiet-window ablation (paper: (2r+1)^2 - 1 = 8 for "
             "r=1); reliability is window-insensitive here, cost is not"
         ),
+    )
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """All three E9 studies, for the registry/CLI path."""
+
+    relay: tuple[RelayPoint, ...]
+    growth: GrowthShapeResult
+    quiet: tuple[QuietWindowPoint, ...]
+
+
+def run(
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> AblationResult:
+    """Registry entry point: all three ablations.
+
+    The relay and quiet-window sweeps parallelize; the growth-shape study
+    is two fixed runs and stays serial.
+    """
+    return AblationResult(
+        relay=run_relay_sweep(workers=workers, cache=cache, progress=progress),
+        growth=run_growth_shape(),
+        quiet=run_quiet_window(workers=workers, cache=cache, progress=progress),
+    )
+
+
+def table(result: AblationResult) -> str:
+    return "\n\n".join(
+        [table_a(result.relay), table_b(result.growth), table_c(result.quiet)]
     )
 
 

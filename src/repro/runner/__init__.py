@@ -7,6 +7,13 @@ from repro.runner.broadcast_run import (
     run_reactive_broadcast,
     run_threshold_broadcast,
 )
+from repro.runner.parallel import (
+    ResultCache,
+    SweepProgress,
+    point_key,
+    point_seed,
+)
+from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
 from repro.runner.sweep import SweepResult, sweep
 
@@ -17,6 +24,11 @@ __all__ = [
     "run_reactive_broadcast",
     "run_threshold_broadcast",
     "format_table",
+    "ResultCache",
+    "SweepProgress",
     "SweepResult",
+    "parallel_sweep",
+    "point_key",
+    "point_seed",
     "sweep",
 ]

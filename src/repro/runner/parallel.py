@@ -1,0 +1,457 @@
+"""Parallel parameter sweeps with deterministic results and on-disk caching.
+
+This is the execution substrate behind every experiment harness: it maps a
+list of configuration points through a runner function like
+:func:`repro.runner.sweep.sweep`, but can fan the points out over a
+``multiprocessing`` worker pool and memoize per-point results on disk.
+
+Design constraints, in order:
+
+1. **Determinism.** A parallel sweep returns bit-for-bit the same
+   :class:`~repro.runner.sweep.SweepResult` as a serial one. Points are
+   self-contained (a worker needs nothing but the point), results are
+   collected in submission order, and per-point randomness comes from
+   seed fields the point itself carries — never from worker identity or
+   scheduling. Harnesses that want a seed without adding a field can
+   derive one from the point's stable hash via :func:`point_seed`.
+2. **Spawn safety.** Workers are started with the ``spawn`` method (the
+   only method available everywhere), so ``run`` must be a module-level
+   function and every point must be picklable. Closures and lambdas are
+   fine for ``workers=1``, which falls back to a serial loop.
+3. **Cheap re-runs.** An optional :class:`ResultCache` keys results by a
+   stable SHA-256 hash of the canonical JSON form of the point, so
+   re-running an experiment only computes points whose configuration
+   changed. Corrupted or unreadable cache entries degrade to misses.
+
+Worker failures never hang the sweep: any exception raised by ``run`` —
+in a worker or in the serial path — surfaces as
+:class:`~repro.errors.SimulationError` naming the offending point and
+carrying the original traceback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib
+import json
+import multiprocessing
+import os
+import sys
+import time
+import traceback
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.runner.sweep import SweepResult
+from repro.sim.rng import derive_seed
+
+PointT = TypeVar("PointT")
+ResultT = TypeVar("ResultT")
+
+#: Sentinel marking a sweep slot whose result has not arrived yet.
+_PENDING = object()
+
+
+# -- stable point identity -----------------------------------------------------
+
+
+def canonical_point(point: Any) -> Any:
+    """Reduce a config point to a canonical JSON-serializable form.
+
+    Dataclasses become ``{"__dataclass__": qualified-name, **fields}``,
+    mappings get sorted keys, and tuples/lists/sets become lists (sets are
+    sorted by their canonical JSON encoding so iteration order cannot leak
+    into the key). Unknown objects fall back to ``repr`` — stable for the
+    frozen value-style dataclasses used as sweep points, and good enough
+    to *distinguish* anything else.
+    """
+    if dataclasses.is_dataclass(point) and not isinstance(point, type):
+        encoded = {
+            f.name: canonical_point(getattr(point, f.name))
+            for f in dataclasses.fields(point)
+        }
+        encoded["__dataclass__"] = _qualified_name(type(point))
+        return encoded
+    if isinstance(point, dict):
+        return {str(k): canonical_point(v) for k, v in sorted(point.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(point, (list, tuple)):
+        return [canonical_point(item) for item in point]
+    if isinstance(point, (set, frozenset)):
+        items = [canonical_point(item) for item in point]
+        return sorted(items, key=lambda item: json.dumps(item, sort_keys=True))
+    if isinstance(point, (str, int, float, bool)) or point is None:
+        return point
+    return repr(point)
+
+
+def point_key(point: Any) -> str:
+    """Stable hex digest identifying a config point across processes/runs."""
+    payload = json.dumps(
+        canonical_point(point), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def point_seed(master_seed: int, point: Any) -> int:
+    """Derive the per-point RNG seed for a sweep point.
+
+    Pure function of ``(master_seed, point)`` — the same point gets the
+    same seed whether it runs serially, in any worker, or from cache,
+    and independently of its position in the point list.
+    """
+    return derive_seed(master_seed, "sweep-point", point_key(point))
+
+
+# -- on-disk result cache ------------------------------------------------------
+
+
+def _qualified_name(cls: type) -> str:
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+def encode_result(value: Any) -> Any:
+    """Encode a sweep result into JSON-serializable form.
+
+    Handles the flat frozen dataclasses experiments use as per-point
+    results (fields of primitives, tuples, or nested such dataclasses).
+    Anything JSON already understands passes through.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": _qualified_name(type(value)),
+            "fields": {
+                f.name: encode_result(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, (list, tuple)):
+        return [encode_result(item) for item in value]
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                # JSON would stringify the key and a cache hit would hand
+                # back a differently-typed result than a cache miss.
+                raise TypeError(
+                    f"cache results may only contain str-keyed dicts, "
+                    f"got key {key!r}"
+                )
+        return {k: encode_result(v) for k, v in value.items()}
+    return value
+
+
+def decode_result(payload: Any) -> Any:
+    """Inverse of :func:`encode_result`.
+
+    Sequences inside a decoded dataclass become tuples (the experiments'
+    result dataclasses are frozen and tuple-valued); top-level and
+    dict-valued sequences stay lists.
+    """
+    if isinstance(payload, dict) and "__dataclass__" in payload:
+        module_name, _, qualname = payload["__dataclass__"].partition(":")
+        cls: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            cls = getattr(cls, part)
+        fields = {
+            name: _decode_field(value)
+            for name, value in payload["fields"].items()
+        }
+        return cls(**fields)
+    if isinstance(payload, list):
+        return [decode_result(item) for item in payload]
+    if isinstance(payload, dict):
+        return {k: decode_result(v) for k, v in payload.items()}
+    return payload
+
+
+def _decode_field(value: Any) -> Any:
+    decoded = decode_result(value)
+    if isinstance(decoded, list):
+        return tuple(decoded)
+    return decoded
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """On-disk JSON memo of sweep results, keyed by config-point hash.
+
+    One file per point: ``<directory>/<namespace>-<sha256>.json`` holding
+    the canonical point (for human inspection) and the encoded result. A
+    point whose configuration changes hashes to a new key, so stale
+    entries are never served — invalidation is structural, not temporal.
+    Unreadable, truncated, or mismatched entries count as misses and are
+    overwritten on the next store; a cache can never make a sweep fail.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        *,
+        namespace: str = "sweep",
+        encode: Callable[[Any], Any] = encode_result,
+        decode: Callable[[Any], Any] = decode_result,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.namespace = namespace
+        self._encode = encode
+        self._decode = decode
+        self.stats = CacheStats()
+
+    def path_for(self, point: Any) -> Path:
+        return self.directory / f"{self.namespace}-{point_key(point)}.json"
+
+    def get(self, point: Any) -> tuple[bool, Any]:
+        """Return ``(hit, value)``; corrupted entries are misses."""
+        path = self.path_for(point)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload["key"] != point_key(point):
+                raise KeyError("key mismatch")
+            value = self._decode(payload["result"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except Exception:  # corrupted/truncated/undecodable: recover as miss
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def put(self, point: Any, value: Any) -> None:
+        """Store a result atomically; non-serializable results are rejected."""
+        try:
+            body = json.dumps(
+                {
+                    "key": point_key(point),
+                    "point": canonical_point(point),
+                    "result": self._encode(value),
+                },
+                sort_keys=True,
+            )
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"sweep result for point {point!r} is not JSON-serializable; "
+                "cache results must be primitives, tuples, or dataclasses "
+                f"of those: {exc}"
+            ) from exc
+        path = self.path_for(point)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(body, encoding="utf-8")
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+
+# -- progress reporting --------------------------------------------------------
+
+
+class SweepProgress:
+    """Progress/ETA line printer for long sweeps (``\\r``-updating).
+
+    Usable directly as the ``progress`` callback of :func:`sweep`. One
+    instance may be threaded through several consecutive sweeps (an
+    experiment like E9 runs more than one): the ETA re-anchors whenever
+    the ``done`` counter stops increasing, so each sweep's estimate only
+    reflects its own points.
+    """
+
+    def __init__(self, label: str, *, stream: Any = None) -> None:
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self._started = time.perf_counter()
+        self._last_done: int | None = None
+        self._done_at_start = 0
+
+    def __call__(self, done: int, total: int) -> None:
+        now = time.perf_counter()
+        if self._last_done is None or done <= self._last_done:
+            self._started = now  # a new sweep began (or cached prefill)
+            self._done_at_start = done
+        self._last_done = done
+        elapsed = now - self._started
+        computed = done - self._done_at_start
+        if done >= total:
+            suffix = f"took {elapsed:5.1f}s"
+        elif computed > 0:
+            eta = elapsed / computed * (total - done)
+            suffix = f"eta {eta:5.1f}s"
+        else:
+            suffix = "eta ..."
+        end = "\n" if done >= total else ""
+        self.stream.write(
+            f"\r  {self.label}: {done}/{total} points, {suffix}{end}"
+        )
+        self.stream.flush()
+
+
+# -- the sweep itself ----------------------------------------------------------
+
+
+def _describe_failure(point: Any, exc_type: str, message: str, tb: str) -> str:
+    return (
+        f"sweep worker failed on point {point!r}: {exc_type}: {message}\n"
+        f"--- worker traceback ---\n{tb}"
+    )
+
+
+class _Invoker:
+    """Picklable wrapper shipping ``run`` to spawn workers.
+
+    Exceptions are returned as data (not raised) so the parent can
+    terminate the pool and raise one coherent
+    :class:`~repro.errors.SimulationError` instead of hanging or dying on
+    an unpicklable exception object.
+    """
+
+    def __init__(self, run: Callable[[Any], Any]) -> None:
+        self.run = run
+
+    def __call__(self, point: Any) -> tuple[bool, Any]:
+        try:
+            return True, self.run(point)
+        except Exception as exc:
+            # Not BaseException: a KeyboardInterrupt must kill the worker
+            # (surfacing as BrokenExecutor) rather than masquerade as a
+            # simulation failure on whatever point was in flight.
+            return False, (
+                type(exc).__name__,
+                str(exc),
+                traceback.format_exc(),
+            )
+
+
+def default_workers() -> int:
+    """Worker count used for ``workers=0``/``None``: one per CPU, capped."""
+    return max(1, min(os.cpu_count() or 1, 16))
+
+
+def sweep(
+    points: Iterable[PointT],
+    run: Callable[[PointT], ResultT],
+    *,
+    workers: int | None = 1,
+    cache: ResultCache | None = None,
+    on_result: Callable[[PointT, ResultT], None] | None = None,
+    chunksize: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> SweepResult:
+    """Run ``run`` over every point and collect results in point order.
+
+    ``workers=1`` (the default) is a serial loop; ``workers>1`` fans the
+    uncached points out over a spawn-safe ``multiprocessing`` pool in
+    chunks, preserving point order in the returned
+    :class:`~repro.runner.sweep.SweepResult`. ``workers=0`` or ``None``
+    picks :func:`default_workers`.
+
+    ``cache`` short-circuits points whose results are already on disk and
+    stores fresh results as they arrive. ``on_result`` is always invoked
+    in point order — under parallelism a finished point's callback waits
+    until every earlier point has a result. ``progress`` is called as
+    ``progress(done, total)`` after each completed point.
+
+    Any exception from ``run`` is re-raised as
+    :class:`~repro.errors.SimulationError` naming the point.
+    """
+    point_list = list(points)
+    total = len(point_list)
+    if workers is None or workers == 0:
+        workers = default_workers()
+    if workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers}")
+    if total == 0:
+        return SweepResult((), ())
+
+    results: list[Any] = [_PENDING] * total
+    pending: list[int] = []
+    for index, point in enumerate(point_list):
+        if cache is not None:
+            hit, value = cache.get(point)
+            if hit:
+                results[index] = value
+                continue
+        pending.append(index)
+
+    done_count = total - len(pending)
+    cursor = 0  # next point index awaiting its in-order on_result call
+
+    def flush() -> None:
+        """Fire in-order callbacks for every contiguous finished slot."""
+        nonlocal cursor
+        while cursor < total and results[cursor] is not _PENDING:
+            if on_result is not None:
+                on_result(point_list[cursor], results[cursor])
+            cursor += 1
+
+    if progress is not None:
+        # Initial call (possibly done=0) marks the start of this sweep so
+        # reusable progress printers can re-anchor their clocks.
+        progress(done_count, total)
+
+    if workers == 1 or len(pending) <= 1:
+        for index in pending:
+            point = point_list[index]
+            try:
+                value = run(point)
+            except Exception as exc:
+                raise SimulationError(
+                    _describe_failure(
+                        point, type(exc).__name__, str(exc),
+                        traceback.format_exc(),
+                    )
+                ) from exc
+            results[index] = value
+            if cache is not None:
+                cache.put(point, value)
+            done_count += 1
+            flush()
+            if progress is not None:
+                progress(done_count, total)
+        flush()
+        return SweepResult(tuple(point_list), tuple(results))
+
+    if chunksize is None:
+        chunksize = max(1, len(pending) // (workers * 4))
+    context = multiprocessing.get_context("spawn")
+    executor = ProcessPoolExecutor(
+        max_workers=min(workers, len(pending)), mp_context=context
+    )
+    try:
+        outcomes = executor.map(
+            _Invoker(run),
+            [point_list[index] for index in pending],
+            chunksize=chunksize,
+        )
+        for index, (ok, value) in zip(pending, outcomes):
+            if not ok:
+                raise SimulationError(
+                    _describe_failure(point_list[index], *value)
+                )
+            results[index] = value
+            if cache is not None:
+                cache.put(point_list[index], value)
+            done_count += 1
+            flush()
+            if progress is not None:
+                progress(done_count, total)
+    except BrokenExecutor as exc:
+        # Workers died before/while running (e.g. an unimportable main
+        # module under spawn, or an OOM kill). Surface it instead of the
+        # silent respawn loop multiprocessing.Pool would enter.
+        raise SimulationError(
+            f"parallel sweep worker pool broke ({exc}); points must be "
+            "picklable and the run function importable by spawned workers"
+        ) from exc
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    flush()
+    return SweepResult(tuple(point_list), tuple(results))

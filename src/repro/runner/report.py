@@ -40,5 +40,10 @@ def format_table(
         out.append("=" * len(title))
     out.append(line(headers))
     out.append(line(["-" * width for width in widths]))
-    out.extend(line(row) for row in cells)
+    if cells:
+        out.extend(line(row) for row in cells)
+    else:
+        # Zero-row sweeps (e.g. an empty point list) must still render a
+        # well-formed table rather than raising or printing nothing.
+        out.append("(no rows)")
     return "\n".join(out)

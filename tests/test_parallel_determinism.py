@@ -1,0 +1,46 @@
+"""Determinism suite: parallel sweeps reproduce serial runs bit-for-bit.
+
+The acceptance bar for the parallel engine: fanning an experiment's
+points out over worker processes must not change a single outcome, cost,
+or message count relative to the historical serial loop.
+"""
+
+import pytest
+
+from repro.experiments.e1_impossibility import run_impossibility
+from repro.experiments.e2_figure2 import DEFAULT_SWEEP_POINTS, run_sweep
+from repro.experiments.e7_reactive import run_reactive
+
+
+class TestE2Determinism:
+    @pytest.mark.slow
+    def test_parallel_sweep_equals_serial_point_for_point(self):
+        serial = run_sweep(points=DEFAULT_SWEEP_POINTS, workers=1)
+        parallel = run_sweep(points=DEFAULT_SWEEP_POINTS, workers=4)
+        assert serial.points == parallel.points
+        assert len(serial.results) == len(DEFAULT_SWEEP_POINTS)
+        for ours, theirs in zip(serial.results, parallel.results):
+            # Same outcomes, paper quantities, and message counts.
+            assert ours == theirs
+        # The paper instance (m = 59, mf = 1000) keeps its claims.
+        paper = {s.m: s for s in serial.results}[59]
+        assert paper.m0 == 58
+        assert paper.broadcast_failed
+        assert paper.p_clean <= 1000
+        assert paper.defender_spend <= 1000
+
+
+class TestE7Determinism:
+    def test_parallel_sweep_equals_serial_point_for_point(self):
+        kwargs = dict(width=12, bad_count=5, seeds=(0, 1, 2, 3))
+        serial = run_reactive(workers=1, **kwargs)
+        parallel = run_reactive(workers=4, **kwargs)
+        assert serial.points == parallel.points  # per-seed outcomes + costs
+        assert serial == parallel  # full result incl. forced-failure run
+
+
+class TestE1Determinism:
+    def test_parallel_sweep_equals_serial(self):
+        serial = run_impossibility(ms=(1, 2, 4, 5), workers=1)
+        parallel = run_impossibility(ms=(1, 2, 4, 5), workers=2)
+        assert serial == parallel

@@ -1,0 +1,136 @@
+"""Cache-correctness tests: hit/miss, invalidation, corruption recovery."""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner.parallel import ResultCache, decode_result, encode_result, sweep
+
+
+@dataclass(frozen=True)
+class RowResult:
+    m: int
+    rate: float
+    success: bool
+    label: str
+    seeds: tuple
+
+
+@dataclass(frozen=True)
+class ConfigPoint:
+    r: int
+    t: int
+    mf: int
+
+
+def double(x):
+    return x * 2
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        hit, _ = cache.get(ConfigPoint(1, 2, 3))
+        assert not hit
+        cache.put(ConfigPoint(1, 2, 3), 99)
+        hit, value = cache.get(ConfigPoint(1, 2, 3))
+        assert hit and value == 99
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_namespaces_are_disjoint(self, tmp_path):
+        a = ResultCache(tmp_path, namespace="e1")
+        b = ResultCache(tmp_path, namespace="e2")
+        a.put((1,), "from-e1")
+        hit, _ = b.get((1,))
+        assert not hit
+
+    def test_survives_new_instance(self, tmp_path):
+        ResultCache(tmp_path).put((5,), 25)
+        hit, value = ResultCache(tmp_path).get((5,))
+        assert hit and value == 25
+
+
+class TestInvalidation:
+    def test_changed_config_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(ConfigPoint(1, 2, 3), "old")
+        hit, _ = cache.get(ConfigPoint(1, 2, 4))  # mf changed
+        assert not hit
+
+    def test_sweep_only_recomputes_changed_points(self, tmp_path):
+        calls = []
+
+        def counting(x):
+            calls.append(x)
+            return x * 10
+
+        cache = ResultCache(tmp_path)
+        sweep([1, 2, 3], counting, cache=cache)
+        sweep([1, 2, 3, 4], counting, cache=cache)  # one new point
+        assert calls == [1, 2, 3, 4]
+
+
+class TestCorruptionRecovery:
+    def test_garbage_file_is_a_miss_and_gets_rewritten(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(7, 49)
+        path = cache.path_for(7)
+        path.write_text("{not json", encoding="utf-8")
+        hit, _ = cache.get(7)
+        assert not hit
+        result = sweep([7], double, cache=cache)
+        assert result.results == (14,)
+        hit, value = cache.get(7)
+        assert hit and value == 14
+
+    def test_truncated_payload_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put((7,), 49)
+        path = cache.path_for((7,))
+        body = json.loads(path.read_text(encoding="utf-8"))
+        del body["result"]
+        path.write_text(json.dumps(body), encoding="utf-8")
+        hit, _ = cache.get((7,))
+        assert not hit
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put((7,), 49)
+        path = cache.path_for((7,))
+        body = json.loads(path.read_text(encoding="utf-8"))
+        body["key"] = "0" * 64
+        path.write_text(json.dumps(body), encoding="utf-8")
+        hit, _ = cache.get((7,))
+        assert not hit
+
+    def test_unserializable_result_rejected_clearly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ConfigurationError, match="not JSON-serializable"):
+            cache.put((1,), object())
+
+    def test_non_string_dict_keys_rejected(self, tmp_path):
+        # JSON would stringify int keys, so a warm hit would return a
+        # differently-typed result than the cold run; refuse up front.
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ConfigurationError, match="str-keyed"):
+            cache.put((1,), {3: 0.5})
+
+
+class TestDataclassRoundTrip:
+    def test_flat_dataclass(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        original = RowResult(m=3, rate=0.12345678901234567, success=True,
+                             label="x", seeds=(1, 2, 3))
+        cache.put(ConfigPoint(1, 1, 1), original)
+        hit, value = cache.get(ConfigPoint(1, 1, 1))
+        assert hit
+        assert value == original  # floats round-trip exactly through JSON
+
+    def test_tuple_of_dataclasses(self):
+        rows = (RowResult(1, 0.5, False, "a", ()), RowResult(2, 1.5, True, "b", (9,)))
+        decoded = decode_result(json.loads(json.dumps(encode_result(list(rows)))))
+        assert tuple(decoded) == rows

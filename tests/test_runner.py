@@ -32,6 +32,12 @@ class TestFormatTable:
         with pytest.raises(ValueError):
             format_table(["a", "b"], [[1]])
 
+    def test_zero_rows_renders_placeholder(self):
+        text = format_table(["a", "b"], [], title="empty sweep")
+        lines = text.splitlines()
+        assert lines[0] == "empty sweep"
+        assert "(no rows)" in text  # headers + marker, no exception
+
 
 class TestSweep:
     def test_runs_all_points_in_order(self):
@@ -49,6 +55,13 @@ class TestSweep:
         result = sweep([2, 3], lambda x: x + 1)
         rows = result.rows(lambda p, r: [p, r])
         assert rows == [[2, 3], [3, 4]]
+
+    def test_zero_row_sweep_formats_cleanly(self):
+        result = sweep([], lambda x: x)
+        rows = result.rows(lambda p, r: [p, r])
+        assert rows == []
+        text = format_table(["point", "result"], rows)
+        assert "(no rows)" in text
 
 
 class TestOutcome:
