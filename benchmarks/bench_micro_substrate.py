@@ -34,6 +34,20 @@ def test_medium_slot_resolution(benchmark):
     assert len(deliveries) == len(transmitters) * 24
 
 
+def test_medium_slot_resolution_reference(benchmark):
+    # The preserved dict-based resolver: the fast path's referee and
+    # the baseline the BENCH_slot_resolution.json trajectory divides by.
+    grid = Grid(SPEC)
+    medium = Medium(grid, fast=False)
+    transmitters = [
+        Transmission(grid.id_of((x, y)), 1)
+        for x in range(0, 30, 5)
+        for y in range(0, 30, 5)
+    ]
+    deliveries = benchmark(medium.resolve_slot, transmitters, [])
+    assert len(deliveries) == len(transmitters) * 24
+
+
 def test_schedule_verification(benchmark):
     grid = Grid(SPEC)
     schedule = TdmaSchedule(grid)

@@ -6,6 +6,8 @@ Usage::
     python -m repro run e2                      # run one experiment
     python -m repro run e2 e7 --workers 4       # several, in parallel
     python -m repro run all --cache-dir .cache  # everything, memoized
+    python -m repro bench                       # slot-resolution benchmark
+    python -m repro bench --quick               # CI smoke variant
     python -m repro e2                          # legacy alias for `run e2`
 
 ``--workers N`` fans each experiment's sweep points out over ``N``
@@ -13,6 +15,11 @@ spawn-safe worker processes (``0`` = one per CPU); results are
 bit-identical to a serial run. ``--cache-dir`` memoizes per-point results
 as JSON keyed by a stable hash of the point, so re-running only computes
 points whose configuration changed.
+
+``bench`` times the per-slot delivery-resolution hot loop (fast path vs
+the preserved reference path) on the E2 Figure-2 scenario and appends
+the result to the ``BENCH_slot_resolution.json`` trajectory (see
+:mod:`repro.runner.bench`).
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import time
 
 from repro.errors import ReproError
 from repro.experiments import registry
+from repro.runner import bench as bench_mod
 from repro.runner.parallel import ResultCache, SweepProgress
 
 
@@ -89,7 +97,27 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="suppress per-sweep progress/ETA output",
     )
+    bench_parser = sub.add_parser(
+        "bench", help="slot-resolution microbenchmark (fast vs reference)"
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer iterations (CI smoke run)",
+    )
+    bench_parser.add_argument(
+        "--out",
+        default=None,
+        help=f"trajectory JSON path (default: {bench_mod.DEFAULT_OUT})",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "bench":
+        bench_mod.main_bench(
+            out=args.out if args.out is not None else bench_mod.DEFAULT_OUT,
+            quick=args.quick,
+        )
+        return 0
 
     if args.command == "list":
         width = max(len(exp_id) for exp_id in ids)

@@ -298,6 +298,29 @@ def run_sweep(
     )
 
 
+def run_classic(
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> Figure2Summary:
+    """The classic single paper instance, riding the parallel substrate.
+
+    One :class:`Figure2SweepPoint` (m=59, mf=1000) through
+    :func:`repro.runner.parallel.sweep`, so the flagship run shares the
+    result cache and worker plumbing with every other experiment instead
+    of the historical ad-hoc serial call.
+    """
+    result = parallel_sweep(
+        (Figure2SweepPoint(m=M, mf=MF),),
+        _run_sweep_point,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
+    return result.results[0]
+
+
 def sweep_table(result: SweepResult) -> str:
     rows = result.rows(
         lambda point, s: [
@@ -324,7 +347,8 @@ def sweep_table(result: SweepResult) -> str:
     )
 
 
-def table(result: Figure2Result) -> str:
+def table(result: Figure2Result | Figure2Summary) -> str:
+    """Render the classic worked example (live result or sweep summary)."""
     rows = [
         ["m0 = ceil(2*t*mf+1 / (r(2r+1)-t))", 58, result.m0],
         ["good budget m = m0 + 1", 59, M],
@@ -348,7 +372,7 @@ def table(result: Figure2Result) -> str:
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
-    print(table(run_figure2()))
+    print(table(run_classic()))
 
 
 if __name__ == "__main__":  # pragma: no cover

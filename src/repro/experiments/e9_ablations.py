@@ -152,9 +152,38 @@ class GrowthShapeResult:
     heterogeneous_avg_budget: float
 
 
-def run_growth_shape() -> GrowthShapeResult:
-    """Same clairvoyant Figure-2 defense; square growth vs cross growth."""
-    fig2 = run_figure2()
+@dataclass(frozen=True)
+class GrowthShapePoint:
+    """One growth-shape configuration of the E9b pair (picklable).
+
+    ``shape`` is ``"square"`` (homogeneous m0+1, the Figure-2 instance)
+    or ``"cross"`` (the heterogeneous Theorem-3 assignment).
+    """
+
+    shape: str
+    max_rounds: int = 200
+
+
+@dataclass(frozen=True)
+class GrowthShapeRun:
+    """Per-shape record aggregated into :class:`GrowthShapeResult`."""
+
+    shape: str
+    success: bool
+    avg_budget: float
+
+
+def _run_growth_point(point: GrowthShapePoint) -> GrowthShapeRun:
+    """Rebuild and run one growth-shape configuration (worker-safe)."""
+    if point.shape == "square":
+        fig2 = run_figure2()
+        return GrowthShapeRun(
+            shape="square",
+            success=not fig2.broadcast_failed,
+            avg_budget=float(M),
+        )
+    if point.shape != "cross":
+        raise ValueError(f"unknown growth shape {point.shape!r}")
     spec = GridSpec(width=WIDTH, height=WIDTH, r=R, torus=True)
     placement = LatticePlacement(x0=LATTICE[0], y0=LATTICE[1], cluster=1)
     cfg = ThresholdRunConfig(
@@ -164,18 +193,45 @@ def run_growth_shape() -> GrowthShapeResult:
         placement=placement,
         protocol="heter",
         behavior="custom",
-        max_rounds=200,
+        max_rounds=point.max_rounds,
         batch_per_slot=25,
         adversary_factory=lambda grid, table, ledger: PlannedJammer(
             grid, table, ledger, _figure2_plan(grid)
         ),
     )
     heter = run_threshold_broadcast(cfg)
+    return GrowthShapeRun(
+        shape="cross",
+        success=heter.success,
+        avg_budget=heter.assignment.average,
+    )
+
+
+def run_growth_shape(
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> GrowthShapeResult:
+    """Same clairvoyant Figure-2 defense; square growth vs cross growth.
+
+    The two configurations ride :func:`repro.runner.parallel.sweep` as
+    picklable points, so they run in parallel workers and memoize like
+    every other experiment (historically this pair was a serial spot).
+    """
+    result = parallel_sweep(
+        (GrowthShapePoint(shape="square"), GrowthShapePoint(shape="cross")),
+        _run_growth_point,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
+    square, cross = result.results
     return GrowthShapeResult(
-        homogeneous_success=not fig2.broadcast_failed,
-        homogeneous_avg_budget=float(M),
-        heterogeneous_success=heter.success,
-        heterogeneous_avg_budget=heter.assignment.average,
+        homogeneous_success=square.success,
+        homogeneous_avg_budget=square.avg_budget,
+        heterogeneous_success=cross.success,
+        heterogeneous_avg_budget=cross.avg_budget,
     )
 
 
@@ -341,12 +397,12 @@ def run(
 ) -> AblationResult:
     """Registry entry point: all three ablations.
 
-    The relay and quiet-window sweeps parallelize; the growth-shape study
-    is two fixed runs and stays serial.
+    All three studies — including the growth-shape pair, historically a
+    serial spot — fan out over the parallel substrate and memoize.
     """
     return AblationResult(
         relay=run_relay_sweep(workers=workers, cache=cache, progress=progress),
-        growth=run_growth_shape(),
+        growth=run_growth_shape(workers=workers, cache=cache, progress=progress),
         quiet=run_quiet_window(workers=workers, cache=cache, progress=progress),
     )
 

@@ -8,10 +8,32 @@ a single stripe disconnects the network; both variants are supported.
 Node ids are dense row-major integers (``id = y * width + x``) so that
 per-node state lives in flat lists — this matters, as neighborhood
 iteration is the hottest loop in the simulator.
+
+Fast-path layout
+----------------
+
+Besides the legacy per-node neighbor tuples (offset order, kept stable
+because adversary plans and tests iterate them), a :class:`Grid`
+precomputes a *dense CSR-style* neighbor table:
+
+- ``neighbor_ids`` — one flat ``array('q')`` of all neighbor ids,
+  ascending within each node's segment;
+- ``neighbor_starts`` — ``n + 1`` offsets so node ``v``'s neighbors are
+  ``neighbor_ids[neighbor_starts[v]:neighbor_starts[v + 1]]``.
+
+:meth:`neighbors_sorted` exposes the same segments as tuples — each one
+is materialized by slicing ``neighbor_ids``, so the CSR table is the
+single source of truth and the tuple view is what hot loops iterate
+(tuple iteration only increfs pre-boxed ints; indexing an ``array``
+boxes on every access). The per-slot delivery resolver
+(:mod:`repro.radio.medium`) combines this with dense id-indexed scratch
+buffers to do steady-state slot resolution with no dict/set churn;
+``python -m repro bench`` tracks its speedup.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
@@ -88,6 +110,10 @@ class Grid:
         self.torus = spec.torus
         self.n = spec.n
         self._neighbors: list[tuple[NodeId, ...]] = self._build_neighbors()
+        self.neighbor_starts: array
+        self.neighbor_ids: array
+        self._neighbors_sorted: list[tuple[NodeId, ...]]
+        self._build_flat_neighbors()
 
     # -- identity ---------------------------------------------------------
 
@@ -122,6 +148,15 @@ class Grid:
         """Open L∞ neighborhood (excludes the node itself)."""
         return self._neighbors[node_id]
 
+    def neighbors_sorted(self, node_id: NodeId) -> tuple[NodeId, ...]:
+        """Open neighborhood as an ascending id tuple (fast-path view).
+
+        Same members as :meth:`neighbors`, ordered by id — the view the
+        per-slot delivery resolver iterates so its output comes out
+        already sorted by receiver.
+        """
+        return self._neighbors_sorted[node_id]
+
     def closed_neighborhood(self, node_id: NodeId) -> tuple[NodeId, ...]:
         return self._neighbors[node_id] + (node_id,)
 
@@ -152,6 +187,24 @@ class Grid:
                 )
             table.append(ids)
         return table
+
+    def _build_flat_neighbors(self) -> None:
+        """Build the dense CSR neighbor table from the offset-order tuples.
+
+        ``neighbor_ids`` holds every node's neighbors ascending; the
+        sorted per-node tuples are sliced straight out of it so the two
+        views can never drift apart.
+        """
+        starts = array("q", [0])
+        flat = array("q")
+        for ids in self._neighbors:
+            flat.extend(sorted(ids))
+            starts.append(len(flat))
+        self.neighbor_starts = starts
+        self.neighbor_ids = flat
+        self._neighbors_sorted = [
+            tuple(flat[starts[v] : starts[v + 1]]) for v in range(self.n)
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         kind = "torus" if self.torus else "bounded"

@@ -55,7 +55,7 @@ class BroadcastNode(ABC):
         "_decided",
         "_accepted",
         "_decide_round",
-        "_pending_value",
+        "_pending_msg",
         "_pending_count",
         "_current_round",
         "received_total",
@@ -70,7 +70,13 @@ class BroadcastNode(ABC):
         self._decided = False
         self._accepted: Value | None = None
         self._decide_round: int | None = None
-        self._pending_value: Value = params.vtrue
+        # The (value, kind) pair handed to the driver. Rebuilt only when
+        # the pending value changes, so steady-state sends allocate
+        # nothing (tuples are immutable and safe to hand out repeatedly).
+        self._pending_msg: tuple[Value, MessageKind] = (
+            params.vtrue,
+            MessageKind.DATA,
+        )
         self._pending_count = 0
         self._current_round = 0
         self.received_total = 0
@@ -114,7 +120,7 @@ class BroadcastNode(ABC):
         self._accepted = value
         self._decide_round = self._current_round
         if self.role is not Role.SOURCE:
-            self._pending_value = value
+            self._pending_msg = (value, MessageKind.DATA)
             self._pending_count = self.relay_count()
 
     # -- driver interface (ProtocolNodeLike) --------------------------------
@@ -126,7 +132,7 @@ class BroadcastNode(ABC):
         if self._pending_count <= 0:
             raise ConfigurationError(f"node {self.node_id} has nothing to send")
         self._pending_count -= 1
-        return self._pending_value, MessageKind.DATA
+        return self._pending_msg
 
     def on_receive(self, sender: NodeId, value: Value, kind: MessageKind) -> None:
         if kind is not MessageKind.DATA:

@@ -43,6 +43,10 @@ CORRUPT_MARKER: Value = -1
 #: Sentinel payload of a (valid) NACK message.
 NACK_PAYLOAD: Value = -2
 
+#: The queued NACK entry. One shared immutable tuple: NACKs are all
+#: identical, so queueing one must not allocate in the hot loop.
+_NACK_MSG: tuple[Value, MessageKind] = (NACK_PAYLOAD, MessageKind.NACK)
+
 
 class ReactivePhase(enum.Enum):
     IDLE = "idle"  # undecided; listening
@@ -66,6 +70,7 @@ class ReactiveNode:
         "_decide_round",
         "_current_round",
         "_queue",
+        "_data_msg",
         "_quiet_rounds",
         "_failure_heard_this_round",
         "_retransmit_queued",
@@ -97,6 +102,9 @@ class ReactiveNode:
         self._decide_round: int | None = None
         self._current_round = 0
         self._queue: deque[tuple[Value, MessageKind]] = deque()
+        # Cached (value, DATA) entry, built once at decide time so every
+        # retransmission enqueues the same immutable tuple.
+        self._data_msg: tuple[Value, MessageKind] | None = None
         self._quiet_rounds = 0
         self._failure_heard_this_round = False
         self._retransmit_queued = False
@@ -126,11 +134,12 @@ class ReactiveNode:
         self._decide_round = self._current_round
         self.phase = ReactivePhase.BROADCASTING
         self._quiet_rounds = 0
+        self._data_msg = (value, MessageKind.DATA)
         self._queue_data()
 
     def _queue_data(self) -> None:
         if not self._retransmit_queued:
-            self._queue.append((self._accepted, MessageKind.DATA))
+            self._queue.append(self._data_msg)
             self._retransmit_queued = True
 
     # -- driver interface (ProtocolNodeLike) ------------------------------------
@@ -156,7 +165,7 @@ class ReactiveNode:
             # message round carried data or a NACK. Per §5 it counts as a
             # transmission-failure indication AND prompts our own NACK.
             self._failure_heard_this_round = True
-            self._queue.append((NACK_PAYLOAD, MessageKind.NACK))
+            self._queue.append(_NACK_MSG)
             return
         if kind is MessageKind.NACK:
             # A well-formed NACK: failure indication only.

@@ -125,6 +125,12 @@ class RoundDriver:
         self.tracer = tracer
         self.stats = RunStats()
         self._honest_ids = list(table.good_ids)
+        # Reusable per-slot sender buckets: cleared and refilled every
+        # round so steady-state rounds allocate no per-slot containers
+        # (the medium's scratch buffers are likewise reused).
+        self._slot_buckets: list[list[NodeId]] = [
+            [] for _ in range(self.schedule.period)
+        ]
 
     # -- main loop ----------------------------------------------------------
 
@@ -148,11 +154,13 @@ class RoundDriver:
     def _run_round(self, round_index: int) -> bool:
         schedule = self.schedule
         ledger = self.ledger
-        by_slot: dict[int, list[NodeId]] = {}
+        by_slot = self._slot_buckets
+        for bucket in by_slot:
+            bucket.clear()
         for nid in self._honest_ids:
             node = self.nodes[nid]
             if node.has_pending() and ledger.can_send(nid):
-                by_slot.setdefault(schedule.slot_of(nid), []).append(nid)
+                by_slot[schedule.slot_of(nid)].append(nid)
 
         transmitted = False
         for slot in range(schedule.period):
@@ -165,7 +173,7 @@ class RoundDriver:
             # Figure 2's 2001-repetition source phase.
             for _burst in range(self.batch_per_slot):
                 honest_txs: list[Transmission] = []
-                for nid in by_slot.get(slot, ()):  # at most a few per class
+                for nid in by_slot[slot]:  # at most a few per class
                     node = self.nodes[nid]
                     if not node.has_pending() or not ledger.can_send(nid):
                         continue

@@ -10,18 +10,61 @@ Semantics (paper §1.2):
 - honest nodes follow the TDMA schedule, so a collision implies at least
   one Byzantine transmission is involved.
 
-The medium is stateless; :class:`~repro.radio.mac.RoundDriver` feeds it
-the transmissions of one slot and distributes the resulting deliveries.
+The medium is stateless semantically but keeps *reusable scratch
+buffers*; :class:`~repro.radio.mac.RoundDriver` feeds it the
+transmissions of one slot and distributes the resulting deliveries.
+
+Fast path
+---------
+
+``resolve_slot`` is the hottest call in the simulator (every slot of
+every run lands here), so it avoids the historical per-slot dict/set
+churn:
+
+- slots are memoized whole: transmissions are frozen (hashable)
+  dataclasses, so ``(tuple(honest), tuple(byzantine))`` exactly keys
+  the resulting delivery list, which is cached as an immutable tuple
+  and copied into a fresh list on every hit. Steady-state traffic is
+  extremely repetitive (E2's source repeats one slot 2001 times against
+  the same planned jams), so the memo carries the bulk of a run;
+- memo misses with a single transmission reduce to one pass over the
+  sender's sorted neighbors (no collision is possible);
+- multi-transmission misses run over dense id-indexed scratch buffers
+  (a ``bytearray`` heard-count, a ``bytearray`` transmitting mask, the
+  controlling Byzantine sender per receiver, and a touched-receiver
+  scratch list), iterating :meth:`~repro.network.grid.Grid.neighbors_sorted`
+  so deliveries come out already ordered by receiver.
+
+The historical dict-based implementation is preserved as
+``resolve_slot_reference``; the determinism suite asserts both produce
+byte-for-byte identical delivery lists, and ``python -m repro bench``
+records the speedup trajectory in ``BENCH_slot_resolution.json``.
+
+``spoof_sender`` hygiene: an apparent sender outside the grid raises
+:class:`~repro.errors.ConfigurationError` (an adversary bug, not an
+attack), and a transmission spoofing the *receiver's own id* falls back
+to the controller's real id — a node cannot appear to hear itself.
+Both paths enforce the same rule.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ScheduleConflictError
+from repro.errors import ConfigurationError, ScheduleConflictError
 from repro.network.grid import Grid
 from repro.radio.messages import BadTransmission, MessageKind, Transmission
 from repro.types import NodeId, Value
+
+#: Process-wide default for :class:`Medium`'s ``fast`` switch. Tests
+#: monkeypatch this to drive whole experiments through the reference
+#: resolver when checking equivalence.
+DEFAULT_FAST = True
+
+#: Slot-memo bound: far above any real run's distinct slot-pattern
+#: population, but keeps a pathological transmission stream from growing
+#: the memo without bound (the memo is simply dropped when full).
+_SLOT_MEMO_LIMIT = 2048
 
 
 @dataclass(frozen=True, slots=True)
@@ -41,11 +84,48 @@ class Delivery:
     corrupted: bool = False
 
 
+def _apparent_sender(
+    controller: BadTransmission, receiver: NodeId, n: int
+) -> NodeId:
+    """The sender id a collision victim perceives, validated/clamped.
+
+    Out-of-grid spoof ids are a configuration bug; spoofing the receiver
+    itself clamps to the controller's real id (see module docstring).
+    """
+    spoof = controller.spoof_sender
+    if spoof is None:
+        return controller.sender
+    if not 0 <= spoof < n:
+        raise ConfigurationError(
+            f"spoof_sender {spoof} from Byzantine node {controller.sender} "
+            f"is outside the grid (n={n})"
+        )
+    if spoof == receiver:
+        return controller.sender
+    return spoof
+
+
 class Medium:
     """Resolves concurrent transmissions into per-receiver deliveries."""
 
-    def __init__(self, grid: Grid) -> None:
+    def __init__(self, grid: Grid, *, fast: bool | None = None) -> None:
         self.grid = grid
+        self.fast = DEFAULT_FAST if fast is None else fast
+        n = grid.n
+        # Reusable flat scratch (multi-transmission slots). All buffers
+        # are restored to their idle state after every call — including
+        # on the ScheduleConflictError path — via the touched list.
+        self._transmitting = bytearray(n)
+        self._heard = bytearray(n)  # 0, 1, or 2 meaning "two or more"
+        self._single = [0] * n  # tx index while heard == 1
+        self._ctrl_sender = [n] * n  # min Byzantine sender heard (n = none)
+        self._ctrl_idx = [0] * n  # its index into the byzantine list
+        self._touched: list[NodeId] = []
+        # (tuple(honest), tuple(byzantine)) -> immutable delivery tuple.
+        # Transmissions are frozen dataclasses, so the key captures the
+        # slot's entire input, including list order (which breaks
+        # equal-id Byzantine ties).
+        self._slot_memo: dict[tuple, tuple[Delivery, ...]] = {}
 
     def resolve_slot(
         self,
@@ -61,10 +141,149 @@ class Medium:
         """
         if not honest and not byzantine:
             return []
+        if not self.fast:
+            return self.resolve_slot_reference(honest, byzantine)
+        key = (tuple(honest), tuple(byzantine))
+        cached = self._slot_memo.get(key)
+        if cached is not None:
+            return list(cached)
+        if len(honest) + len(byzantine) == 1:
+            # A lone transmission: no collision is possible anywhere, so
+            # every neighbor hears it verbatim (a lone Byzantine message
+            # is a plain lie — spoof_sender only acts at collisions).
+            tx = honest[0] if honest else byzantine[0]
+            deliveries = [
+                Delivery(receiver, tx.sender, tx.value, tx.kind, False)
+                for receiver in self.grid.neighbors_sorted(tx.sender)
+            ]
+        else:
+            deliveries = self._resolve_flat(honest, byzantine)
+        if len(self._slot_memo) >= _SLOT_MEMO_LIMIT:
+            self._slot_memo.clear()
+        self._slot_memo[key] = tuple(deliveries)
+        return deliveries
+
+    # -- fast path ---------------------------------------------------------
+
+    def _resolve_flat(
+        self,
+        honest: list[Transmission],
+        byzantine: list[BadTransmission],
+    ) -> list[Delivery]:
+        grid = self.grid
+        n = grid.n
+        neighbors = grid._neighbors_sorted
+        transmitting = self._transmitting
+        heard = self._heard
+        single = self._single
+        ctrl_sender = self._ctrl_sender
+        ctrl_idx = self._ctrl_idx
+        touched = self._touched
+        n_honest = len(honest)
 
         # Radios are half-duplex: a node transmitting in this slot cannot
         # receive. (Only relevant when two Byzantine nodes are adjacent —
         # honest same-slot senders are out of range by TDMA construction.)
+        for tx in honest:
+            transmitting[tx.sender] = 1
+        for tx in byzantine:
+            transmitting[tx.sender] = 1
+
+        try:
+            for index, tx in enumerate(honest):
+                for receiver in neighbors[tx.sender]:
+                    if transmitting[receiver]:
+                        continue
+                    count = heard[receiver]
+                    if count == 0:
+                        heard[receiver] = 1
+                        single[receiver] = index
+                        touched.append(receiver)
+                    elif count == 1:
+                        heard[receiver] = 2
+            for bindex, tx in enumerate(byzantine):
+                sender = tx.sender
+                for receiver in neighbors[sender]:
+                    if transmitting[receiver]:
+                        continue
+                    count = heard[receiver]
+                    if count == 0:
+                        heard[receiver] = 1
+                        single[receiver] = n_honest + bindex
+                        touched.append(receiver)
+                    elif count == 1:
+                        heard[receiver] = 2
+                    # Deterministic tie-break mirror of the reference
+                    # path: the lowest-id Byzantine transmitter heard
+                    # (earliest in the list on equal ids) controls the
+                    # collision outcome at this receiver.
+                    if sender < ctrl_sender[receiver]:
+                        ctrl_sender[receiver] = sender
+                        ctrl_idx[receiver] = bindex
+
+            touched.sort()
+            deliveries: list[Delivery] = []
+            append = deliveries.append
+            for receiver in touched:
+                if heard[receiver] == 1:
+                    index = single[receiver]
+                    tx = (
+                        honest[index]
+                        if index < n_honest
+                        else byzantine[index - n_honest]
+                    )
+                    append(Delivery(receiver, tx.sender, tx.value, tx.kind, False))
+                    continue
+                if ctrl_sender[receiver] == n:
+                    senders = [
+                        grid.coord_of(tx.sender)
+                        for tx in honest
+                        if grid.are_neighbors(tx.sender, receiver)
+                    ]
+                    raise ScheduleConflictError(
+                        f"honest transmissions collided at receiver "
+                        f"{grid.coord_of(receiver)}: senders {senders}"
+                    )
+                # The adversary owns the collision outcome at this receiver.
+                controller = byzantine[ctrl_idx[receiver]]
+                if controller.silence_at_collision:
+                    continue  # receiver hears nothing and notices nothing
+                append(
+                    Delivery(
+                        receiver,
+                        _apparent_sender(controller, receiver, n),
+                        controller.value,
+                        controller.kind,
+                        True,
+                    )
+                )
+            return deliveries
+        finally:
+            for tx in honest:
+                transmitting[tx.sender] = 0
+            for tx in byzantine:
+                transmitting[tx.sender] = 0
+            for receiver in touched:
+                heard[receiver] = 0
+                ctrl_sender[receiver] = n
+            touched.clear()
+
+    # -- reference path ----------------------------------------------------
+
+    def resolve_slot_reference(
+        self,
+        honest: list[Transmission],
+        byzantine: list[BadTransmission],
+    ) -> list[Delivery]:
+        """Historical dict-based resolver (the fast path's referee).
+
+        Kept verbatim (plus the shared ``spoof_sender`` hygiene) so the
+        determinism suite and the benchmark harness can compare the two
+        implementations transmission-for-transmission.
+        """
+        if not honest and not byzantine:
+            return []
+
         transmitting = {tx.sender for tx in honest} | {tx.sender for tx in byzantine}
 
         heard: dict[NodeId, list[Transmission | BadTransmission]] = {}
@@ -98,15 +317,10 @@ class Medium:
             controller = min(bad_txs, key=lambda tx: tx.sender)
             if controller.silence_at_collision:
                 continue  # receiver hears nothing and notices nothing
-            apparent_sender = (
-                controller.spoof_sender
-                if controller.spoof_sender is not None
-                else controller.sender
-            )
             deliveries.append(
                 Delivery(
                     receiver,
-                    apparent_sender,
+                    _apparent_sender(controller, receiver, self.grid.n),
                     controller.value,
                     controller.kind,
                     corrupted=True,

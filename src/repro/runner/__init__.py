@@ -1,5 +1,6 @@
 """Scenario assembly, end-to-end runs, sweeps, and report formatting."""
 
+from repro.runner.bench import run_slot_resolution_bench
 from repro.runner.broadcast_run import (
     BroadcastReport,
     ReactiveRunConfig,
@@ -30,5 +31,6 @@ __all__ = [
     "parallel_sweep",
     "point_key",
     "point_seed",
+    "run_slot_resolution_bench",
     "sweep",
 ]

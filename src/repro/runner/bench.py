@@ -1,0 +1,233 @@
+"""Benchmark harness behind ``python -m repro bench``.
+
+Measures the slot-resolution hot loop — :meth:`repro.radio.medium.Medium.
+resolve_slot` — on the E2 Figure-2 scenario (36x36 torus, r=4), fast
+path vs the preserved dict-based reference path, and appends one entry
+to a JSON *trajectory file* (default ``BENCH_slot_resolution.json``) so
+successive PRs can gate on regressions::
+
+    python -m repro bench            # full run, appends to the trajectory
+    python -m repro bench --quick    # CI smoke: fewer iterations
+    python -m repro bench --out PATH # write the trajectory elsewhere
+
+Scenario slots are lifted from the Figure-2 run's actual traffic
+shapes: the repeated source broadcast, the clairvoyantly defended
+source slot (one honest transmission plus the four defender jams), a
+same-TDMA-class relay wave, and a silence-at-collision jam. Every
+measurement first asserts the two paths produce identical delivery
+lists, so the benchmark cannot drift from the determinism suite.
+
+The trajectory file holds ``{"benchmark": ..., "runs": [entry, ...]}``;
+each entry records per-scenario reference/fast timings and the overall
+speedup (total reference time / total fast time).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import timeit
+from dataclasses import asdict, dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.experiments.e2_figure2 import LATTICE, MF, R, WIDTH
+from repro.network.grid import Grid, GridSpec
+from repro.radio.medium import Medium
+from repro.radio.messages import BadTransmission, Transmission
+from repro.types import VTRUE
+
+#: Default trajectory file, relative to the working directory.
+DEFAULT_OUT = "BENCH_slot_resolution.json"
+
+#: The four clairvoyant defender positions of the Figure-2 defense.
+_DEFENDERS = ((4, 5), (-5, 5), (4, -4), (-5, -4))
+
+
+@dataclass(frozen=True)
+class ScenarioTiming:
+    """One measured slot workload (times are seconds per slot).
+
+    ``fast_s`` is the steady-state (memo-hit) time — what a run pays on
+    the repeated slots that dominate real traffic. ``fast_cold_s``
+    clears the slot memo before every call, timing the flat resolver
+    itself, so a regression in the miss path cannot hide behind memo
+    hits.
+    """
+
+    name: str
+    transmissions: int
+    deliveries: int
+    reference_s: float
+    fast_s: float
+    fast_cold_s: float
+    speedup: float
+    cold_speedup: float
+
+
+def figure2_grid() -> Grid:
+    """The E2 Figure-2 grid (36x36 torus, r=4)."""
+    return Grid(GridSpec(width=WIDTH, height=WIDTH, r=R, torus=True))
+
+
+def figure2_slot_workloads(
+    grid: Grid,
+) -> list[tuple[str, list[Transmission], list[BadTransmission]]]:
+    """Representative per-slot workloads of the Figure-2 scenario."""
+    source = grid.id_of((0, 0))
+    defenders = [grid.id_of(c) for c in _DEFENDERS]
+    lattice_bad = grid.id_of(LATTICE)
+    # A relay wave: distinct owners of one TDMA slot class (stride 2r+1)
+    # draining their budgets concurrently, as in the post-decide phase.
+    wave = [
+        Transmission(grid.id_of((x, y)), VTRUE)
+        for x in (0, 9, 18, 27)
+        for y in (9, 18)
+    ]
+    return [
+        ("source-broadcast", [Transmission(source, VTRUE)], []),
+        (
+            "defended-source",
+            [Transmission(source, VTRUE)],
+            [BadTransmission(d, 0, spoof_sender=source) for d in defenders],
+        ),
+        ("relay-wave", wave, []),
+        (
+            "silent-jam",
+            [Transmission(grid.id_of((1, 5)), VTRUE)],
+            [BadTransmission(lattice_bad, 0, silence_at_collision=True)],
+        ),
+    ]
+
+
+def _time_per_call(fn, iterations: int) -> float:
+    """Best-of-3 mean seconds per call (min damps scheduler noise)."""
+    return min(timeit.repeat(fn, number=iterations, repeat=3)) / iterations
+
+
+def run_slot_resolution_bench(
+    *, iterations: int = 2000, quick: bool = False
+) -> dict:
+    """Measure fast vs reference slot resolution on the E2 scenario.
+
+    Returns one trajectory entry (JSON-serializable dict). ``quick``
+    cuts iterations for CI smoke runs; the speedup assertion downstream
+    is unaffected because per-slot times are already stable at the
+    reduced count.
+    """
+    if quick:
+        iterations = min(iterations, 200)
+    grid = figure2_grid()
+    fast = Medium(grid, fast=True)
+    reference = Medium(grid, fast=False)
+
+    scenarios: list[ScenarioTiming] = []
+    total_reference = 0.0
+    total_fast = 0.0
+    for name, honest, byzantine in figure2_slot_workloads(grid):
+        got_fast = fast.resolve_slot(honest, byzantine)
+        got_reference = reference.resolve_slot(honest, byzantine)
+        if got_fast != got_reference:  # pragma: no cover - safety net
+            raise AssertionError(
+                f"fast/reference divergence in scenario {name!r}"
+            )
+        ref_s = _time_per_call(
+            lambda: reference.resolve_slot(honest, byzantine), iterations
+        )
+        fast_s = _time_per_call(
+            lambda: fast.resolve_slot(honest, byzantine), iterations
+        )
+
+        def cold_call():
+            fast._slot_memo.clear()
+            fast.resolve_slot(honest, byzantine)
+
+        fast_cold_s = _time_per_call(cold_call, iterations)
+        total_reference += ref_s
+        total_fast += fast_s
+        scenarios.append(
+            ScenarioTiming(
+                name=name,
+                transmissions=len(honest) + len(byzantine),
+                deliveries=len(got_reference),
+                reference_s=ref_s,
+                fast_s=fast_s,
+                fast_cold_s=fast_cold_s,
+                speedup=ref_s / fast_s,
+                cold_speedup=ref_s / fast_cold_s,
+            )
+        )
+
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "grid": f"{WIDTH}x{WIDTH} r={R} torus",
+        "mf": MF,
+        "iterations": iterations,
+        "quick": quick,
+        "scenarios": [asdict(s) for s in scenarios],
+        "overall_speedup": total_reference / total_fast,
+    }
+
+
+def append_trajectory(entry: dict, out_path: str | Path) -> dict:
+    """Append one entry to the trajectory file (created if missing)."""
+    path = Path(out_path)
+    payload = {"benchmark": "slot_resolution", "runs": []}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(existing, dict) and isinstance(
+                existing.get("runs"), list
+            ):
+                payload = existing
+        except (OSError, ValueError):
+            pass  # unreadable trajectory: start fresh rather than fail
+    payload["runs"].append(entry)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload
+
+
+def format_entry(entry: dict) -> str:
+    """Human-readable summary of one trajectory entry."""
+    from repro.runner.report import format_table
+
+    rows = [
+        [
+            s["name"],
+            s["transmissions"],
+            s["deliveries"],
+            f"{s['reference_s'] * 1e6:.1f}",
+            f"{s['fast_s'] * 1e6:.1f}",
+            f"{s['fast_cold_s'] * 1e6:.1f}",
+            f"{s['speedup']:.1f}x",
+            f"{s['cold_speedup']:.2f}x",
+        ]
+        for s in entry["scenarios"]
+    ]
+    table = format_table(
+        ["scenario", "txs", "deliveries", "reference us", "fast us",
+         "cold us", "speedup", "cold speedup"],
+        rows,
+        title=(
+            f"slot-resolution microbenchmark, E2 Figure-2 scenario "
+            f"({entry['grid']}, {entry['iterations']} iterations)"
+        ),
+    )
+    return f"{table}\noverall speedup: {entry['overall_speedup']:.1f}x"
+
+
+def main_bench(
+    *, out: str | Path = DEFAULT_OUT, quick: bool = False
+) -> dict:
+    """CLI body: run, append to the trajectory, print, return the entry."""
+    started = time.perf_counter()
+    entry = run_slot_resolution_bench(quick=quick)
+    append_trajectory(entry, out)
+    print(format_entry(entry))
+    print(
+        f"[bench finished in {time.perf_counter() - started:.1f}s; "
+        f"trajectory: {out}]"
+    )
+    return entry

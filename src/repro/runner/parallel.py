@@ -246,9 +246,18 @@ class ResultCache:
                 f"of those: {exc}"
             ) from exc
         path = self.path_for(point)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(body, encoding="utf-8")
-        os.replace(tmp, path)
+        # The tmp name must be unique per process: two workers caching
+        # the same point concurrently would otherwise interleave writes
+        # into one shared tmp file before either os.replace lands,
+        # publishing a corrupted entry. A per-process name keeps every
+        # write private until its atomic rename.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(body, encoding="utf-8")
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         self.stats.stores += 1
 
 

@@ -60,9 +60,15 @@ class Event:
         self._callbacks.append(callback)
 
     def cancel(self) -> None:
-        """Prevent a scheduled event from firing (idempotent)."""
+        """Prevent a scheduled event from firing (idempotent).
+
+        Cancelling an already-fired event is a no-op: the callbacks have
+        run and cannot be unrun, and callers tearing down timer chains
+        (quiet windows, watchdogs) must be able to cancel blindly.
+        ``cancelled`` stays ``False`` in that case — the event did fire.
+        """
         if self._fired:
-            raise SimulationError(f"cannot cancel already-fired event {self.name!r}")
+            return
         self._cancelled = True
 
     def _fire(self) -> None:

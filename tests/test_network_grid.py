@@ -124,3 +124,42 @@ class TestDistance:
     def test_bounded_distance(self):
         grid = bounded()
         assert grid.distance(grid.id_of((0, 0)), grid.id_of((9, 7))) == 9
+
+
+class TestFlatNeighborArrays:
+    """The dense CSR table must exactly mirror grid.neighbors()."""
+
+    def _check_grid(self, grid):
+        starts, flat = grid.neighbor_starts, grid.neighbor_ids
+        assert len(starts) == grid.n + 1
+        assert starts[0] == 0 and starts[-1] == len(flat)
+        for node_id in grid.all_ids():
+            segment = list(flat[starts[node_id] : starts[node_id + 1]])
+            assert segment == sorted(grid.neighbors(node_id))
+            assert segment == list(grid.neighbors_sorted(node_id))
+            assert segment == sorted(set(segment))  # no duplicates
+
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_torus_matches_neighbors(self, r):
+        side = 2 * r + 1
+        self._check_grid(torus(width=4 * side, height=2 * side, r=r))
+
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_bounded_matches_neighbors(self, r):
+        self._check_grid(bounded(width=9, height=7, r=r))
+
+    def test_bounded_one_cell_grid_has_empty_table(self):
+        grid = bounded(width=1, height=1, r=1)
+        assert len(grid.neighbor_ids) == 0
+        assert list(grid.neighbor_starts) == [0, 0]
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 15 * 15 - 1))
+    def test_sorted_view_is_a_permutation_of_offset_view(self, node_id):
+        grid = torus(r=2, width=15, height=15)
+        assert sorted(grid.neighbors(node_id)) == list(
+            grid.neighbors_sorted(node_id)
+        )
+        assert set(grid.neighbors(node_id)) == set(
+            grid.neighbors_sorted(node_id)
+        )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ScheduleConflictError
+from repro.errors import ConfigurationError, ScheduleConflictError
 from repro.network.grid import Grid, GridSpec
 from repro.radio.medium import Medium
 from repro.radio.messages import BadTransmission, MessageKind, Transmission
@@ -134,3 +134,135 @@ def test_deliveries_sorted_deterministically():
     sender = grid.id_of((5, 5))
     deliveries = medium.resolve_slot([Transmission(sender, 1)], [])
     assert deliveries == sorted(deliveries, key=lambda d: (d.receiver, d.sender))
+
+
+class TestSpoofSenderHygiene:
+    """spoof_sender edge cases: out-of-grid ids and self-spoofs."""
+
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_out_of_range_spoof_raises(self, fast):
+        grid = Grid(GridSpec(12, 12, r=1, torus=True))
+        medium = Medium(grid, fast=fast)
+        victim = grid.id_of((5, 5))
+        jammer = grid.id_of((6, 5))
+        with pytest.raises(ConfigurationError, match="spoof_sender"):
+            medium.resolve_slot(
+                [Transmission(victim, 1)],
+                [BadTransmission(jammer, 0, spoof_sender=grid.n + 7)],
+            )
+
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_negative_spoof_raises(self, fast):
+        grid = Grid(GridSpec(12, 12, r=1, torus=True))
+        medium = Medium(grid, fast=fast)
+        victim = grid.id_of((5, 5))
+        jammer = grid.id_of((6, 5))
+        with pytest.raises(ConfigurationError, match="spoof_sender"):
+            medium.resolve_slot(
+                [Transmission(victim, 1)],
+                [BadTransmission(jammer, 0, spoof_sender=-1)],
+            )
+
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_self_spoof_clamps_to_controller(self, fast):
+        # A receiver cannot appear to hear itself: spoofing the
+        # receiver's own id falls back to the jammer's real id at that
+        # receiver, while other collision victims still see the spoof.
+        grid = Grid(GridSpec(12, 12, r=1, torus=True))
+        medium = Medium(grid, fast=fast)
+        victim = grid.id_of((5, 5))
+        jammer = grid.id_of((6, 5))
+        spoofed = grid.id_of((6, 6))  # a common neighbor: hears the collision
+        assert spoofed in grid.common_neighbors(victim, jammer)
+        deliveries = medium.resolve_slot(
+            [Transmission(victim, 1)],
+            [BadTransmission(jammer, 0, spoof_sender=spoofed)],
+        )
+        by_receiver = {d.receiver: d for d in deliveries}
+        self_heard = by_receiver[spoofed]
+        assert self_heard.corrupted
+        assert self_heard.sender == jammer  # clamped, not the receiver itself
+        other = next(
+            d
+            for d in deliveries
+            if d.corrupted and d.receiver != spoofed
+        )
+        assert other.sender == spoofed  # spoof still applies elsewhere
+
+    def test_lone_bad_transmission_ignores_spoof(self):
+        # spoof_sender only acts at collisions; a lone Byzantine message
+        # is a plain lie from its true sender on both paths.
+        grid = Grid(GridSpec(12, 12, r=1, torus=True))
+        bad = grid.id_of((3, 3))
+        tx = [BadTransmission(bad, 9, spoof_sender=grid.id_of((0, 0)))]
+        for fast in (True, False):
+            deliveries = Medium(grid, fast=fast).resolve_slot([], tx)
+            assert all(d.sender == bad and not d.corrupted for d in deliveries)
+
+
+class TestFastPathEquivalence:
+    """The flat-buffer fast path is byte-for-byte the reference path."""
+
+    def test_randomized_slots_match_reference(self):
+        import random
+
+        grid = Grid(GridSpec(20, 20, r=2, torus=True))
+        fast = Medium(grid, fast=True)
+        reference = Medium(grid, fast=False)
+        rng = random.Random(42)
+        kinds = [MessageKind.DATA, MessageKind.NACK]
+        for _ in range(500):
+            honest = (
+                [Transmission(rng.randrange(grid.n), rng.randint(0, 3),
+                              rng.choice(kinds))]
+                if rng.random() < 0.7
+                else []
+            )
+            byzantine = [
+                BadTransmission(
+                    rng.randrange(grid.n),
+                    rng.randint(0, 3),
+                    silence_at_collision=rng.random() < 0.3,
+                    kind=rng.choice(kinds),
+                    spoof_sender=(
+                        rng.randrange(grid.n) if rng.random() < 0.5 else None
+                    ),
+                )
+                for _ in range(rng.randint(0, 4))
+            ]
+            assert fast.resolve_slot(honest, byzantine) == (
+                reference.resolve_slot(honest, byzantine)
+            )
+
+    def test_memo_hits_return_fresh_equal_lists(self):
+        grid = Grid(GridSpec(12, 12, r=1, torus=True))
+        medium = Medium(grid)
+        honest = [Transmission(grid.id_of((5, 5)), 1)]
+        first = medium.resolve_slot(honest, [])
+        second = medium.resolve_slot(honest, [])
+        assert first == second
+        assert first is not second  # callers own their list
+
+    def test_honest_collision_raises_on_both_paths(self):
+        grid = Grid(GridSpec(12, 12, r=1, torus=True))
+        a, b = grid.id_of((5, 5)), grid.id_of((6, 5))
+        txs = [Transmission(a, 1), Transmission(b, 1)]
+        for fast in (True, False):
+            with pytest.raises(ScheduleConflictError, match="collided"):
+                Medium(grid, fast=fast).resolve_slot(txs, [])
+
+    def test_buffers_recover_after_schedule_conflict(self):
+        # The conflict path must leave the scratch buffers clean so the
+        # medium keeps resolving correctly afterwards.
+        grid = Grid(GridSpec(12, 12, r=1, torus=True))
+        medium = Medium(grid)
+        a, b = grid.id_of((5, 5)), grid.id_of((6, 5))
+        with pytest.raises(ScheduleConflictError):
+            medium.resolve_slot([Transmission(a, 1), Transmission(b, 1)], [])
+        deliveries = medium.resolve_slot(
+            [Transmission(a, 1)], [BadTransmission(b, 0)]
+        )
+        reference = Medium(grid, fast=False).resolve_slot(
+            [Transmission(a, 1)], [BadTransmission(b, 0)]
+        )
+        assert deliveries == reference

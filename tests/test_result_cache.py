@@ -134,3 +134,67 @@ class TestDataclassRoundTrip:
         rows = (RowResult(1, 0.5, False, "a", ()), RowResult(2, 1.5, True, "b", (9,)))
         decoded = decode_result(json.loads(json.dumps(encode_result(list(rows)))))
         assert tuple(decoded) == rows
+
+
+class TestAtomicStore:
+    """Tmp-file hygiene: per-process names, no leftovers, crash safety."""
+
+    def test_tmp_name_is_process_unique_and_same_directory(self, tmp_path):
+        # Two processes caching the same point concurrently must not
+        # share a tmp file, or their writes interleave before the
+        # atomic os.replace publishes the entry.
+        import os
+
+        cache = ResultCache(tmp_path)
+        point = ConfigPoint(1, 2, 3)
+        recorded = []
+        real_replace = os.replace
+
+        def spying_replace(src, dst):
+            recorded.append((str(src), str(dst)))
+            return real_replace(src, dst)
+
+        os.replace = spying_replace
+        try:
+            cache.put(point, 42)
+        finally:
+            os.replace = real_replace
+        (src, dst) = recorded[0]
+        assert f".{os.getpid()}.tmp" in src
+        assert os.path.dirname(src) == os.path.dirname(dst)
+        assert dst == str(cache.path_for(point))
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for m in range(5):
+            cache.put(ConfigPoint(m, m, m), m * m)
+        leftovers = list(tmp_path.glob("*.tmp"))
+        assert leftovers == []
+
+    def test_stale_foreign_tmp_does_not_break_store(self, tmp_path):
+        # A tmp file left by a crashed process (old fixed-name scheme or
+        # another pid) must not corrupt or block a fresh store.
+        cache = ResultCache(tmp_path)
+        point = ConfigPoint(9, 9, 9)
+        final = cache.path_for(point)
+        final.with_suffix(".tmp").write_text("garbage", encoding="utf-8")
+        final.with_name(f"{final.name}.99999.tmp").write_text(
+            "{truncated", encoding="utf-8"
+        )
+        cache.put(point, "fresh")
+        hit, value = cache.get(point)
+        assert hit and value == "fresh"
+
+    def test_failed_write_cleans_up_tmp(self, tmp_path, monkeypatch):
+        import os as _os
+
+        cache = ResultCache(tmp_path)
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(_os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            cache.put(ConfigPoint(4, 4, 4), 16)
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert cache.stats.stores == 0

@@ -97,12 +97,29 @@ def test_cancel_prevents_firing():
     assert event.cancelled
 
 
-def test_cancel_after_fire_raises():
+def test_cancel_after_fire_is_noop():
+    # cancel() promises idempotence: tearing down timer chains must be
+    # able to cancel blindly, even after the event already fired.
     sim = Simulator()
-    event = sim.schedule(1.0)
+    fired = []
+    event = sim.schedule(1.0, lambda ev: fired.append(1))
     sim.run()
-    with pytest.raises(SimulationError):
-        event.cancel()
+    event.cancel()
+    event.cancel()
+    assert fired == [1]
+    assert event.fired
+    assert not event.cancelled  # the event did fire; cancel changed nothing
+
+
+def test_cancel_is_idempotent_before_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda ev: fired.append(1))
+    event.cancel()
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert event.cancelled
 
 
 def test_callback_added_after_fire_runs_immediately():
