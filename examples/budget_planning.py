@@ -19,13 +19,13 @@ Run:  python examples/budget_planning.py
 from repro import (
     GridSpec,
     RandomPlacement,
-    ThresholdRunConfig,
+    ScenarioSpec,
     format_table,
     heterogeneous_assignment,
     koo_budget,
     m0,
     protocol_b_relay_count,
-    run_threshold_broadcast,
+    run_scenario,
 )
 from repro.network.grid import Grid
 
@@ -61,15 +61,15 @@ def main() -> None:
     )
     print()
 
-    cfg = ThresholdRunConfig(
-        spec=spec,
+    scenario = ScenarioSpec(
+        grid=spec,
         t=T,
         mf=MF,
         placement=RandomPlacement(t=T, count=80, seed=17),
         protocol="heter",
         batch_per_slot=4,
     )
-    report = run_threshold_broadcast(cfg)
+    report = run_scenario(scenario)
     print(f"B_heter simulation under worst-case jamming: success={report.success}")
     print(f"  decided: {report.outcome.decided_good}/{report.outcome.total_good}")
     print(f"  max per-mote spend: {report.costs.good_max} "

@@ -13,11 +13,11 @@ Run:  python examples/quickstart.py
 
 from repro import (
     GridSpec,
+    ScenarioSpec,
     StripePlacement,
-    ThresholdRunConfig,
     m0,
     protocol_b_relay_count,
-    run_threshold_broadcast,
+    run_scenario,
 )
 from repro.analysis.render import coverage_summary, render_decisions
 
@@ -35,23 +35,25 @@ def main() -> None:
     print(f"acceptance threshold t*mf+1      = {T * MF + 1}")
     print()
 
-    cfg = ThresholdRunConfig(
-        spec=GridSpec(width=30, height=30, r=R, torus=True),
+    # One declarative, serializable object describes the whole scenario —
+    # `python -m repro scenario run quickstart` executes this same spec.
+    spec = ScenarioSpec(
+        grid=GridSpec(width=30, height=30, r=R, torus=True),
         t=T,
         mf=MF,
         placement=StripePlacement(y0=8, t=T),
         protocol="b",
         m=budget,
     )
-    report = run_threshold_broadcast(cfg)
+    report = run_scenario(spec)
 
     print(f"broadcast success: {report.success}")
     print(f"rounds: {report.stats.rounds}, quiescent: {report.stats.quiescent}")
     print(f"message costs: {report.costs}")
     print(f"adversary corrupted {report.stats.corrupted_deliveries} deliveries")
     print()
-    print(render_decisions(report.table, report.nodes, cfg.vtrue))
-    print(coverage_summary(report.table, report.nodes, cfg.vtrue))
+    print(render_decisions(report.table, report.nodes, spec.vtrue))
+    print(coverage_summary(report.table, report.nodes, spec.vtrue))
 
     assert report.success, "Theorem 2 guarantees success at m = 2*m0"
 

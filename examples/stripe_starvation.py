@@ -9,7 +9,7 @@ band visible.
 Run:  python examples/stripe_starvation.py
 """
 
-from repro import GridSpec, ThresholdRunConfig, m0, run_threshold_broadcast
+from repro import GridSpec, ScenarioSpec, m0, run_scenario
 from repro.adversary import two_stripe_band
 from repro.analysis.render import coverage_summary, render_decisions
 from repro.network.grid import Grid
@@ -19,12 +19,12 @@ WIDTH = 30
 
 
 def run_with_budget(m: int):
-    spec = GridSpec(width=WIDTH, height=WIDTH, r=R, torus=True)
-    grid = Grid(spec)
+    grid_spec = GridSpec(width=WIDTH, height=WIDTH, r=R, torus=True)
+    grid = Grid(grid_spec)
     placement, band_rows = two_stripe_band(grid, t=T, band_height=6, below_y0=8)
-    band_ids = [grid.id_of((x, y)) for y in band_rows for x in range(WIDTH)]
-    cfg = ThresholdRunConfig(
-        spec=spec,
+    band_ids = tuple(grid.id_of((x, y)) for y in band_rows for x in range(WIDTH))
+    spec = ScenarioSpec(
+        grid=grid_spec,
         t=T,
         mf=MF,
         placement=placement,
@@ -33,7 +33,7 @@ def run_with_budget(m: int):
         protected=band_ids,  # the adversary focuses its budget on the band
         batch_per_slot=4,
     )
-    return run_threshold_broadcast(cfg), band_ids
+    return run_scenario(spec), band_ids
 
 
 def main() -> None:

@@ -19,7 +19,7 @@ Run:  python examples/unknown_attacker.py
 
 import random
 
-from repro import GridSpec, RandomPlacement, ReactiveRunConfig, run_reactive_broadcast
+from repro import GridSpec, RandomPlacement, ScenarioSpec, run_scenario
 from repro.coding.chain import ChainCode
 from repro.coding.channel import UnidirectionalChannel
 from repro.coding.params import attack_success_probability, subbit_length
@@ -61,25 +61,23 @@ def single_hop_demo() -> None:
 
 def reactive_broadcast_demo() -> None:
     print("=== layer 2+3: B_reactive across the grid ===")
-    spec = GridSpec(width=18, height=18, r=1, torus=True)
-    base = dict(
-        spec=spec,
+    base = ScenarioSpec(
+        grid=GridSpec(width=18, height=18, r=1, torus=True),
         t=1,
         mf=4,  # the adversary's REAL budget; the protocol never sees it
         mmax=10**6,  # only this loose bound informs the code length
         placement=RandomPlacement(t=1, count=10, seed=5),
+        protocol="reactive",
         seed=0,
     )
 
-    report = run_reactive_broadcast(ReactiveRunConfig(**base))
+    report = run_scenario(base)
     print(f"with the integrity code:    success={report.success}, "
           f"wrong={report.outcome.wrong_good}, "
           f"attacks={report.adversary.attacks}, "
           f"forgeries={report.adversary.successful_forgeries}")
 
-    broken = run_reactive_broadcast(
-        ReactiveRunConfig(**base, p_forge_override=0.9)
-    )
+    broken = run_scenario(base.replace(behavior_params={"p_forge": 0.9}))
     print(f"without it (forgeable):     success={broken.success}, "
           f"wrong={broken.outcome.wrong_good} "
           f"(spoofed endorsements subvert certified propagation)")

@@ -18,25 +18,31 @@ The package implements the paper's full system stack from scratch:
 - scenario runners and experiment harnesses regenerating every
   figure/theorem of the paper (:mod:`repro.runner`, :mod:`repro.experiments`).
 
-Quickstart::
+Quickstart — scenarios are declarative, serializable values
+(:mod:`repro.scenario`)::
 
-    from repro import GridSpec, StripePlacement, ThresholdRunConfig
-    from repro import run_threshold_broadcast, m0
+    from repro import GridSpec, ScenarioSpec, StripePlacement, run_scenario
 
-    spec = GridSpec(width=30, height=30, r=2, torus=True)
-    cfg = ThresholdRunConfig(
-        spec=spec, t=2, mf=2,
+    spec = ScenarioSpec(
+        grid=GridSpec(width=30, height=30, r=2, torus=True),
+        t=2, mf=2,
         placement=StripePlacement(y0=8, t=2),
-        protocol="b",
+        protocol="b",            # registry name; behavior defaults to "jam"
     )
-    report = run_threshold_broadcast(cfg)
+    report = run_scenario(spec)
     assert report.success  # m = 2*m0 suffices (Theorem 2)
+
+    text = spec.to_json()                    # a scenario is just JSON ...
+    assert ScenarioSpec.from_json(text) == spec
+    spec.content_hash()                      # ... with a stable identity
+    # `python -m repro scenario run file.json` runs it with no Python edits.
 
 Regenerating the paper (CLI)::
 
     python -m repro list                        # the 13 experiments
     python -m repro run e2 e7 --workers 4       # parallel sweeps
     python -m repro run all --cache-dir .cache  # memoize per-point results
+    python -m repro scenario run figure2        # bundled preset scenarios
 
 Experiments resolve through :mod:`repro.experiments.registry` and execute
 on :func:`repro.runner.parallel.sweep`: points fan out over spawn-safe
@@ -113,6 +119,11 @@ from repro.runner import (
     run_threshold_broadcast,
     sweep,
 )
+from repro.scenario import ScenarioOutcome, ScenarioSpec
+from repro.scenario import preset as scenario_preset
+from repro.scenario import preset_names as scenario_preset_names
+from repro.scenario import run as run_scenario
+from repro.scenario import run_summary as run_scenario_summary
 from repro.types import VFALSE, VTRUE, Role
 
 __all__ = [
@@ -160,6 +171,13 @@ __all__ = [
     "make_protocol_heter_nodes",
     "make_reactive_nodes",
     "protocol_b_required_budget",
+    # scenario
+    "ScenarioSpec",
+    "ScenarioOutcome",
+    "run_scenario",
+    "run_scenario_summary",
+    "scenario_preset",
+    "scenario_preset_names",
     # runner
     "BroadcastReport",
     "ReactiveRunConfig",

@@ -7,7 +7,12 @@ Usage::
     python -m repro run e2 e7 --workers 4       # several, in parallel
     python -m repro run all --cache-dir .cache  # everything, memoized
     python -m repro bench                       # slot-resolution benchmark
-    python -m repro bench --quick               # CI smoke variant
+    python -m repro bench --quick               # CI smoke (gates on the
+                                                #  trajectory's last entry)
+    python -m repro scenario list               # bundled scenario presets
+    python -m repro scenario dump figure2       # preset as editable JSON
+    python -m repro scenario run my.json        # run a JSON scenario file
+    python -m repro scenario run figure2 --workers 2 --cache-dir .cache
     python -m repro e2                          # legacy alias for `run e2`
 
 ``--workers N`` fans each experiment's sweep points out over ``N``
@@ -16,22 +21,39 @@ bit-identical to a serial run. ``--cache-dir`` memoizes per-point results
 as JSON keyed by a stable hash of the point, so re-running only computes
 points whose configuration changed.
 
+``scenario run`` executes declarative :class:`repro.scenario.ScenarioSpec`
+scenarios — bundled presets by name, or JSON files (one scenario object,
+or a list of them) that need no Python edits at all. Specs sweep through
+the same parallel/cache substrate as the experiments, keyed by each
+scenario's stable content hash.
+
 ``bench`` times the per-slot delivery-resolution hot loop (fast path vs
 the preserved reference path) on the E2 Figure-2 scenario and appends
 the result to the ``BENCH_slot_resolution.json`` trajectory (see
-:mod:`repro.runner.bench`).
+:mod:`repro.runner.bench`); it exits nonzero on a >1.5x speedup
+regression versus the trajectory's last entry.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from repro.errors import ReproError
 from repro.experiments import registry
 from repro.runner import bench as bench_mod
 from repro.runner.parallel import ResultCache, SweepProgress
+from repro.runner.parallel import sweep as parallel_sweep
+from repro.scenario import (
+    ScenarioSpec,
+    outcome_table,
+    preset,
+    preset_names,
+    run_summary,
+)
 
 
 def run_experiment(
@@ -58,6 +80,52 @@ def run_experiment(
     if cache is not None:
         suffix = f"; cache: {cache.stats.hits} hits, {cache.stats.stores} stored"
     print(f"[{exp_id} finished in {elapsed:.1f}s{suffix}]\n")
+
+
+def _load_scenarios(target: str) -> list[ScenarioSpec]:
+    """Resolve one `scenario run` argument: JSON file path or preset name."""
+    path = Path(target)
+    if path.suffix == ".json" or path.exists():
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if isinstance(payload, list):
+            return [ScenarioSpec.from_dict(item) for item in payload]
+        return [ScenarioSpec.from_dict(payload)]
+    return [preset(target)]
+
+
+def run_scenarios(
+    targets: list[str],
+    *,
+    workers: int = 1,
+    cache_dir: str | None = None,
+    show_progress: bool = True,
+) -> None:
+    """Run scenario files/presets through the parallel sweep substrate."""
+    specs: list[ScenarioSpec] = []
+    for target in targets:
+        specs.extend(_load_scenarios(target))
+    cache = (
+        ResultCache(cache_dir, namespace="scenario")
+        if cache_dir is not None
+        else None
+    )
+    progress = SweepProgress("scenario") if show_progress else None
+    start = time.perf_counter()
+    result = parallel_sweep(
+        specs, run_summary, workers=workers, cache=cache, progress=progress
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        outcome_table(
+            list(result.points),
+            list(result.results),
+            title=f"scenario run: {', '.join(targets)}",
+        )
+    )
+    suffix = ""
+    if cache is not None:
+        suffix = f"; cache: {cache.stats.hits} hits, {cache.stats.stores} stored"
+    print(f"[{len(specs)} scenario(s) in {elapsed:.1f}s{suffix}]")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -110,13 +178,78 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help=f"trajectory JSON path (default: {bench_mod.DEFAULT_OUT})",
     )
+    scenario_parser = sub.add_parser(
+        "scenario", help="declarative ScenarioSpec scenarios (JSON/presets)"
+    )
+    scenario_sub = scenario_parser.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run scenario JSON files and/or bundled presets"
+    )
+    scenario_run.add_argument(
+        "scenarios",
+        nargs="+",
+        metavar="file.json|preset",
+        help=(
+            "scenario JSON file (one object or a list) or a preset name "
+            f"({', '.join(preset_names())})"
+        ),
+    )
+    scenario_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the scenario sweep (0 = one per CPU)",
+    )
+    scenario_run.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk JSON result cache (default: off)",
+    )
+    scenario_run.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress progress/ETA output",
+    )
+    scenario_sub.add_parser("list", help="show bundled scenario presets")
+    scenario_dump = scenario_sub.add_parser(
+        "dump", help="print a preset's JSON (start here for custom files)"
+    )
+    scenario_dump.add_argument(
+        "preset", choices=preset_names(), help="preset name"
+    )
     args = parser.parse_args(argv)
 
     if args.command == "bench":
-        bench_mod.main_bench(
+        return bench_mod.main_bench(
             out=args.out if args.out is not None else bench_mod.DEFAULT_OUT,
             quick=args.quick,
         )
+
+    if args.command == "scenario":
+        try:
+            if args.scenario_command == "list":
+                width = max(len(name) for name in preset_names())
+                for name in preset_names():
+                    spec = preset(name)
+                    print(
+                        f"{name.ljust(width)}  {spec.protocol} / "
+                        f"{spec.grid.width}x{spec.grid.height} r={spec.grid.r} "
+                        f"[{spec.content_hash()[:12]}]"
+                    )
+            elif args.scenario_command == "dump":
+                print(preset(args.preset).to_json())
+            else:
+                run_scenarios(
+                    args.scenarios,
+                    workers=args.workers,
+                    cache_dir=args.cache_dir,
+                    show_progress=not args.no_progress,
+                )
+        except (ReproError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         return 0
 
     if args.command == "list":

@@ -6,6 +6,7 @@ structural :class:`~repro.radio.mac.AdversaryLike` interface.
 """
 
 from repro.adversary.base import Adversary, NullAdversary
+from repro.adversary.figure2 import figure2_midside_quota, figure2_plan
 from repro.adversary.jamming import PlannedJammer, ThresholdGuardJammer
 from repro.adversary.lying import SpamLiar, SpoofingJammer
 from repro.adversary.placement import (

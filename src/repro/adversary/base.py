@@ -38,3 +38,15 @@ class NullAdversary(Adversary):
         self, round_index: int, slot: int, honest: list[Transmission]
     ) -> list[BadTransmission]:
         return []
+
+
+from repro.scenario.registries import BehaviorEntry, behaviors as _behaviors  # noqa: E402
+
+_behaviors.register(
+    "none",
+    BehaviorEntry(
+        "none",
+        lambda ctx: NullAdversary(),
+        "bad nodes never transmit (crash faults, clean runs)",
+    ),
+)

@@ -1,0 +1,93 @@
+"""The clairvoyant Figure-2 corner-starvation defense (paper §2).
+
+The plan four defenders execute in the paper's Figure 2 worked example:
+each defender adjacent to the source square jams the whole ``4x4``
+supplier quadrant between its two frontier arms plus a quota of each of
+its two mid-side suppliers, pinning every second-wave receiver at
+exactly ``t*mf`` clean copies. Historically this lived inside the E2
+experiment module as an ad-hoc ``adversary_factory`` lambda; it is a
+registered behavior (``"figure2-defense"``) so the scenario can be
+expressed — and serialized — declaratively.
+
+The geometry is specific to the Figure-2 instance family (r=4, t=1,
+defenders on the ``(4 + 9i, 5 + 9j)`` lattice); the jam *quota* on the
+mid-side suppliers is the only free parameter
+(see :func:`figure2_midside_quota`).
+"""
+
+from __future__ import annotations
+
+from repro.adversary.jamming import PlannedJammer
+from repro.network.grid import Grid
+from repro.types import Coord, NodeId
+
+#: The Figure-2 instance family's fixed parameters (paper §2).
+R, T, MF = 4, 1, 1000
+M = 59  # m0 + 1
+WIDTH = HEIGHT = 36
+#: Bad lattice offset: (4 + 9i, 5 + 9j) — puts one bad node in every
+#: neighborhood, the source-square defender at (4, -4), and keeps p's 33
+#: suppliers all-good (reproducing the paper's 33 * 59 = 1947).
+LATTICE = (4, 5)
+P_COORD: Coord = (1, 5)
+MIDSIDE: tuple[Coord, ...] = ((0, 5), (5, 0), (0, -5), (-5, 0))
+#: Per-defender jam quota on each adjacent mid-side supplier at the
+#: paper's exact numbers (m=59, mf=1000): just enough to keep frontier
+#: receivers at 1000 = t*mf clean copies.
+MIDSIDE_QUOTA = 3
+
+
+def figure2_midside_quota(m: int, mf: int, t: int = T) -> int:
+    """Mid-side jam quota pinning frontier receivers at ``t*mf``.
+
+    A frontier receiver such as p=(1,5) hears 16 unjammed square
+    suppliers (m messages each) plus one mid-side node: clean copies are
+    ``16*m + (m - q)``, which must not exceed ``t*mf``.
+    """
+    return max(0, 17 * m - t * mf)
+
+
+def figure2_plan(
+    grid: Grid, midside_quota: int = MIDSIDE_QUOTA
+) -> dict[NodeId, dict[NodeId, int | None]]:
+    """The four defenders' jam plans (quadrant + mid-side quotas)."""
+    plan: dict[NodeId, dict[NodeId, int | None]] = {}
+    quadrants = {
+        (4, 5): (range(1, 5), range(1, 5), ((0, 5), (5, 0))),
+        (-5, 5): (range(-4, 0), range(1, 5), ((0, 5), (-5, 0))),
+        (4, -4): (range(1, 5), range(-4, 0), ((5, 0), (0, -5))),
+        (-5, -4): (range(-4, 0), range(-4, 0), ((-5, 0), (0, -5))),
+    }
+    for defender, (xs, ys, midsides) in quadrants.items():
+        victims: dict[NodeId, int | None] = {}
+        for x in xs:
+            for y in ys:
+                victims[grid.id_of((x, y))] = None  # jam every transmission
+        for coord in midsides:
+            victims[grid.id_of(coord)] = midside_quota
+        plan[grid.id_of(defender)] = victims
+    return plan
+
+
+def _build_figure2_defense(ctx) -> PlannedJammer:
+    """Registered "figure2-defense" behavior.
+
+    ``behavior_params["midside_quota"]`` overrides the paper-instance
+    quota (E2's generalized sweep computes it per ``(m, mf)``).
+    """
+    quota = ctx.behavior_params.get("midside_quota", MIDSIDE_QUOTA)
+    return PlannedJammer(
+        ctx.grid, ctx.table, ctx.ledger, figure2_plan(ctx.grid, quota)
+    )
+
+
+from repro.scenario.registries import BehaviorEntry, behaviors as _behaviors  # noqa: E402
+
+_behaviors.register(
+    "figure2-defense",
+    BehaviorEntry(
+        "figure2-defense",
+        _build_figure2_defense,
+        "clairvoyant four-defender quadrant jam plan (Figure 2)",
+    ),
+)

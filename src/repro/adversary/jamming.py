@@ -233,3 +233,28 @@ class PlannedJammer(Adversary):
                 )
         self.jams += len(actions)
         return actions
+
+
+def _build_threshold_guard(ctx) -> ThresholdGuardJammer:
+    """Registered "jam" behavior: the lazy threshold-guard jammer."""
+    return ThresholdGuardJammer(
+        ctx.grid,
+        ctx.table,
+        ctx.ledger,
+        threshold=ctx.params.threshold,
+        protected=ctx.spec.protected,
+        vtrue=ctx.spec.vtrue,
+        tracer=ctx.tracer,
+    )
+
+
+from repro.scenario.registries import BehaviorEntry, behaviors as _behaviors  # noqa: E402
+
+_behaviors.register(
+    "jam",
+    BehaviorEntry(
+        "jam",
+        _build_threshold_guard,
+        "lazy threshold-guard jammer (the lower-bound counting argument)",
+    ),
+)

@@ -126,3 +126,23 @@ class SpoofingJammer(Adversary):
                 )
         self.jams += len(actions)
         return actions
+
+
+from repro.scenario.registries import BehaviorEntry, behaviors as _behaviors  # noqa: E402
+
+_behaviors.register(
+    "lie",
+    BehaviorEntry(
+        "lie",
+        lambda ctx: SpamLiar(ctx.grid, ctx.table, ctx.ledger),
+        "bad nodes spam a wrong value in their own slots",
+    ),
+)
+_behaviors.register(
+    "spoof",
+    BehaviorEntry(
+        "spoof",
+        lambda ctx: SpoofingJammer(ctx.grid, ctx.table, ctx.ledger),
+        "jam relays and forge the victims' endorsements (anti-CPA)",
+    ),
+)

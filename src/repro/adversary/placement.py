@@ -223,3 +223,14 @@ class RandomPlacement(Placement):
                 for c in affected:
                     counts[c] += 1
         return bad
+
+
+# Self-registration: these names key placement serialization in
+# ScenarioSpec JSON ({"kind": "stripe", ...}) — see repro.scenario.spec.
+from repro.scenario.registries import placements as _placements  # noqa: E402
+
+_placements.register("stripe", StripePlacement)
+_placements.register("combined", CombinedPlacement)
+_placements.register("lattice", LatticePlacement)
+_placements.register("bernoulli", BernoulliPlacement)
+_placements.register("random", RandomPlacement)

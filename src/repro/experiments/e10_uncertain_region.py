@@ -30,11 +30,12 @@ from repro.analysis.bounds import m0
 from repro.errors import ReproError
 from repro.experiments import e2_figure2
 from repro.network.grid import Grid, GridSpec
-from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
 from repro.adversary.placement import two_stripe_band
 from repro.runner.parallel import ResultCache
 from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
+from repro.scenario import ScenarioSpec
+from repro.scenario import run as run_scenario
 
 
 @dataclass(frozen=True)
@@ -73,24 +74,29 @@ def lattice_breakable_max_m(mf: int, t: int = 1) -> int:
     return (3 * t * mf) // 50
 
 
-def _stripe_attack_wins(spec: GridSpec, t: int, mf: int, m: int) -> bool:
+def stripe_scenario(spec: GridSpec, t: int, mf: int, m: int) -> ScenarioSpec:
+    """The stripe-band attack on one budget point, as a spec."""
     grid = Grid(spec)
     placement, band_rows = two_stripe_band(
         grid, t=t, band_height=2 * spec.r + 2, below_y0=3 * spec.r
     )
-    band = [grid.id_of((x, y)) for y in band_rows for x in range(spec.width)]
-    report = run_threshold_broadcast(
-        ThresholdRunConfig(
-            spec=spec,
-            t=t,
-            mf=mf,
-            placement=placement,
-            protocol="b",
-            m=m,
-            protected=band,
-            batch_per_slot=8,
-        )
+    band = tuple(
+        grid.id_of((x, y)) for y in band_rows for x in range(spec.width)
     )
+    return ScenarioSpec(
+        grid=spec,
+        t=t,
+        mf=mf,
+        placement=placement,
+        protocol="b",
+        m=m,
+        protected=band,
+        batch_per_slot=8,
+    )
+
+
+def _stripe_attack_wins(spec: GridSpec, t: int, mf: int, m: int) -> bool:
+    report = run_scenario(stripe_scenario(spec, t, mf, m))
     return not report.success
 
 

@@ -27,6 +27,10 @@ which the simulation confirms. For digest-sized messages and the attack
 budgets the paper contemplates (a ≤ t*mf), the chain code wins up to
 roughly one attack per ``K/k`` bits of payload — quantifying the trade
 the paper left qualitative.
+
+A pure coding-level study (no grid, placement, or protocol): its sweep
+points stay plain parameter dataclasses rather than
+:class:`~repro.scenario.ScenarioSpec` instances.
 """
 
 from __future__ import annotations

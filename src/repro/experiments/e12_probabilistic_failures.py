@@ -23,10 +23,11 @@ from typing import Callable
 
 from repro.adversary.placement import BernoulliPlacement
 from repro.network.grid import GridSpec
-from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
 from repro.runner.parallel import ResultCache
 from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
+from repro.scenario import ScenarioSpec
+from repro.scenario import run as run_scenario
 
 
 @dataclass(frozen=True)
@@ -71,27 +72,37 @@ class FailureSweepPoint:
     seed: int
     width: int
 
+    def scenarios(self) -> tuple[ScenarioSpec, ...]:
+        """One crash-fault scenario spec per trial of this cell."""
+        side = 2 * self.r + 1
+        grid_width = (self.width // side) * side
+        spec = GridSpec(
+            width=grid_width, height=grid_width, r=self.r, torus=True
+        )
+        return tuple(
+            ScenarioSpec(
+                grid=spec,
+                t=0,  # crash faults only: no Byzantine values
+                mf=0,
+                placement=BernoulliPlacement(
+                    p=self.p, seed=self.seed + 97 * trial
+                ),
+                protocol="b",
+                behavior="none",
+                validate_local_bound=False,
+                batch_per_slot=4,
+            )
+            for trial in range(self.trials)
+        )
+
 
 def _run_failure_point(point: FailureSweepPoint) -> FailurePoint:
     """Run every trial of one (r, p) cell (worker-safe)."""
     r, p = point.r, point.p
-    side = 2 * r + 1
-    grid_width = (point.width // side) * side
-    spec = GridSpec(width=grid_width, height=grid_width, r=r, torus=True)
     fractions = []
     complete = True
-    for trial in range(point.trials):
-        cfg = ThresholdRunConfig(
-            spec=spec,
-            t=0,  # crash faults only: no Byzantine values
-            mf=0,
-            placement=BernoulliPlacement(p=p, seed=point.seed + 97 * trial),
-            protocol="b",
-            behavior="none",
-            validate_local_bound=False,
-            batch_per_slot=4,
-        )
-        report = run_threshold_broadcast(cfg)
+    for scenario in point.scenarios():
+        report = run_scenario(scenario)
         fractions.append(report.outcome.decided_fraction)
         complete = complete and report.outcome.complete
     return FailurePoint(

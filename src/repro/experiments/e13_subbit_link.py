@@ -10,6 +10,10 @@ of single-hop sessions with a budgeted sub-bit attacker, measuring
 - data rounds per session vs the model's ``attacks + 1``;
 - delivery rate vs the model's ``1 - O(2^-L)``;
 - cancellation success rate vs ``1/(2^L - 1)``.
+
+A pure coding-level study (no grid, placement, or protocol): its sweep
+points stay plain parameter dataclasses rather than
+:class:`~repro.scenario.ScenarioSpec` instances.
 """
 
 from __future__ import annotations

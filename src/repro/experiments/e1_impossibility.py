@@ -30,10 +30,11 @@ from typing import Callable
 from repro.adversary.placement import two_stripe_band
 from repro.analysis.bounds import m0
 from repro.network.grid import Grid, GridSpec
-from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
 from repro.runner.parallel import ResultCache
 from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
+from repro.scenario import ScenarioSpec
+from repro.scenario import run as run_scenario
 from repro.types import NodeId
 
 
@@ -81,30 +82,39 @@ class StripePoint:
     below_y0: int
     m: int
 
+    def scenario(self) -> ScenarioSpec:
+        """The point's full scenario (grid to adversary) as a spec.
+
+        The protected set *is* the victim band, so the band ids the
+        report analysis needs travel inside the spec.
+        """
+        grid_spec = GridSpec(
+            width=self.width, height=self.height, r=self.r, torus=True
+        )
+        grid = Grid(grid_spec)
+        placement, band_rows = two_stripe_band(
+            grid, t=self.t, band_height=self.band_height, below_y0=self.below_y0
+        )
+        band_ids = tuple(
+            grid.id_of((x, y)) for y in band_rows for x in range(self.width)
+        )
+        return ScenarioSpec(
+            grid=grid_spec,
+            t=self.t,
+            mf=self.mf,
+            placement=placement,
+            protocol="b",
+            m=self.m,
+            protected=band_ids,
+            batch_per_slot=4,
+        )
+
 
 def _run_stripe_point(point: StripePoint) -> ImpossibilityPoint:
     """Rebuild the stripe scenario from the point and run it (worker-safe)."""
-    spec = GridSpec(
-        width=point.width, height=point.height, r=point.r, torus=True
-    )
-    grid = Grid(spec)
-    placement, band_rows = two_stripe_band(
-        grid, t=point.t, band_height=point.band_height, below_y0=point.below_y0
-    )
-    band_ids: list[NodeId] = [
-        grid.id_of((x, y)) for y in band_rows for x in range(point.width)
-    ]
-    cfg = ThresholdRunConfig(
-        spec=spec,
-        t=point.t,
-        mf=point.mf,
-        placement=placement,
-        protocol="b",
-        m=point.m,
-        protected=band_ids,
-        batch_per_slot=4,
-    )
-    report = run_threshold_broadcast(cfg)
+    spec = point.scenario()
+    report = run_scenario(spec)
+    band_ids: tuple[NodeId, ...] = spec.protected
     band_good = [nid for nid in band_ids if nid in report.nodes]
     decided = sum(1 for nid in band_good if report.nodes[nid].decided)
     lower = m0(point.r, point.t, point.mf)

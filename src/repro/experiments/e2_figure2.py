@@ -17,12 +17,17 @@ Paper's claims, all checked here:
   947 correct delivered;
 - hence broadcast fails even though ``m > m0`` (the ``(m0, 2m0)`` gap).
 
-The defense is *clairvoyant* (see :class:`~repro.adversary.jamming.PlannedJammer`):
-each of the four defenders adjacent to the source square jams the whole
-``4x4`` supplier quadrant between its two frontier arms (16 nodes * 59
-transmissions = 944) plus 3 transmissions of each of its two mid-side
-suppliers — 950 of its 1000 budget — pinning every second-wave receiver
-to exactly 1000 clean copies.
+The defense is *clairvoyant* (see :mod:`repro.adversary.figure2`, the
+registered ``"figure2-defense"`` behavior): each of the four defenders
+adjacent to the source square jams the whole ``4x4`` supplier quadrant
+between its two frontier arms (16 nodes * 59 transmissions = 944) plus 3
+transmissions of each of its two mid-side suppliers — 950 of its 1000
+budget — pinning every second-wave receiver to exactly 1000 clean copies.
+
+The whole instance family is declarative: :func:`scenario_spec` builds
+the one :class:`~repro.scenario.ScenarioSpec` (grid, lattice placement,
+protocol B, the registered defense behavior) that every entry point here
+— classic run, generalized sweep, walkthrough — executes.
 """
 
 from __future__ import annotations
@@ -30,30 +35,33 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.adversary.jamming import PlannedJammer
+from repro.adversary.figure2 import (
+    LATTICE,
+    M,
+    MF,
+    MIDSIDE,
+    MIDSIDE_QUOTA,
+    P_COORD,
+    R,
+    T,
+    WIDTH,
+    figure2_midside_quota,
+    figure2_plan,
+)
 from repro.adversary.placement import LatticePlacement
 from repro.analysis.bounds import m0
 from repro.errors import ConfigurationError
-from repro.network.grid import Grid, GridSpec
-from repro.runner.broadcast_run import BroadcastReport, ThresholdRunConfig, run_threshold_broadcast
-from repro.runner.parallel import ResultCache
+from repro.network.grid import GridSpec
+from repro.runner.parallel import ResultCache, SweepResult
 from repro.runner.parallel import sweep as parallel_sweep
-from repro.runner.report import format_table
-from repro.runner.sweep import SweepResult
-from repro.types import Coord, NodeId
+from repro.runner.report import BroadcastReport, format_table
+from repro.scenario import ScenarioSpec
+from repro.scenario import run as run_scenario
 
-R, T, MF = 4, 1, 1000
-M = 59  # m0 + 1
-WIDTH = HEIGHT = 36
-#: Bad lattice offset: (4 + 9i, 5 + 9j) — puts one bad node in every
-#: neighborhood, the source-square defender at (4, -4), and keeps p's 33
-#: suppliers all-good (reproducing the paper's 33 * 59 = 1947).
-LATTICE = (4, 5)
-P_COORD: Coord = (1, 5)
-MIDSIDE: tuple[Coord, ...] = ((0, 5), (5, 0), (0, -5), (-5, 0))
-#: Per-defender jam quota on each adjacent mid-side supplier: just enough
-#: to keep frontier receivers at 1000 = t*mf clean copies.
-MIDSIDE_QUOTA = 3
+#: Deprecated alias (the plan builder moved to :mod:`repro.adversary.figure2`).
+_figure2_plan = figure2_plan
+
+HEIGHT = WIDTH
 
 
 @dataclass(frozen=True)
@@ -68,38 +76,6 @@ class Figure2Result:
     defender_spend: int
     broadcast_failed: bool
     report: BroadcastReport
-
-
-def _figure2_plan(
-    grid: Grid, midside_quota: int = MIDSIDE_QUOTA
-) -> dict[NodeId, dict[NodeId, int | None]]:
-    """The four defenders' jam plans (quadrant + mid-side quotas)."""
-    plan: dict[NodeId, dict[NodeId, int | None]] = {}
-    quadrants = {
-        (4, 5): (range(1, 5), range(1, 5), ((0, 5), (5, 0))),
-        (-5, 5): (range(-4, 0), range(1, 5), ((0, 5), (-5, 0))),
-        (4, -4): (range(1, 5), range(-4, 0), ((5, 0), (0, -5))),
-        (-5, -4): (range(-4, 0), range(-4, 0), ((-5, 0), (0, -5))),
-    }
-    for defender, (xs, ys, midsides) in quadrants.items():
-        victims: dict[NodeId, int | None] = {}
-        for x in xs:
-            for y in ys:
-                victims[grid.id_of((x, y))] = None  # jam every transmission
-        for coord in midsides:
-            victims[grid.id_of(coord)] = midside_quota
-        plan[grid.id_of(defender)] = victims
-    return plan
-
-
-def figure2_midside_quota(m: int, mf: int, t: int = T) -> int:
-    """Mid-side jam quota pinning frontier receivers at ``t*mf``.
-
-    A frontier receiver such as p=(1,5) hears 16 unjammed square
-    suppliers (m messages each) plus one mid-side node: clean copies are
-    ``16*m + (m - q)``, which must not exceed ``t*mf``.
-    """
-    return max(0, 17 * m - t * mf)
 
 
 def validate_figure2_attack(m: int, mf: int, t: int = T) -> None:
@@ -128,6 +104,38 @@ def validate_figure2_attack(m: int, mf: int, t: int = T) -> None:
         )
 
 
+def scenario_spec(
+    *,
+    m: int,
+    mf: int,
+    max_rounds: int = 130,
+    batch_per_slot: int = 25,
+) -> ScenarioSpec:
+    """The Figure-2 construction as one declarative scenario.
+
+    Validates feasibility first (see :func:`validate_figure2_attack`);
+    the paper's instance is ``m=59, mf=1000``.
+    """
+    validate_figure2_attack(m, mf)
+    return ScenarioSpec(
+        grid=GridSpec(width=WIDTH, height=HEIGHT, r=R, torus=True),
+        t=T,
+        mf=mf,
+        placement=LatticePlacement(x0=LATTICE[0], y0=LATTICE[1], cluster=1),
+        protocol="b",
+        behavior="figure2-defense",
+        behavior_params={"midside_quota": figure2_midside_quota(m, mf)},
+        m=m,
+        max_rounds=max_rounds,
+        batch_per_slot=batch_per_slot,
+    )
+
+
+def paper_spec() -> ScenarioSpec:
+    """The paper's exact instance (m=59, mf=1000) as a scenario."""
+    return scenario_spec(m=M, mf=MF)
+
+
 def run_figure2_generalized(
     *,
     m: int,
@@ -135,32 +143,12 @@ def run_figure2_generalized(
     max_rounds: int = 130,
     batch_per_slot: int = 25,
 ) -> Figure2Result:
-    """Figure-2 construction for arbitrary ``(m, mf)`` at r=4, t=1.
-
-    Validates feasibility first (see :func:`validate_figure2_attack`);
-    the paper's instance is ``m=59, mf=1000``.
-    """
-    validate_figure2_attack(m, mf)
-    quota = figure2_midside_quota(m, mf)
-    spec = GridSpec(width=WIDTH, height=HEIGHT, r=R, torus=True)
-    placement = LatticePlacement(x0=LATTICE[0], y0=LATTICE[1], cluster=1)
-
-    cfg = ThresholdRunConfig(
-        spec=spec,
-        t=T,
-        mf=mf,
-        placement=placement,
-        protocol="b",
-        behavior="custom",
-        m=m,
-        max_rounds=max_rounds,
-        batch_per_slot=batch_per_slot,
-        adversary_factory=lambda grid, table, ledger: PlannedJammer(
-            grid, table, ledger, _figure2_plan(grid, midside_quota=quota)
-        ),
+    """Figure-2 construction for arbitrary ``(m, mf)`` at r=4, t=1."""
+    spec = scenario_spec(
+        m=m, mf=mf, max_rounds=max_rounds, batch_per_slot=batch_per_slot
     )
-    report = run_threshold_broadcast(cfg)
-    return _collect(report, cfg, m, mf)
+    report = run_scenario(spec)
+    return _collect(report, spec)
 
 
 def run_figure2(max_rounds: int = 130, batch_per_slot: int = 25) -> Figure2Result:
@@ -170,8 +158,9 @@ def run_figure2(max_rounds: int = 130, batch_per_slot: int = 25) -> Figure2Resul
     )
 
 
-def _collect(report, cfg: ThresholdRunConfig, m: int, mf: int) -> Figure2Result:
+def _collect(report: BroadcastReport, spec: ScenarioSpec) -> Figure2Result:
     grid = report.grid
+    m, mf = spec.m, spec.mf
 
     source = grid.id_of((0, 0))
     square = {
@@ -198,7 +187,7 @@ def _collect(report, cfg: ThresholdRunConfig, m: int, mf: int) -> Figure2Result:
         decided_good=report.outcome.decided_good,
         expected_decided=len(expected_decided),
         p_potential=p_suppliers * m,
-        p_clean=p_node.count_of(cfg.vtrue),
+        p_clean=p_node.count_of(spec.vtrue),
         p_suppliers=p_suppliers,
         midside_potential=(grid.spec.half_neighborhood - T) * m,
         defender_spend=report.ledger.sent(defender),
@@ -215,6 +204,15 @@ class Figure2SweepPoint:
     mf: int
     max_rounds: int = 130
     batch_per_slot: int = 25
+
+    def scenario(self) -> ScenarioSpec:
+        """The point's full scenario (grid to adversary) as a spec."""
+        return scenario_spec(
+            m=self.m,
+            mf=self.mf,
+            max_rounds=self.max_rounds,
+            batch_per_slot=self.batch_per_slot,
+        )
 
 
 @dataclass(frozen=True)
@@ -254,13 +252,9 @@ DEFAULT_SWEEP_POINTS: tuple[Figure2SweepPoint, ...] = (
 
 
 def _run_sweep_point(point: Figure2SweepPoint) -> Figure2Summary:
-    """Run one generalized Figure-2 instance and summarize (worker-safe)."""
-    result = run_figure2_generalized(
-        m=point.m,
-        mf=point.mf,
-        max_rounds=point.max_rounds,
-        batch_per_slot=point.batch_per_slot,
-    )
+    """Run one generalized Figure-2 scenario and summarize (worker-safe)."""
+    spec = point.scenario()
+    result = _collect(run_scenario(spec), spec)
     report = result.report
     return Figure2Summary(
         m=point.m,

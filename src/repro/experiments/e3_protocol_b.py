@@ -16,10 +16,11 @@ from typing import Callable
 from repro.adversary.placement import RandomPlacement, two_stripe_band
 from repro.analysis.bounds import m0, protocol_b_relay_count
 from repro.network.grid import Grid, GridSpec
-from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
 from repro.runner.parallel import ResultCache
 from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
+from repro.scenario import ScenarioSpec
+from repro.scenario import run as run_scenario
 
 #: Default sweep: (r, t, mf) triples exercising low/high collision budgets
 #: and adversary densities.
@@ -77,37 +78,41 @@ class TheoremTwoSweepPoint:
     placement: str  # "stripe-band" | "random"
     seed: int
 
+    def scenario(self) -> ScenarioSpec:
+        """The point's full scenario (grid to adversary) as a spec."""
+        r, t, mf = self.r, self.t, self.mf
+        spec = _grid_for(r)
+        grid = Grid(spec)
+        if self.placement == "stripe-band":
+            placement, band_rows = two_stripe_band(
+                grid, t=t, band_height=2 * r + 2, below_y0=3 * r
+            )
+            protected = tuple(
+                grid.id_of((x, y)) for y in band_rows for x in range(spec.width)
+            )
+        else:
+            placement = RandomPlacement(
+                t=t, count=grid.n // (2 * (2 * r + 1) ** 2), seed=self.seed
+            )
+            protected = None
+        return ScenarioSpec(
+            grid=spec,
+            t=t,
+            mf=mf,
+            placement=placement,
+            protocol="b",
+            m=2 * m0(r, t, mf),
+            protected=protected,
+            batch_per_slot=4,
+        )
+
 
 def _run_theorem2_point(point: TheoremTwoSweepPoint) -> TheoremTwoPoint:
     """Rebuild and run one Theorem-2 scenario (worker-safe)."""
     r, t, mf = point.r, point.t, point.mf
-    spec = _grid_for(r)
-    grid = Grid(spec)
     lower = m0(r, t, mf)
     m = 2 * lower
-    if point.placement == "stripe-band":
-        placement, band_rows = two_stripe_band(
-            grid, t=t, band_height=2 * r + 2, below_y0=3 * r
-        )
-        protected = [
-            grid.id_of((x, y)) for y in band_rows for x in range(spec.width)
-        ]
-    else:
-        placement = RandomPlacement(
-            t=t, count=grid.n // (2 * (2 * r + 1) ** 2), seed=point.seed
-        )
-        protected = None
-    cfg = ThresholdRunConfig(
-        spec=spec,
-        t=t,
-        mf=mf,
-        placement=placement,
-        protocol="b",
-        m=m,
-        protected=protected,
-        batch_per_slot=4,
-    )
-    report = run_threshold_broadcast(cfg)
+    report = run_scenario(point.scenario())
     return TheoremTwoPoint(
         r=r,
         t=t,

@@ -21,10 +21,11 @@ from repro.analysis.bounds import (
     protocol_b_relay_count,
 )
 from repro.network.grid import GridSpec
-from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
 from repro.runner.parallel import ResultCache
 from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
+from repro.scenario import ScenarioSpec
+from repro.scenario import run as run_scenario
 
 DEFAULT_CONFIGS: tuple[tuple[int, int, int], ...] = (
     (1, 1, 2),
@@ -98,6 +99,18 @@ class ProtocolRunPoint:
     mf: int
     seed: int
 
+    def scenario(self) -> ScenarioSpec:
+        """The point's full scenario (grid to adversary) as a spec."""
+        side = 2 * self.r + 1
+        return ScenarioSpec(
+            grid=GridSpec(width=6 * side, height=6 * side, r=self.r, torus=True),
+            t=self.t,
+            mf=self.mf,
+            placement=RandomPlacement(t=self.t, count=20, seed=self.seed),
+            protocol=self.protocol,
+            batch_per_slot=4,
+        )
+
 
 @dataclass(frozen=True)
 class ProtocolRunOutcome:
@@ -108,17 +121,7 @@ class ProtocolRunOutcome:
 
 def _run_protocol_point(point: ProtocolRunPoint) -> ProtocolRunOutcome:
     """Run one protocol on the shared comparison scenario (worker-safe)."""
-    side = 2 * point.r + 1
-    spec = GridSpec(width=6 * side, height=6 * side, r=point.r, torus=True)
-    cfg = ThresholdRunConfig(
-        spec=spec,
-        t=point.t,
-        mf=point.mf,
-        placement=RandomPlacement(t=point.t, count=20, seed=point.seed),
-        protocol=point.protocol,  # type: ignore[arg-type]
-        batch_per_slot=4,
-    )
-    report = run_threshold_broadcast(cfg)
+    report = run_scenario(point.scenario())
     return ProtocolRunOutcome(
         protocol=point.protocol,
         success=report.success,

@@ -21,10 +21,11 @@ from repro.adversary.placement import RandomPlacement, two_stripe_band
 from repro.analysis.bounds import m0, protocol_b_relay_count
 from repro.analysis.budgets import heterogeneous_assignment
 from repro.network.grid import Grid, GridSpec
-from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
 from repro.runner.parallel import ResultCache
 from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
+from repro.scenario import ScenarioSpec
+from repro.scenario import run as run_scenario
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,35 @@ class HeterogeneousSweepPoint:
     placement: str  # "stripe-band" | "random"
     seed: int
 
+    def scenario(self) -> ScenarioSpec:
+        """The point's full scenario (grid to adversary) as a spec."""
+        width, r, t, mf = self.width, self.r, self.t, self.mf
+        spec = GridSpec(width=width, height=width, r=r, torus=True)
+        grid = Grid(spec)
+        if self.placement == "stripe-band":
+            placement, band_rows = two_stripe_band(
+                grid, t=t, band_height=2 * r + 2, below_y0=3 * r
+            )
+            protected = tuple(
+                gid
+                for y in band_rows
+                for gid in (grid.id_of((x, y)) for x in range(width))
+            )
+        else:
+            placement = RandomPlacement(
+                t=t, count=grid.n // (2 * (2 * r + 1) ** 2), seed=self.seed
+            )
+            protected = None
+        return ScenarioSpec(
+            grid=spec,
+            t=t,
+            mf=mf,
+            placement=placement,
+            protocol="heter",
+            protected=protected,
+            batch_per_slot=4,
+        )
+
 
 def _run_heterogeneous_point(
     point: HeterogeneousSweepPoint,
@@ -81,30 +111,7 @@ def _run_heterogeneous_point(
     grid = Grid(spec)
     source = grid.id_of((0, 0))
     assignment = heterogeneous_assignment(grid, source, t, mf)
-    if point.placement == "stripe-band":
-        placement, band_rows = two_stripe_band(
-            grid, t=t, band_height=2 * r + 2, below_y0=3 * r
-        )
-        protected = [
-            gid
-            for y in band_rows
-            for gid in (grid.id_of((x, y)) for x in range(width))
-        ]
-    else:
-        placement = RandomPlacement(
-            t=t, count=grid.n // (2 * (2 * r + 1) ** 2), seed=point.seed
-        )
-        protected = None
-    cfg = ThresholdRunConfig(
-        spec=spec,
-        t=t,
-        mf=mf,
-        placement=placement,
-        protocol="heter",
-        protected=protected,
-        batch_per_slot=4,
-    )
-    report = run_threshold_broadcast(cfg)
+    report = run_scenario(point.scenario())
     return HeterogeneousPoint(
         width=width,
         r=r,

@@ -13,6 +13,10 @@ Three regenerated artifacts:
    ``attack_success_probability`` (the paper's ``2^-L``); injection
    attacks on 0-blocks always succeed at the sub-bit level and are then
    caught by the bit-level chain code.
+
+A pure coding-level study (no grid, placement, or protocol): its sweep
+points stay plain parameter dataclasses rather than
+:class:`~repro.scenario.ScenarioSpec` instances.
 """
 
 from __future__ import annotations

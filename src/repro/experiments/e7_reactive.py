@@ -24,10 +24,11 @@ from repro.adversary.placement import RandomPlacement
 from repro.analysis.bounds import max_reactive_t, theorem4_budget
 from repro.coding.params import coded_length, subbit_length
 from repro.network.grid import GridSpec
-from repro.runner.broadcast_run import ReactiveRunConfig, run_reactive_broadcast
 from repro.runner.parallel import ResultCache
 from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
+from repro.scenario import ScenarioSpec
+from repro.scenario import run as run_scenario
 
 
 @dataclass(frozen=True)
@@ -90,21 +91,26 @@ class ReactiveSweepPoint:
     width: int
     bad_count: int
 
+    def scenario(self) -> ScenarioSpec:
+        """The point's full scenario (grid to adversary) as a spec."""
+        return ScenarioSpec(
+            grid=GridSpec(
+                width=self.width, height=self.width, r=self.r, torus=True
+            ),
+            t=self.t,
+            mf=self.mf,
+            mmax=self.mmax,
+            placement=RandomPlacement(
+                t=self.t, count=self.bad_count, seed=1000 + self.seed
+            ),
+            protocol="reactive",
+            seed=self.seed,
+        )
+
 
 def _run_reactive_point(point: ReactiveSweepPoint) -> ReactivePoint:
     """Rebuild and run one seeded B_reactive scenario (worker-safe)."""
-    spec = GridSpec(width=point.width, height=point.width, r=point.r, torus=True)
-    cfg = ReactiveRunConfig(
-        spec=spec,
-        t=point.t,
-        mf=point.mf,
-        mmax=point.mmax,
-        placement=RandomPlacement(
-            t=point.t, count=point.bad_count, seed=1000 + point.seed
-        ),
-        seed=point.seed,
-    )
-    report = run_reactive_broadcast(cfg)
+    report = run_scenario(point.scenario())
     nodes = report.nodes
     return ReactivePoint(
         seed=point.seed,
@@ -160,15 +166,16 @@ def run_reactive(
 
     # Forced-failure demonstration: p_forge = 0.5 lets spoofed
     # endorsements through and certified propagation accepts wrong values.
-    forced = run_reactive_broadcast(
-        ReactiveRunConfig(
-            spec=spec,
+    forced = run_scenario(
+        ScenarioSpec(
+            grid=spec,
             t=t,
             mf=mf,
             mmax=mmax,
             placement=RandomPlacement(t=t, count=bad_count, seed=1234),
+            protocol="reactive",
             seed=99,
-            p_forge_override=0.5,
+            behavior_params={"p_forge": 0.5},
         )
     )
 

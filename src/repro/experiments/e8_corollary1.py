@@ -30,10 +30,11 @@ from repro.analysis.bounds import (
     m0,
 )
 from repro.network.grid import Grid, GridSpec
-from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
 from repro.runner.parallel import ResultCache
 from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
+from repro.scenario import ScenarioSpec
+from repro.scenario import run as run_scenario
 
 
 @dataclass(frozen=True)
@@ -88,29 +89,34 @@ class BoundarySweepPoint:
     width: int
     height: int
 
+    def scenario(self) -> ScenarioSpec:
+        """The point's full scenario (grid to adversary) as a spec."""
+        spec = GridSpec(
+            width=self.width, height=self.height, r=self.r, torus=True
+        )
+        grid = Grid(spec)
+        placement, band_rows = two_stripe_band(
+            grid, t=self.t, band_height=2 * self.r + 2, below_y0=3 * self.r
+        )
+        band_ids = tuple(
+            grid.id_of((x, y)) for y in band_rows for x in range(self.width)
+        )
+        return ScenarioSpec(
+            grid=spec,
+            t=self.t,
+            mf=self.mf,
+            placement=placement,
+            protocol="b",
+            m=self.m,
+            protected=band_ids,
+            batch_per_slot=4,
+        )
+
 
 def _run_boundary_point(point: BoundarySweepPoint) -> BoundaryPoint:
     """Rebuild and run one feasibility-map cell (worker-safe)."""
     r, mf, t, m = point.r, point.mf, point.t, point.m
-    spec = GridSpec(width=point.width, height=point.height, r=r, torus=True)
-    grid = Grid(spec)
-    placement, band_rows = two_stripe_band(
-        grid, t=t, band_height=2 * r + 2, below_y0=3 * r
-    )
-    band_ids = [
-        grid.id_of((x, y)) for y in band_rows for x in range(point.width)
-    ]
-    cfg = ThresholdRunConfig(
-        spec=spec,
-        t=t,
-        mf=mf,
-        placement=placement,
-        protocol="b",
-        m=m,
-        protected=band_ids,
-        batch_per_slot=4,
-    )
-    report = run_threshold_broadcast(cfg)
+    report = run_scenario(point.scenario())
     return BoundaryPoint(
         t=t,
         m=m,

@@ -23,30 +23,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.adversary.placement import RandomPlacement, two_stripe_band
+from repro.adversary.figure2 import LATTICE, M, MF, R, T, WIDTH
+from repro.adversary.placement import LatticePlacement, RandomPlacement, two_stripe_band
 from repro.analysis.bounds import koo_budget, m0, protocol_b_relay_count
-from repro.experiments.e2_figure2 import (
-    LATTICE,
-    M,
-    MF,
-    R,
-    T,
-    WIDTH,
-    _figure2_plan,
-    run_figure2,
-)
-from repro.adversary.jamming import PlannedJammer
-from repro.adversary.placement import LatticePlacement
+from repro.experiments.e2_figure2 import run_figure2
 from repro.network.grid import Grid, GridSpec
-from repro.runner.broadcast_run import (
-    ReactiveRunConfig,
-    ThresholdRunConfig,
-    run_reactive_broadcast,
-    run_threshold_broadcast,
-)
 from repro.runner.parallel import ResultCache
 from repro.runner.parallel import sweep as parallel_sweep
 from repro.runner.report import format_table
+from repro.scenario import ScenarioSpec
+from repro.scenario import run as run_scenario
 
 
 # -- (a) relay-count sweep -----------------------------------------------------
@@ -71,28 +57,33 @@ class RelaySweepPoint:
     relay: int
     label: str
 
+    def scenario(self) -> ScenarioSpec:
+        """The point's full scenario (grid to adversary) as a spec."""
+        r, t, mf, width = self.r, self.t, self.mf, self.width
+        spec = GridSpec(width=width, height=width, r=r, torus=True)
+        grid = Grid(spec)
+        placement, band_rows = two_stripe_band(
+            grid, t=t, band_height=2 * r + 2, below_y0=3 * r
+        )
+        band_ids = tuple(
+            grid.id_of((x, y)) for y in band_rows for x in range(width)
+        )
+        return ScenarioSpec(
+            grid=spec,
+            t=t,
+            mf=mf,
+            placement=placement,
+            protocol="b",
+            m=self.relay,  # budget == relay count: exactly `relay` sends each
+            protocol_params={"relay_override": self.relay},
+            protected=band_ids,
+            batch_per_slot=4,
+        )
+
 
 def _run_relay_point(point: RelaySweepPoint) -> RelayPoint:
     """Rebuild and run one relay-count candidate (worker-safe)."""
-    r, t, mf, width = point.r, point.t, point.mf, point.width
-    spec = GridSpec(width=width, height=width, r=r, torus=True)
-    grid = Grid(spec)
-    placement, band_rows = two_stripe_band(
-        grid, t=t, band_height=2 * r + 2, below_y0=3 * r
-    )
-    band_ids = [grid.id_of((x, y)) for y in band_rows for x in range(width)]
-    cfg = ThresholdRunConfig(
-        spec=spec,
-        t=t,
-        mf=mf,
-        placement=placement,
-        protocol="b",
-        m=point.relay,  # budget == relay count: exactly `relay` sends each
-        relay_override=point.relay,
-        protected=band_ids,
-        batch_per_slot=4,
-    )
-    report = run_threshold_broadcast(cfg)
+    report = run_scenario(point.scenario())
     return RelayPoint(
         relay_count=point.relay,
         label=point.label,
@@ -163,6 +154,28 @@ class GrowthShapePoint:
     shape: str
     max_rounds: int = 200
 
+    def scenario(self) -> ScenarioSpec:
+        """The cross configuration's scenario as a spec.
+
+        The cross shape pairs Theorem 3's heterogeneous assignment with
+        the same registered clairvoyant Figure-2 defense (historically an
+        ad-hoc ``adversary_factory`` lambda — behavior ``"custom"``).
+        The square shape is the E2 paper instance itself and runs through
+        :func:`repro.experiments.e2_figure2.run_figure2`.
+        """
+        if self.shape != "cross":
+            raise ValueError(f"no scenario spec for growth shape {self.shape!r}")
+        return ScenarioSpec(
+            grid=GridSpec(width=WIDTH, height=WIDTH, r=R, torus=True),
+            t=T,
+            mf=MF,
+            placement=LatticePlacement(x0=LATTICE[0], y0=LATTICE[1], cluster=1),
+            protocol="heter",
+            behavior="figure2-defense",
+            max_rounds=self.max_rounds,
+            batch_per_slot=25,
+        )
+
 
 @dataclass(frozen=True)
 class GrowthShapeRun:
@@ -184,22 +197,7 @@ def _run_growth_point(point: GrowthShapePoint) -> GrowthShapeRun:
         )
     if point.shape != "cross":
         raise ValueError(f"unknown growth shape {point.shape!r}")
-    spec = GridSpec(width=WIDTH, height=WIDTH, r=R, torus=True)
-    placement = LatticePlacement(x0=LATTICE[0], y0=LATTICE[1], cluster=1)
-    cfg = ThresholdRunConfig(
-        spec=spec,
-        t=T,
-        mf=MF,
-        placement=placement,
-        protocol="heter",
-        behavior="custom",
-        max_rounds=point.max_rounds,
-        batch_per_slot=25,
-        adversary_factory=lambda grid, table, ledger: PlannedJammer(
-            grid, table, ledger, _figure2_plan(grid)
-        ),
-    )
-    heter = run_threshold_broadcast(cfg)
+    heter = run_scenario(point.scenario())
     return GrowthShapeRun(
         shape="cross",
         success=heter.success,
@@ -256,6 +254,21 @@ class QuietWindowSweepPoint:
     mf: int
     bad_count: int
 
+    def scenario(self) -> ScenarioSpec:
+        """The point's full scenario (grid to adversary) as a spec."""
+        return ScenarioSpec(
+            grid=GridSpec(width=self.width, height=self.width, r=1, torus=True),
+            t=1,
+            mf=self.mf,
+            mmax=10**6,
+            placement=RandomPlacement(
+                t=1, count=self.bad_count, seed=500 + self.seed
+            ),
+            protocol="reactive",
+            seed=self.seed,
+            protocol_params={"quiet_limit": self.window},
+        )
+
 
 @dataclass(frozen=True)
 class QuietWindowRun:
@@ -270,17 +283,7 @@ class QuietWindowRun:
 
 def _run_quiet_window_point(point: QuietWindowSweepPoint) -> QuietWindowRun:
     """Rebuild and run one quiet-window scenario (worker-safe)."""
-    spec = GridSpec(width=point.width, height=point.width, r=1, torus=True)
-    cfg = ReactiveRunConfig(
-        spec=spec,
-        t=1,
-        mf=point.mf,
-        mmax=10**6,
-        placement=RandomPlacement(t=1, count=point.bad_count, seed=500 + point.seed),
-        seed=point.seed,
-        quiet_window_override=point.window,
-    )
-    report = run_reactive_broadcast(cfg)
+    report = run_scenario(point.scenario())
     return QuietWindowRun(
         window=point.window,
         seed=point.seed,

@@ -76,3 +76,34 @@ def make_cpa_nodes(
             nid, role, params, source_id=table.source, relay_repeats=relay_repeats
         )
     return nodes
+
+
+def _build_cpa(ctx):
+    """Registered "cpa" scenario assembly (certified propagation)."""
+    from repro.analysis.budgets import homogeneous_assignment
+    from repro.scenario.registries import ProtocolBuild, default_threshold_max_rounds
+
+    spec, params = ctx.spec, ctx.params
+    nodes = make_cpa_nodes(ctx.table, params)
+    good_budget = spec.m if spec.m is not None else 1
+    assignment = homogeneous_assignment(ctx.grid, ctx.source, good_budget)
+    return ProtocolBuild(
+        nodes=nodes,
+        assignment=assignment,
+        max_rounds=default_threshold_max_rounds(
+            spec.grid, params.source_sends, max(assignment.maximum, 1)
+        ),
+    )
+
+
+from repro.scenario.registries import ProtocolEntry, protocols as _protocols  # noqa: E402
+
+_protocols.register(
+    "cpa",
+    ProtocolEntry(
+        "cpa",
+        _build_cpa,
+        default_behavior="jam",
+        description="certified propagation [13]/[3]: t+1 endorsements",
+    ),
+)

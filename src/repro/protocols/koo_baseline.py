@@ -34,3 +34,34 @@ def make_koo_nodes(
         role = Role.SOURCE if nid == table.source else Role.GOOD
         nodes[nid] = ThresholdNode(nid, role, params, relay_count=relay)
     return nodes
+
+
+def _build_koo(ctx):
+    """Registered "koo" scenario assembly."""
+    from repro.analysis.budgets import homogeneous_assignment
+    from repro.scenario.registries import ProtocolBuild, default_threshold_max_rounds
+
+    spec, params = ctx.spec, ctx.params
+    nodes = make_koo_nodes(ctx.table, params)
+    good_budget = spec.m if spec.m is not None else params.source_sends
+    assignment = homogeneous_assignment(ctx.grid, ctx.source, good_budget)
+    return ProtocolBuild(
+        nodes=nodes,
+        assignment=assignment,
+        max_rounds=default_threshold_max_rounds(
+            spec.grid, params.source_sends, max(assignment.maximum, 1)
+        ),
+    )
+
+
+from repro.scenario.registries import ProtocolEntry, protocols as _protocols  # noqa: E402
+
+_protocols.register(
+    "koo",
+    ProtocolEntry(
+        "koo",
+        _build_koo,
+        default_behavior="jam",
+        description="Koo et al. repetition baseline [14]: 2tmf+1 per node",
+    ),
+)

@@ -35,3 +35,55 @@ def make_protocol_b_nodes(
         role = Role.SOURCE if nid == table.source else Role.GOOD
         nodes[nid] = ThresholdNode(nid, role, params, relay_count=relay)
     return nodes
+
+
+def _build_protocol_b(ctx):
+    """Registered "b" scenario assembly.
+
+    ``protocol_params["relay_override"]`` replaces the relay count —
+    used by ablation E9a to sweep the relay knob independently of the
+    acceptance rule.
+    """
+    from repro.analysis.budgets import homogeneous_assignment
+    from repro.scenario.registries import ProtocolBuild, default_threshold_max_rounds
+
+    spec, params = ctx.spec, ctx.params
+    relay_override = spec.protocol_params.get("relay_override")
+    if relay_override is not None:
+        nodes = {
+            nid: ThresholdNode(
+                nid,
+                Role.SOURCE if nid == ctx.source else Role.GOOD,
+                params,
+                relay_count=relay_override,
+            )
+            for nid in ctx.table.good_ids
+        }
+    else:
+        nodes = make_protocol_b_nodes(ctx.table, params)
+    good_budget = (
+        spec.m
+        if spec.m is not None
+        else protocol_b_required_budget(spec.grid.r, spec.t, spec.mf)
+    )
+    assignment = homogeneous_assignment(ctx.grid, ctx.source, good_budget)
+    return ProtocolBuild(
+        nodes=nodes,
+        assignment=assignment,
+        max_rounds=default_threshold_max_rounds(
+            spec.grid, params.source_sends, max(assignment.maximum, 1)
+        ),
+    )
+
+
+from repro.scenario.registries import ProtocolEntry, protocols as _protocols  # noqa: E402
+
+_protocols.register(
+    "b",
+    ProtocolEntry(
+        "b",
+        _build_protocol_b,
+        default_behavior="jam",
+        description="protocol B (§3): homogeneous budgets, pooled relays",
+    ),
+)

@@ -32,3 +32,33 @@ def make_protocol_heter_nodes(
         relay = assignment.budgets[nid]
         nodes[nid] = ThresholdNode(nid, role, params, relay_count=relay)
     return nodes
+
+
+def _build_heter(ctx):
+    """Registered "heter" scenario assembly (Figure-5 assignment)."""
+    from repro.analysis.budgets import heterogeneous_assignment
+    from repro.scenario.registries import ProtocolBuild, default_threshold_max_rounds
+
+    spec, params = ctx.spec, ctx.params
+    assignment = heterogeneous_assignment(ctx.grid, ctx.source, spec.t, spec.mf)
+    nodes = make_protocol_heter_nodes(ctx.table, params, assignment)
+    return ProtocolBuild(
+        nodes=nodes,
+        assignment=assignment,
+        max_rounds=default_threshold_max_rounds(
+            spec.grid, params.source_sends, max(assignment.maximum, 1)
+        ),
+    )
+
+
+from repro.scenario.registries import ProtocolEntry, protocols as _protocols  # noqa: E402
+
+_protocols.register(
+    "heter",
+    ProtocolEntry(
+        "heter",
+        _build_heter,
+        default_behavior="jam",
+        description="protocol B_heter (§4): cross m', elsewhere m0",
+    ),
+)

@@ -342,3 +342,100 @@ def make_reactive_nodes(
             nid, role, table.source, t, r, vtrue, quiet_limit=quiet_limit
         )
     return nodes
+
+
+def _build_reactive(ctx):
+    """Registered "reactive" scenario assembly (§5, unknown mf).
+
+    The source is unbounded (base station) and good nodes carry no ledger
+    budget at all — B_reactive's cost bound comes from the protocol's own
+    retransmission discipline, not from the ledger.
+    ``protocol_params["quiet_limit"]`` overrides the paper's
+    ``(2r+1)^2 - 1`` NACK-free window (ablation E9c only).
+    """
+    from repro.scenario.registries import ProtocolBuild
+
+    spec = ctx.spec
+    nodes = make_reactive_nodes(
+        ctx.table,
+        spec.t,
+        spec.grid.r,
+        spec.vtrue,
+        quiet_limit=spec.protocol_params.get("quiet_limit"),
+    )
+    # Every local broadcast waits out a (2r+1)^2-1 quiet window; attacks
+    # prolong it by at most one window per bad message.
+    window = (2 * spec.grid.r + 1) ** 2
+    hops = (max(spec.grid.width, spec.grid.height) // 2) // spec.grid.r + 2
+    attack_budget = len(ctx.table.bad_ids) * spec.mf
+    return ProtocolBuild(
+        nodes=nodes,
+        assignment=None,
+        ledger_overrides={ctx.source: None},
+        max_rounds=hops * window + attack_budget * window + 50,
+    )
+
+
+def _build_coded_jammer(ctx):
+    """Registered "coded" behavior: the coded-channel jammer of §5.
+
+    ``behavior_params``: ``p_forge`` forces a (large) forgery probability
+    so tests can exercise the failure path deterministically;
+    ``attack_nacks`` (default True) lets the jammer also attack NACKs.
+    The recommended-code path needs ``spec.mmax`` (the loose budget bound
+    that sets the integrity-code length).
+    """
+    params = ctx.behavior_params
+    rng = ctx.rngs.stream("reactive-adversary")
+    attack_nacks = params.get("attack_nacks", True)
+    p_forge = params.get("p_forge")
+    if p_forge is not None:
+        return CodedJammerAdversary(
+            ctx.grid,
+            ctx.table,
+            ctx.ledger,
+            rng,
+            p_forge=p_forge,
+            attack_nacks=attack_nacks,
+        )
+    if ctx.spec.mmax is None:
+        raise ConfigurationError(
+            "behavior 'coded' needs spec.mmax (the loose bound on mf that "
+            "sets the integrity-code length) unless behavior_params "
+            "pins 'p_forge'"
+        )
+    return CodedJammerAdversary.with_recommended_code(
+        ctx.grid,
+        ctx.table,
+        ctx.ledger,
+        rng,
+        t=ctx.spec.t,
+        mmax=ctx.spec.mmax,
+        attack_nacks=attack_nacks,
+    )
+
+
+from repro.scenario.registries import (  # noqa: E402
+    BehaviorEntry,
+    ProtocolEntry,
+    behaviors as _behaviors,
+    protocols as _protocols,
+)
+
+_protocols.register(
+    "reactive",
+    ProtocolEntry(
+        "reactive",
+        _build_reactive,
+        default_behavior="coded",
+        description="B_reactive (§5): integrity code + NACK loop + CPA",
+    ),
+)
+_behaviors.register(
+    "coded",
+    BehaviorEntry(
+        "coded",
+        _build_coded_jammer,
+        "coded-channel jammer (forgeries succeed with probability ~2^-L)",
+    ),
+)

@@ -1,8 +1,17 @@
-"""Scenario assembly, end-to-end runs, sweeps, and report formatting."""
+"""End-to-end runs, sweeps, and report formatting.
 
+Scenario *assembly* now lives in :mod:`repro.scenario` (the declarative
+``ScenarioSpec`` + registry API); this package keeps the execution
+substrate — the parallel sweep engine and result cache
+(:mod:`repro.runner.parallel`), report formatting
+(:mod:`repro.runner.report`), the benchmark harness
+(:mod:`repro.runner.bench`) — plus the deprecated config shims
+(:mod:`repro.runner.broadcast_run`).
+"""
+
+from repro.runner.report import BroadcastReport, format_table
 from repro.runner.bench import run_slot_resolution_bench
 from repro.runner.broadcast_run import (
-    BroadcastReport,
     ReactiveRunConfig,
     ThresholdRunConfig,
     run_reactive_broadcast,
@@ -11,12 +20,12 @@ from repro.runner.broadcast_run import (
 from repro.runner.parallel import (
     ResultCache,
     SweepProgress,
+    SweepResult,
     point_key,
     point_seed,
+    sweep,
 )
 from repro.runner.parallel import sweep as parallel_sweep
-from repro.runner.report import format_table
-from repro.runner.sweep import SweepResult, sweep
 
 __all__ = [
     "BroadcastReport",

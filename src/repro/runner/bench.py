@@ -32,7 +32,7 @@ from dataclasses import asdict, dataclass
 from datetime import datetime, timezone
 from pathlib import Path
 
-from repro.experiments.e2_figure2 import LATTICE, MF, R, WIDTH
+from repro.adversary.figure2 import LATTICE, MF, R, WIDTH
 from repro.network.grid import Grid, GridSpec
 from repro.radio.medium import Medium
 from repro.radio.messages import BadTransmission, Transmission
@@ -218,16 +218,58 @@ def format_entry(entry: dict) -> str:
     return f"{table}\noverall speedup: {entry['overall_speedup']:.1f}x"
 
 
+#: Regression gate: fail when the overall speedup drops below the last
+#: recorded trajectory entry's by more than this factor. The speedup is a
+#: same-machine fast/reference ratio, so it is comparable across hosts in
+#: a way raw per-slot times are not.
+REGRESSION_FACTOR = 1.5
+
+
+def check_regression(
+    entry: dict, out_path: str | Path, *, factor: float = REGRESSION_FACTOR
+) -> str | None:
+    """Compare ``entry`` against the last trajectory entry on disk.
+
+    Returns an error message when the new overall speedup regressed by
+    more than ``factor`` versus the last recorded run, ``None`` otherwise
+    (including when there is no usable trajectory yet).
+    """
+    path = Path(out_path)
+    try:
+        runs = json.loads(path.read_text(encoding="utf-8"))["runs"]
+        last = runs[-1]
+        baseline = float(last["overall_speedup"])
+    except (OSError, ValueError, KeyError, IndexError, TypeError):
+        return None
+    current = entry["overall_speedup"]
+    if current * factor < baseline:
+        return (
+            f"slot-resolution speedup regressed >{factor}x: "
+            f"{current:.1f}x now vs {baseline:.1f}x in the last "
+            f"trajectory entry ({last.get('timestamp', '?')})"
+        )
+    return None
+
+
 def main_bench(
     *, out: str | Path = DEFAULT_OUT, quick: bool = False
-) -> dict:
-    """CLI body: run, append to the trajectory, print, return the entry."""
+) -> int:
+    """CLI body: run, gate on the trajectory, append, print.
+
+    Returns a process exit code: nonzero when the run regressed more
+    than :data:`REGRESSION_FACTOR` against the last recorded entry (the
+    entry is still appended so the trajectory records the regression).
+    """
     started = time.perf_counter()
     entry = run_slot_resolution_bench(quick=quick)
+    regression = check_regression(entry, out)
     append_trajectory(entry, out)
     print(format_entry(entry))
     print(
         f"[bench finished in {time.perf_counter() - started:.1f}s; "
         f"trajectory: {out}]"
     )
-    return entry
+    if regression is not None:
+        print(f"error: {regression}", file=sys.stderr)
+        return 2
+    return 0

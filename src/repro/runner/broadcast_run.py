@@ -1,73 +1,64 @@
-"""End-to-end broadcast runs.
+"""Deprecated end-to-end run entry points (use :mod:`repro.scenario`).
 
-The two entry points — :func:`run_threshold_broadcast` (protocols B,
-B_heter, Koo baseline, §2-§4) and :func:`run_reactive_broadcast`
-(B_reactive, §5) — assemble grid, roles, budgets, protocol nodes, and an
-adversary, drive the slotted MAC to quiescence, and return a
-:class:`BroadcastReport` with the verified outcome, message costs, and
-live handles for deeper inspection by tests and experiments.
+Historically this module owned the whole scenario assembly: two divergent
+config dataclasses (:class:`ThresholdRunConfig` / :class:`ReactiveRunConfig`)
+plus string-literal ``if/elif`` dispatch over protocol and adversary
+names. That shape is now :class:`repro.scenario.ScenarioSpec` — one
+frozen, serializable object from grid to adversary — executed by
+:func:`repro.scenario.run` through name-based component registries.
+
+The two config classes and :func:`run_threshold_broadcast` /
+:func:`run_reactive_broadcast` survive as thin shims that translate to a
+``ScenarioSpec`` and delegate, so existing callers keep working and keep
+producing bit-identical results (the golden-table suite enforces this).
+New code should build specs directly::
+
+    from repro.scenario import ScenarioSpec, run
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Literal, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Literal
 
-from repro.adversary.base import Adversary, NullAdversary
-from repro.adversary.jamming import ThresholdGuardJammer
-from repro.adversary.lying import SpamLiar, SpoofingJammer
 from repro.adversary.placement import Placement
-from repro.analysis.budgets import (
-    BudgetAssignment,
-    heterogeneous_assignment,
-    homogeneous_assignment,
-)
-from repro.analysis.metrics import BroadcastOutcome, MessageCosts
-from repro.analysis.verify import collect_costs, collect_outcome
 from repro.errors import ConfigurationError
-from repro.network.grid import Grid, GridSpec
-from repro.network.node import NodeTable
-from repro.protocols.base import BroadcastParams, ThresholdNode
-from repro.protocols.cpa import make_cpa_nodes
-from repro.protocols.koo_baseline import make_koo_nodes
-from repro.protocols.protocol_b import make_protocol_b_nodes, protocol_b_required_budget
-from repro.protocols.protocol_heter import make_protocol_heter_nodes
-from repro.protocols.reactive import CodedJammerAdversary, make_reactive_nodes
-from repro.radio.budget import BudgetLedger
-from repro.radio.mac import RoundDriver, RunLimits, RunStats
-from repro.sim.rng import RngRegistry
+from repro.network.grid import GridSpec
+from repro.runner.report import BroadcastReport
 from repro.sim.trace import NULL_TRACER, Tracer
-from repro.types import VTRUE, Coord, NodeId, Role, Value
+from repro.types import VTRUE, Coord, NodeId, Value
 
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.adversary.base import Adversary
+    from repro.network.grid import Grid
+    from repro.network.node import NodeTable
+    from repro.radio.budget import BudgetLedger
+
+#: Deprecated — protocols now register by name in
+#: :data:`repro.scenario.registries.protocols`.
 ProtocolName = Literal["b", "koo", "heter", "cpa"]
+#: Deprecated — behaviors now register by name in
+#: :data:`repro.scenario.registries.behaviors`.
 BehaviorName = Literal["jam", "lie", "spoof", "none", "custom"]
 
 #: Signature of a custom adversary factory (behavior="custom").
-AdversaryFactory = Callable[[Grid, NodeTable, BudgetLedger], Adversary]
+AdversaryFactory = Callable[["Grid", "NodeTable", "BudgetLedger"], "Adversary"]
 
-
-@dataclass
-class BroadcastReport:
-    """Everything a test or experiment needs from a finished run."""
-
-    outcome: BroadcastOutcome
-    costs: MessageCosts
-    stats: RunStats
-    grid: Grid
-    table: NodeTable
-    nodes: Mapping[NodeId, object]
-    adversary: Adversary | CodedJammerAdversary
-    ledger: BudgetLedger
-    assignment: BudgetAssignment | None = None
-
-    @property
-    def success(self) -> bool:
-        return self.outcome.success
+__all__ = [
+    "AdversaryFactory",
+    "BehaviorName",
+    "BroadcastReport",
+    "ProtocolName",
+    "ReactiveRunConfig",
+    "ThresholdRunConfig",
+    "run_reactive_broadcast",
+    "run_threshold_broadcast",
+]
 
 
 @dataclass(frozen=True)
 class ThresholdRunConfig:
-    """Configuration for a §2-§4 style run.
+    """Deprecated configuration for a §2-§4 style run.
 
     ``m`` is the homogeneous good-node budget; ``None`` uses the
     protocol's sufficient budget (``2*m0`` for B, ``2tmf+1`` for Koo).
@@ -76,6 +67,10 @@ class ThresholdRunConfig:
     (e.g. the victim band of an impossibility experiment).
     ``relay_override`` (protocol "b" only) replaces the relay count —
     used by ablation E9a to sweep the relay knob independently.
+
+    Prefer :class:`repro.scenario.ScenarioSpec`; :meth:`to_scenario_spec`
+    is the exact translation (``behavior="custom"`` excepted — callables
+    are not scenario content; register a behavior instead).
     """
 
     spec: GridSpec
@@ -95,137 +90,63 @@ class ThresholdRunConfig:
     tracer: Tracer = field(default=NULL_TRACER)
     adversary_factory: AdversaryFactory | None = None
 
+    def to_scenario_spec(self):
+        """The equivalent :class:`~repro.scenario.ScenarioSpec`."""
+        from repro.scenario.spec import ScenarioSpec
 
-def _default_max_rounds(
-    spec: GridSpec, source_sends: int, relay_count: int
-) -> int:
-    """Generous cap: source phase + one relay phase per unit of distance."""
-    if spec.torus:
-        max_distance = max(spec.width, spec.height) // 2
-    else:
-        max_distance = max(spec.width, spec.height)
-    return source_sends + (max_distance + 2) * (relay_count + 2) + 10
+        protocol_params = {}
+        if self.relay_override is not None:
+            protocol_params["relay_override"] = self.relay_override
+        return ScenarioSpec(
+            grid=self.spec,
+            t=self.t,
+            mf=self.mf,
+            placement=self.placement,
+            protocol=self.protocol,
+            behavior=None if self.behavior == "custom" else self.behavior,
+            m=self.m,
+            source=self.source,
+            vtrue=self.vtrue,
+            protected=(
+                None if self.protected is None else tuple(self.protected)
+            ),
+            max_rounds=self.max_rounds,
+            batch_per_slot=self.batch_per_slot,
+            validate_local_bound=self.validate_local_bound,
+            protocol_params=protocol_params,
+        )
 
 
 def run_threshold_broadcast(cfg: ThresholdRunConfig) -> BroadcastReport:
-    """Assemble and run one threshold-protocol broadcast to quiescence."""
-    grid = Grid(cfg.spec)
-    source = grid.id_of(cfg.source)
-    table = NodeTable(grid, source, cfg.placement.bad_ids(grid, source))
-    if cfg.validate_local_bound:
-        table.validate_locally_bounded(cfg.t)
-    params = BroadcastParams(r=cfg.spec.r, t=cfg.t, mf=cfg.mf, vtrue=cfg.vtrue)
+    """Deprecated shim: translate to a spec and run via :func:`repro.scenario.run`."""
+    from repro.scenario.runner import run
 
-    assignment: BudgetAssignment | None = None
-    if cfg.protocol == "b":
-        if cfg.relay_override is not None:
-            nodes = {
-                nid: ThresholdNode(
-                    nid,
-                    Role.SOURCE if nid == source else Role.GOOD,
-                    params,
-                    relay_count=cfg.relay_override,
-                )
-                for nid in table.good_ids
-            }
-        else:
-            nodes = make_protocol_b_nodes(table, params)
-        default_m = protocol_b_required_budget(cfg.spec.r, cfg.t, cfg.mf)
-        good_budget = cfg.m if cfg.m is not None else default_m
-        assignment = homogeneous_assignment(grid, source, good_budget)
-    elif cfg.protocol == "koo":
-        nodes = make_koo_nodes(table, params)
-        good_budget = cfg.m if cfg.m is not None else params.source_sends
-        assignment = homogeneous_assignment(grid, source, good_budget)
-    elif cfg.protocol == "heter":
-        assignment = heterogeneous_assignment(grid, source, cfg.t, cfg.mf)
-        nodes = make_protocol_heter_nodes(table, params, assignment)
-    elif cfg.protocol == "cpa":
-        nodes = make_cpa_nodes(table, params)
-        good_budget = cfg.m if cfg.m is not None else 1
-        assignment = homogeneous_assignment(grid, source, good_budget)
-    else:
-        raise ConfigurationError(f"unknown protocol {cfg.protocol!r}")
-
-    overrides = assignment.overrides()
-    for bad in table.bad_ids:
-        overrides[bad] = cfg.mf
-    ledger = BudgetLedger(grid.n, default_budget=None, overrides=overrides)
-
-    adversary: Adversary
-    if cfg.behavior == "jam":
-        jammer = ThresholdGuardJammer(
-            grid,
-            table,
-            ledger,
-            threshold=params.threshold,
-            protected=cfg.protected,
-            vtrue=cfg.vtrue,
-            tracer=cfg.tracer,
-        )
-        jammer.bind_decided(nodes)
-        adversary = jammer
-    elif cfg.behavior == "lie":
-        adversary = SpamLiar(grid, table, ledger)
-    elif cfg.behavior == "spoof":
-        adversary = SpoofingJammer(grid, table, ledger)
-    elif cfg.behavior == "none":
-        adversary = NullAdversary()
-    elif cfg.behavior == "custom":
+    if cfg.behavior == "custom":
         if cfg.adversary_factory is None:
             raise ConfigurationError(
                 "behavior='custom' requires an adversary_factory"
             )
-        adversary = cfg.adversary_factory(grid, table, ledger)
-        binder = getattr(adversary, "bind_decided", None)
-        if callable(binder):
-            binder(nodes)
-    else:
-        raise ConfigurationError(f"unknown behavior {cfg.behavior!r}")
 
-    driver = RoundDriver(
-        grid,
-        table,
-        nodes,
-        adversary,
-        ledger,
-        batch_per_slot=cfg.batch_per_slot,
-        tracer=cfg.tracer,
-    )
-    relay_guess = max(
-        (assignment.maximum if assignment else 1),
-        1,
-    )
-    max_rounds = (
-        cfg.max_rounds
-        if cfg.max_rounds is not None
-        else _default_max_rounds(cfg.spec, params.source_sends, relay_guess)
-    )
-    stats = driver.run(RunLimits(max_rounds=max_rounds))
+        def override(grid, table, ledger):
+            return cfg.adversary_factory(grid, table, ledger)
 
-    outcome = collect_outcome(table, nodes, stats, cfg.vtrue)
-    costs = collect_costs(table, ledger)
-    return BroadcastReport(
-        outcome=outcome,
-        costs=costs,
-        stats=stats,
-        grid=grid,
-        table=table,
-        nodes=nodes,
-        adversary=adversary,
-        ledger=ledger,
-        assignment=assignment,
-    )
+        return run(
+            cfg.to_scenario_spec(), tracer=cfg.tracer, adversary_override=override
+        )
+    return run(cfg.to_scenario_spec(), tracer=cfg.tracer)
 
 
 @dataclass(frozen=True)
 class ReactiveRunConfig:
-    """Configuration for a §5 B_reactive run.
+    """Deprecated configuration for a §5 B_reactive run.
 
     ``mf`` is the bad nodes' *actual* budget — unknown to the protocol,
     which only relies on the loose bound ``mmax`` through the code length
     ``L``. ``p_forge_override`` forces a (large) forgery probability so
     tests can exercise the failure path deterministically.
+
+    Prefer :class:`repro.scenario.ScenarioSpec` with ``protocol="reactive"``;
+    :meth:`to_scenario_spec` is the exact translation.
     """
 
     spec: GridSpec
@@ -242,68 +163,36 @@ class ReactiveRunConfig:
     max_rounds: int | None = None
     tracer: Tracer = field(default=NULL_TRACER)
 
+    def to_scenario_spec(self):
+        """The equivalent :class:`~repro.scenario.ScenarioSpec`."""
+        from repro.scenario.spec import ScenarioSpec
+
+        protocol_params = {}
+        if self.quiet_window_override is not None:
+            protocol_params["quiet_limit"] = self.quiet_window_override
+        behavior_params = {}
+        if not self.attack_nacks:
+            behavior_params["attack_nacks"] = False
+        if self.p_forge_override is not None:
+            behavior_params["p_forge"] = self.p_forge_override
+        return ScenarioSpec(
+            grid=self.spec,
+            t=self.t,
+            mf=self.mf,
+            mmax=self.mmax,
+            placement=self.placement,
+            protocol="reactive",
+            source=self.source,
+            vtrue=self.vtrue,
+            seed=self.seed,
+            max_rounds=self.max_rounds,
+            protocol_params=protocol_params,
+            behavior_params=behavior_params,
+        )
+
 
 def run_reactive_broadcast(cfg: ReactiveRunConfig) -> BroadcastReport:
-    """Assemble and run one B_reactive broadcast to quiescence."""
-    grid = Grid(cfg.spec)
-    source = grid.id_of(cfg.source)
-    table = NodeTable(grid, source, cfg.placement.bad_ids(grid, source))
-    table.validate_locally_bounded(cfg.t)
+    """Deprecated shim: translate to a spec and run via :func:`repro.scenario.run`."""
+    from repro.scenario.runner import run
 
-    overrides: dict[NodeId, int | None] = {bad: cfg.mf for bad in table.bad_ids}
-    overrides[source] = None
-    ledger = BudgetLedger(grid.n, default_budget=None, overrides=overrides)
-
-    nodes = make_reactive_nodes(
-        table,
-        cfg.t,
-        cfg.spec.r,
-        cfg.vtrue,
-        quiet_limit=cfg.quiet_window_override,
-    )
-    rng = RngRegistry(cfg.seed).stream("reactive-adversary")
-    if cfg.p_forge_override is not None:
-        adversary = CodedJammerAdversary(
-            grid,
-            table,
-            ledger,
-            rng,
-            p_forge=cfg.p_forge_override,
-            attack_nacks=cfg.attack_nacks,
-        )
-    else:
-        adversary = CodedJammerAdversary.with_recommended_code(
-            grid,
-            table,
-            ledger,
-            rng,
-            t=cfg.t,
-            mmax=cfg.mmax,
-            attack_nacks=cfg.attack_nacks,
-        )
-
-    driver = RoundDriver(grid, table, nodes, adversary, ledger, tracer=cfg.tracer)
-    # Every local broadcast waits out a (2r+1)^2-1 quiet window; attacks
-    # prolong it by at most one window per bad message.
-    window = (2 * cfg.spec.r + 1) ** 2
-    hops = (max(cfg.spec.width, cfg.spec.height) // 2) // cfg.spec.r + 2
-    attack_budget = len(table.bad_ids) * cfg.mf
-    max_rounds = (
-        cfg.max_rounds
-        if cfg.max_rounds is not None
-        else hops * window + attack_budget * window + 50
-    )
-    stats = driver.run(RunLimits(max_rounds=max_rounds))
-
-    outcome = collect_outcome(table, nodes, stats, cfg.vtrue)
-    costs = collect_costs(table, ledger)
-    return BroadcastReport(
-        outcome=outcome,
-        costs=costs,
-        stats=stats,
-        grid=grid,
-        table=table,
-        nodes=nodes,
-        adversary=adversary,
-        ledger=ledger,
-    )
+    return run(cfg.to_scenario_spec(), tracer=cfg.tracer)

@@ -1,14 +1,17 @@
-"""Parallel parameter sweeps with deterministic results and on-disk caching.
+"""Parameter sweeps — serial or parallel — with deterministic results and
+on-disk caching.
 
-This is the execution substrate behind every experiment harness: it maps a
-list of configuration points through a runner function like
-:func:`repro.runner.sweep.sweep`, but can fan the points out over a
-``multiprocessing`` worker pool and memoize per-point results on disk.
+This is the execution substrate behind every experiment harness: it maps
+a list of configuration points through a runner function, optionally
+fanning the points out over a ``multiprocessing`` worker pool and
+memoizing per-point results on disk. ``workers=1`` (the default) is the
+plain serial loop — the historical separate serial sweep module
+(``repro.runner.sweep``) is now just a deprecation alias for this one.
 
 Design constraints, in order:
 
 1. **Determinism.** A parallel sweep returns bit-for-bit the same
-   :class:`~repro.runner.sweep.SweepResult` as a serial one. Points are
+   :class:`SweepResult` as a serial one. Points are
    self-contained (a worker needs nothing but the point), results are
    collected in submission order, and per-point randomness comes from
    seed fields the point itself carries — never from worker identity or
@@ -45,7 +48,6 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.runner.sweep import SweepResult
 from repro.sim.rng import derive_seed
 
 PointT = TypeVar("PointT")
@@ -55,19 +57,40 @@ ResultT = TypeVar("ResultT")
 _PENDING = object()
 
 
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """All (point, result) pairs of one sweep."""
+
+    points: tuple[Any, ...]
+    results: tuple[Any, ...]
+
+    def rows(self, to_row: Callable[[Any, Any], Sequence[Any]]) -> list[Sequence[Any]]:
+        return [to_row(p, r) for p, r in zip(self.points, self.results)]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
 # -- stable point identity -----------------------------------------------------
 
 
 def canonical_point(point: Any) -> Any:
     """Reduce a config point to a canonical JSON-serializable form.
 
-    Dataclasses become ``{"__dataclass__": qualified-name, **fields}``,
+    Objects exposing ``__canonical_json__()`` (notably
+    :class:`repro.scenario.ScenarioSpec`) define their own canonical form,
+    so their cache key equals their content hash regardless of how they
+    were constructed. Dataclasses become
+    ``{"__dataclass__": qualified-name, **fields}``,
     mappings get sorted keys, and tuples/lists/sets become lists (sets are
     sorted by their canonical JSON encoding so iteration order cannot leak
     into the key). Unknown objects fall back to ``repr`` — stable for the
     frozen value-style dataclasses used as sweep points, and good enough
     to *distinguish* anything else.
     """
+    canonical = getattr(point, "__canonical_json__", None)
+    if callable(canonical):
+        return canonical_point(canonical())
     if dataclasses.is_dataclass(point) and not isinstance(point, type):
         encoded = {
             f.name: canonical_point(getattr(point, f.name))
@@ -359,7 +382,7 @@ def sweep(
     ``workers=1`` (the default) is a serial loop; ``workers>1`` fans the
     uncached points out over a spawn-safe ``multiprocessing`` pool in
     chunks, preserving point order in the returned
-    :class:`~repro.runner.sweep.SweepResult`. ``workers=0`` or ``None``
+    :class:`SweepResult`. ``workers=0`` or ``None``
     picks :func:`default_workers`.
 
     ``cache`` short-circuits points whose results are already on disk and

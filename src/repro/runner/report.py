@@ -1,12 +1,44 @@
-"""Plain-text table formatting for experiment and benchmark output.
+"""Run reports: the :class:`BroadcastReport` result object and table formatting.
 
 Experiments print the same rows the paper's analysis predicts; a tiny
 formatter keeps that output dependency-free and diff-friendly.
+:class:`BroadcastReport` lives here (rather than next to the runner)
+because it is pure result data with no assembly dependencies — both the
+scenario runner and the deprecated ``broadcast_run`` shims return it.
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.analysis.budgets import BudgetAssignment
+    from repro.analysis.metrics import BroadcastOutcome, MessageCosts
+    from repro.network.grid import Grid
+    from repro.network.node import NodeTable
+    from repro.radio.budget import BudgetLedger
+    from repro.radio.mac import RunStats
+    from repro.types import NodeId
+
+
+@dataclass
+class BroadcastReport:
+    """Everything a test or experiment needs from a finished run."""
+
+    outcome: "BroadcastOutcome"
+    costs: "MessageCosts"
+    stats: "RunStats"
+    grid: "Grid"
+    table: "NodeTable"
+    nodes: "Mapping[NodeId, object]"
+    adversary: object
+    ledger: "BudgetLedger"
+    assignment: "BudgetAssignment | None" = None
+
+    @property
+    def success(self) -> bool:
+        return self.outcome.success
 
 
 def _render(value: Any) -> str:

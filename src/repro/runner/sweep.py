@@ -1,48 +1,24 @@
-"""Parameter sweeps over broadcast runs.
+"""Deprecated alias for :mod:`repro.runner.parallel`.
 
-A sweep maps a list of configuration points through a runner function,
-collecting per-point results into rows suitable for
-:func:`~repro.runner.report.format_table`. Kept deliberately simple —
-experiments compose their own point lists so every benchmark is explicit
-about the workload it regenerates.
+The historical serial sweep collapsed into the parallel engine: calling
+:func:`repro.runner.parallel.sweep` with its default ``workers=1`` *is*
+the serial loop (same in-order execution and callbacks), and
+:class:`~repro.runner.parallel.SweepResult` moved there with it. This
+module re-exports both so existing imports keep working; new code should
+import from :mod:`repro.runner.parallel` (or :mod:`repro`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+import warnings
 
-PointT = TypeVar("PointT")
-ResultT = TypeVar("ResultT")
+from repro.runner.parallel import SweepResult, sweep
 
+__all__ = ["SweepResult", "sweep"]
 
-@dataclass(frozen=True)
-class SweepResult:
-    """All (point, result) pairs of one sweep."""
-
-    points: tuple[Any, ...]
-    results: tuple[Any, ...]
-
-    def rows(self, to_row: Callable[[Any, Any], Sequence[Any]]) -> list[Sequence[Any]]:
-        return [to_row(p, r) for p, r in zip(self.points, self.results)]
-
-    def __len__(self) -> int:
-        return len(self.points)
-
-
-def sweep(
-    points: Iterable[PointT],
-    run: Callable[[PointT], ResultT],
-    *,
-    on_result: Callable[[PointT, ResultT], None] | None = None,
-) -> SweepResult:
-    """Run ``run`` over every point, in order, deterministically."""
-    collected_points: list[PointT] = []
-    collected_results: list[ResultT] = []
-    for point in points:
-        result = run(point)
-        collected_points.append(point)
-        collected_results.append(result)
-        if on_result is not None:
-            on_result(point, result)
-    return SweepResult(tuple(collected_points), tuple(collected_results))
+warnings.warn(
+    "repro.runner.sweep is deprecated; import sweep/SweepResult from "
+    "repro.runner.parallel (serial is workers=1)",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,0 +1,64 @@
+"""repro.scenario — the declarative scenario API.
+
+One serializable object — :class:`ScenarioSpec` — describes a complete
+broadcast scenario from grid to adversary; :func:`run` executes any spec
+through the same assembly path regardless of protocol family. Components
+resolve through name-based registries (:mod:`repro.scenario.registries`)
+that protocols, adversary behaviors, and placements register themselves
+into, so new scenarios need no edits to the runner or experiments.
+
+Typical use::
+
+    from repro.scenario import ScenarioSpec, preset, run
+
+    spec = preset("quickstart").replace(m=5)    # or build from scratch
+    report = run(spec)
+
+    text = spec.to_json()                        # file it, ship it, ...
+    again = ScenarioSpec.from_json(text)         # ... rebuild it
+    assert again == spec
+    assert again.content_hash() == spec.content_hash()
+
+Spec sweeps ride the parallel substrate directly::
+
+    from repro import ResultCache, parallel_sweep
+    from repro.scenario import run_summary
+
+    result = parallel_sweep(specs, run_summary, workers=4,
+                            cache=ResultCache(".cache", namespace="scenario"))
+"""
+
+from repro.scenario import registries
+from repro.scenario.registries import behaviors, placements, protocols
+from repro.scenario.spec import ScenarioSpec, decode_placement, encode_placement
+from repro.scenario.runner import (
+    BroadcastReport,
+    ScenarioOutcome,
+    outcome_table,
+    run,
+    run_summary,
+)
+
+# Importing the component packages triggers their self-registration, so
+# `import repro.scenario` alone is enough to resolve every built-in name.
+import repro.adversary  # noqa: E402,F401
+import repro.protocols  # noqa: E402,F401
+
+from repro.scenario.presets import preset, preset_names  # noqa: E402
+
+__all__ = [
+    "ScenarioSpec",
+    "BroadcastReport",
+    "ScenarioOutcome",
+    "run",
+    "run_summary",
+    "outcome_table",
+    "preset",
+    "preset_names",
+    "encode_placement",
+    "decode_placement",
+    "registries",
+    "placements",
+    "protocols",
+    "behaviors",
+]

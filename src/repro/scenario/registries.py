@@ -1,0 +1,180 @@
+"""Name-based component registries for the declarative scenario API.
+
+Three registries map stable string names to scenario components:
+
+- :data:`placements` — bad-node placement classes
+  (:class:`~repro.adversary.placement.Placement` subclasses);
+- :data:`protocols` — :class:`ProtocolEntry` node/budget builders;
+- :data:`behaviors` — :class:`BehaviorEntry` adversary factories.
+
+Components register themselves at the bottom of their defining modules
+(``repro.adversary.placement``, ``repro.protocols.protocol_b``, ...), so
+adding a protocol or adversary behavior never requires editing the
+scenario runner — the string-literal ``if/elif`` dispatch that used to
+live in ``repro.runner.broadcast_run`` is gone. Unknown names fail with
+the full registered-name list.
+
+This module is deliberately a leaf (stdlib + ``repro.errors`` only):
+component modules import it at their bottoms without creating import
+cycles through the rest of the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, Mapping, TypeVar
+
+from repro.errors import ConfigurationError
+
+EntryT = TypeVar("EntryT")
+
+
+class Registry(Generic[EntryT]):
+    """A named component table with self-describing lookup errors."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, EntryT] = {}
+
+    def register(self, name: str, entry: EntryT) -> EntryT:
+        """Register ``entry`` under ``name``; duplicate names are rejected."""
+        if name in self._entries:
+            raise ConfigurationError(
+                f"{self.kind} {name!r} is already registered"
+            )
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> EntryT:
+        """Look a component up; unknown names fail with the known set."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "(none)"
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; registered: {known}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def name_of(self, value: Any) -> str:
+        """Reverse lookup (used to serialize placement classes by name)."""
+        for name, entry in self._entries.items():
+            if entry is value:
+                return name
+        raise ConfigurationError(
+            f"{value!r} is not a registered {self.kind}; registered: "
+            f"{', '.join(sorted(self._entries)) or '(none)'}"
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+
+# -- assembly contexts ---------------------------------------------------------
+#
+# The runner hands these to registered builders. Fields are typed ``Any``
+# to keep this module a leaf; the concrete types are documented.
+
+
+@dataclass(frozen=True)
+class BuildContext:
+    """What a protocol builder sees: the world, pre-node-construction.
+
+    Attributes:
+        spec: the :class:`~repro.scenario.spec.ScenarioSpec` being run.
+        grid: live :class:`~repro.network.grid.Grid`.
+        table: :class:`~repro.network.node.NodeTable` (roles assigned).
+        source: source node id.
+        params: :class:`~repro.protocols.base.BroadcastParams`.
+    """
+
+    spec: Any
+    grid: Any
+    table: Any
+    source: int
+    params: Any
+
+
+@dataclass(frozen=True)
+class ProtocolBuild:
+    """A protocol builder's output, consumed by the scenario runner.
+
+    ``assignment`` (a :class:`~repro.analysis.budgets.BudgetAssignment`)
+    supplies good-node ledger budgets when present; ``ledger_overrides``
+    adds per-node exceptions on top (the reactive protocol unbounds the
+    source this way). ``max_rounds`` is the protocol's default run cap,
+    used when the spec does not pin one.
+    """
+
+    nodes: Mapping[int, Any]
+    max_rounds: int
+    assignment: Any = None
+    ledger_overrides: Mapping[int, int | None] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ProtocolEntry:
+    """One registered protocol: a name plus its scenario assembly hook."""
+
+    name: str
+    build: Callable[[BuildContext], ProtocolBuild]
+    default_behavior: str
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class BehaviorContext:
+    """What an adversary-behavior factory sees.
+
+    Attributes:
+        spec: the :class:`~repro.scenario.spec.ScenarioSpec` being run.
+        grid/table/ledger: live world objects.
+        params: :class:`~repro.protocols.base.BroadcastParams`.
+        rngs: an :class:`~repro.sim.rng.RngRegistry` rooted at
+            ``spec.seed`` — behaviors draw named streams from it so their
+            randomness is independent of scheduling and worker identity.
+        tracer: the run's :class:`~repro.sim.trace.Tracer`.
+    """
+
+    spec: Any
+    grid: Any
+    table: Any
+    ledger: Any
+    params: Any
+    rngs: Any
+    tracer: Any
+
+    @property
+    def behavior_params(self) -> Mapping[str, Any]:
+        return self.spec.behavior_params
+
+
+@dataclass(frozen=True)
+class BehaviorEntry:
+    """One registered adversary behavior: name plus adversary factory."""
+
+    name: str
+    build: Callable[[BehaviorContext], Any]
+    description: str = ""
+
+
+placements: Registry[type] = Registry("placement")
+protocols: Registry[ProtocolEntry] = Registry("protocol")
+behaviors: Registry[BehaviorEntry] = Registry("behavior")
+
+
+def default_threshold_max_rounds(
+    spec: Any, source_sends: int, relay_count: int
+) -> int:
+    """Generous cap for threshold runs: source phase + one relay phase per
+    unit of distance (moved intact from ``repro.runner.broadcast_run``).
+
+    ``spec`` is a :class:`~repro.network.grid.GridSpec`.
+    """
+    if spec.torus:
+        max_distance = max(spec.width, spec.height) // 2
+    else:
+        max_distance = max(spec.width, spec.height)
+    return source_sends + (max_distance + 2) * (relay_count + 2) + 10

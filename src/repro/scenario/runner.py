@@ -1,0 +1,179 @@
+"""The one entry point: assemble and run any :class:`ScenarioSpec`.
+
+:func:`run` subsumes the historical ``run_threshold_broadcast`` /
+``run_reactive_broadcast`` pair (both survive as thin deprecated shims in
+:mod:`repro.runner.broadcast_run`): it builds the grid and role table,
+resolves the protocol and adversary behavior through the name registries,
+assembles budgets and the round driver, runs to quiescence, and returns
+the same :class:`~repro.runner.report.BroadcastReport` the old entry
+points produced — bit-for-bit, which the golden-table suite enforces.
+
+:func:`run_summary` projects the live report onto the flat, picklable
+:class:`ScenarioOutcome` so spec sweeps can ride
+:func:`repro.runner.parallel.sweep` (workers + result cache) directly:
+``sweep(specs, run_summary, workers=..., cache=...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.verify import collect_costs, collect_outcome
+from repro.network.grid import Grid
+from repro.network.node import NodeTable
+from repro.protocols.base import BroadcastParams
+from repro.radio.budget import BudgetLedger
+from repro.radio.mac import RoundDriver, RunLimits
+from repro.runner.report import BroadcastReport, format_table
+from repro.scenario.registries import BehaviorContext, BuildContext, behaviors, protocols
+from repro.scenario.spec import ScenarioSpec
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.types import NodeId
+
+
+def run(
+    spec: ScenarioSpec,
+    *,
+    tracer: Tracer = NULL_TRACER,
+    adversary_override: Callable[[Grid, NodeTable, BudgetLedger], object] | None = None,
+) -> BroadcastReport:
+    """Run one scenario to quiescence and return its ``BroadcastReport``.
+
+    ``tracer`` and ``adversary_override`` are run-time extras precisely
+    because they are not serializable scenario *content*: the override is
+    an escape hatch for ad-hoc adversaries (the deprecated
+    ``behavior="custom"`` path) and takes precedence over
+    ``spec.behavior``.
+    """
+    protocol = protocols.get(spec.protocol)
+    grid = Grid(spec.grid)
+    source = grid.id_of(spec.source)
+    table = NodeTable(grid, source, spec.placement.bad_ids(grid, source))
+    if spec.validate_local_bound:
+        table.validate_locally_bounded(spec.t)
+    params = BroadcastParams(r=spec.grid.r, t=spec.t, mf=spec.mf, vtrue=spec.vtrue)
+
+    build = protocol.build(
+        BuildContext(spec=spec, grid=grid, table=table, source=source, params=params)
+    )
+
+    overrides: dict[NodeId, int | None] = (
+        build.assignment.overrides() if build.assignment is not None else {}
+    )
+    overrides.update(build.ledger_overrides)
+    for bad in table.bad_ids:
+        overrides[bad] = spec.mf
+    ledger = BudgetLedger(grid.n, default_budget=None, overrides=overrides)
+
+    if adversary_override is not None:
+        adversary = adversary_override(grid, table, ledger)
+    else:
+        behavior = behaviors.get(spec.behavior or protocol.default_behavior)
+        adversary = behavior.build(
+            BehaviorContext(
+                spec=spec,
+                grid=grid,
+                table=table,
+                ledger=ledger,
+                params=params,
+                rngs=RngRegistry(spec.seed),
+                tracer=tracer,
+            )
+        )
+    binder = getattr(adversary, "bind_decided", None)
+    if callable(binder):
+        binder(build.nodes)
+
+    driver = RoundDriver(
+        grid,
+        table,
+        build.nodes,
+        adversary,
+        ledger,
+        batch_per_slot=spec.batch_per_slot,
+        tracer=tracer,
+    )
+    max_rounds = spec.max_rounds if spec.max_rounds is not None else build.max_rounds
+    stats = driver.run(RunLimits(max_rounds=max_rounds))
+
+    outcome = collect_outcome(table, build.nodes, stats, spec.vtrue)
+    costs = collect_costs(table, ledger)
+    return BroadcastReport(
+        outcome=outcome,
+        costs=costs,
+        stats=stats,
+        grid=grid,
+        table=table,
+        nodes=build.nodes,
+        adversary=adversary,
+        ledger=ledger,
+        assignment=build.assignment,
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Flat, picklable projection of a finished scenario run.
+
+    What ``python -m repro scenario run`` tabulates and what the result
+    cache stores for spec sweeps — everything quantitative, nothing live.
+    """
+
+    success: bool
+    decided_good: int
+    total_good: int
+    wrong_good: int
+    rounds: int
+    quiescent: bool
+    good_total_sent: int
+    good_max_sent: int
+    bad_total_sent: int
+
+    @property
+    def decided_fraction(self) -> float:
+        return self.decided_good / self.total_good if self.total_good else 1.0
+
+
+def run_summary(spec: ScenarioSpec) -> ScenarioOutcome:
+    """Run a scenario and summarize (module-level, spawn-worker-safe)."""
+    report = run(spec)
+    return ScenarioOutcome(
+        success=report.success,
+        decided_good=report.outcome.decided_good,
+        total_good=report.outcome.total_good,
+        wrong_good=report.outcome.wrong_good,
+        rounds=report.outcome.rounds,
+        quiescent=report.stats.quiescent,
+        good_total_sent=report.costs.good_total,
+        good_max_sent=report.costs.good_max,
+        bad_total_sent=report.costs.bad_total,
+    )
+
+
+def outcome_table(
+    specs: list[ScenarioSpec], outcomes: list[ScenarioOutcome], *, title: str
+) -> str:
+    """Render one row per (spec, outcome) pair for the scenario CLI."""
+    rows = [
+        [
+            spec.content_hash()[:12],
+            f"{spec.grid.width}x{spec.grid.height} r={spec.grid.r}",
+            spec.protocol,
+            spec.behavior or protocols.get(spec.protocol).default_behavior,
+            outcome.success,
+            f"{outcome.decided_good}/{outcome.total_good}",
+            outcome.wrong_good,
+            outcome.rounds,
+            outcome.good_max_sent,
+            outcome.bad_total_sent,
+        ]
+        for spec, outcome in zip(specs, outcomes)
+    ]
+    return format_table(
+        ["scenario", "grid", "protocol", "behavior", "success", "decided",
+         "wrong", "rounds", "max good sent", "bad sent"],
+        rows,
+        title=title,
+    )

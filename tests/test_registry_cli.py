@@ -99,3 +99,68 @@ class TestBenchCli:
 
         payload = json.loads(out.read_text(encoding="utf-8"))
         assert len(payload["runs"]) == 2
+
+
+class TestScenarioCli:
+    def test_list_shows_presets(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "quickstart" in out and "figure2" in out and "reactive" in out
+
+    def test_dump_emits_loadable_json(self, capsys):
+        import json
+
+        from repro.scenario import ScenarioSpec, preset
+
+        assert main(["scenario", "dump", "quickstart"]) == 0
+        out = capsys.readouterr().out
+        spec = ScenarioSpec.from_dict(json.loads(out))
+        assert spec == preset("quickstart")
+
+    def test_run_preset_with_cache_hits_on_rerun(self, tmp_path, capsys):
+        cache_args = ["--cache-dir", str(tmp_path), "--no-progress"]
+        assert main(["scenario", "run", "quickstart", *cache_args]) == 0
+        first = capsys.readouterr().out
+        assert "1 stored" in first and "success" in first
+        assert main(["scenario", "run", "quickstart", *cache_args]) == 0
+        second = capsys.readouterr().out
+        assert "1 hits, 0 stored" in second
+
+    def test_run_json_file_no_python_needed(self, tmp_path, capsys):
+        import json
+
+        from repro.scenario import preset
+
+        payload = preset("quickstart").to_dict()
+        payload["m"] = 3  # still >= m0 for this placement
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert main(["scenario", "run", str(path), "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "yes" in out  # success column
+
+    def test_run_json_list_sweeps_all(self, tmp_path, capsys):
+        import json
+
+        from repro.scenario import preset
+
+        path = tmp_path / "sweep.json"
+        path.write_text(
+            json.dumps([preset("quickstart").to_dict(),
+                        preset("reactive").to_dict()]),
+            encoding="utf-8",
+        )
+        assert main(["scenario", "run", str(path), "--workers", "2",
+                     "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "2 scenario(s)" in out
+
+    def test_bad_scenario_file_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text('{"grid": {"width": 30}}', encoding="utf-8")
+        assert main(["scenario", "run", str(path), "--no-progress"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_preset_exits_nonzero(self, capsys):
+        assert main(["scenario", "run", "warp-speed", "--no-progress"]) == 2
+        assert "quickstart" in capsys.readouterr().err
