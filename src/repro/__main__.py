@@ -6,7 +6,9 @@ Usage::
     python -m repro run e2                      # run one experiment
     python -m repro run e2 e7 --workers 4       # several, in parallel
     python -m repro run all --cache-dir .cache  # everything, memoized
+    python -m repro run e2 --profile            # cProfile one serial run
     python -m repro bench                       # slot-resolution benchmark
+    python -m repro bench scenario              # end-to-end run(spec) bench
     python -m repro bench --quick               # CI smoke (gates on the
                                                 #  trajectory's last entry)
     python -m repro scenario list               # bundled scenario presets
@@ -28,16 +30,24 @@ the same parallel/cache substrate as the experiments, keyed by each
 scenario's stable content hash.
 
 ``bench`` times the per-slot delivery-resolution hot loop (fast path vs
-the preserved reference path) on the E2 Figure-2 scenario and appends
-the result to the ``BENCH_slot_resolution.json`` trajectory (see
-:mod:`repro.runner.bench`); it exits nonzero on a >1.5x speedup
+the preserved reference path) on the E2 Figure-2 scenario; ``bench
+scenario`` times full end-to-end ``run(spec)`` on the bundled presets,
+fast path vs the pre-fast-path shape. Both append to their trajectory
+file (``BENCH_slot_resolution.json`` / ``BENCH_scenario_run.json``, see
+:mod:`repro.runner.bench`) and exit nonzero on a >1.5x speedup
 regression versus the trajectory's last entry.
+
+``--profile`` (on ``run`` and ``scenario run``) cProfiles one point
+serially and prints the top cumulative entries — the tooling future
+perf PRs should start from before touching code.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
+import pstats
 import sys
 import time
 from pathlib import Path
@@ -56,6 +66,17 @@ from repro.scenario import (
 )
 
 
+#: How many cumulative-time rows ``--profile`` prints.
+PROFILE_TOP_N = 25
+
+
+def _print_profile(profile: cProfile.Profile, label: str) -> None:
+    stats = pstats.Stats(profile, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative")
+    print(f"-- cProfile: {label} (top {PROFILE_TOP_N} by cumulative time) --")
+    stats.print_stats(PROFILE_TOP_N)
+
+
 def run_experiment(
     exp_id: str,
     *,
@@ -63,19 +84,35 @@ def run_experiment(
     cache_dir: str | None = None,
     show_progress: bool = True,
     position: tuple[int, int] | None = None,
+    profile: bool = False,
 ) -> None:
-    """Run one experiment and print its regenerated table."""
+    """Run one experiment and print its regenerated table.
+
+    ``profile`` wraps the (forced-serial, uncached) run in cProfile and
+    prints the top cumulative entries after the table — the starting
+    point for perf work on an experiment's hot path.
+    """
     experiment = registry.get(exp_id)
     prefix = f"[{position[0]}/{position[1]}] " if position else ""
     print(f"== {prefix}{exp_id}: {experiment.description} ==")
     cache = (
-        ResultCache(cache_dir, namespace=exp_id) if cache_dir is not None else None
+        ResultCache(cache_dir, namespace=exp_id)
+        if cache_dir is not None and not profile
+        else None
     )
-    progress = SweepProgress(exp_id) if show_progress else None
+    progress = SweepProgress(exp_id) if show_progress and not profile else None
     start = time.perf_counter()
-    result = experiment.run(workers=workers, cache=cache, progress=progress)
+    if profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = experiment.run(workers=1, cache=None, progress=None)
+        profiler.disable()
+    else:
+        result = experiment.run(workers=workers, cache=cache, progress=progress)
     elapsed = time.perf_counter() - start
     print(experiment.format(result))
+    if profile:
+        _print_profile(profiler, f"{exp_id}, serial, cache off")
     suffix = ""
     if cache is not None:
         suffix = f"; cache: {cache.stats.hits} hits, {cache.stats.stores} stored"
@@ -99,11 +136,26 @@ def run_scenarios(
     workers: int = 1,
     cache_dir: str | None = None,
     show_progress: bool = True,
+    profile: bool = False,
 ) -> None:
-    """Run scenario files/presets through the parallel sweep substrate."""
+    """Run scenario files/presets through the parallel sweep substrate.
+
+    ``profile`` cProfiles the *first* scenario point serially and prints
+    the top cumulative entries; its outcome is reused in the final table
+    (the point is not recomputed, and not stored in the result cache).
+    """
     specs: list[ScenarioSpec] = []
     for target in targets:
         specs.extend(_load_scenarios(target))
+    profiled_outcome = None
+    if profile and specs:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        profiled_outcome = run_summary(specs[0])
+        profiler.disable()
+        _print_profile(
+            profiler, f"scenario {specs[0].content_hash()[:12]}, serial"
+        )
     cache = (
         ResultCache(cache_dir, namespace="scenario")
         if cache_dir is not None
@@ -111,14 +163,20 @@ def run_scenarios(
     )
     progress = SweepProgress("scenario") if show_progress else None
     start = time.perf_counter()
+    sweep_specs = specs[1:] if profiled_outcome is not None else specs
     result = parallel_sweep(
-        specs, run_summary, workers=workers, cache=cache, progress=progress
+        sweep_specs, run_summary, workers=workers, cache=cache, progress=progress
     )
     elapsed = time.perf_counter() - start
+    points = list(result.points)
+    outcomes = list(result.results)
+    if profiled_outcome is not None:
+        points.insert(0, specs[0])
+        outcomes.insert(0, profiled_outcome)
     print(
         outcome_table(
-            list(result.points),
-            list(result.results),
+            points,
+            outcomes,
             title=f"scenario run: {', '.join(targets)}",
         )
     )
@@ -165,8 +223,24 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="suppress per-sweep progress/ETA output",
     )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile one serial run and print the top cumulative entries",
+    )
     bench_parser = sub.add_parser(
-        "bench", help="slot-resolution microbenchmark (fast vs reference)"
+        "bench",
+        help="microbenchmarks: per-slot resolution or end-to-end scenarios",
+    )
+    bench_parser.add_argument(
+        "which",
+        nargs="?",
+        choices=("slot", "scenario"),
+        default="slot",
+        help=(
+            "'slot' times Medium.resolve_slot fast vs reference (default); "
+            "'scenario' times full run(spec) fast vs legacy on the presets"
+        ),
     )
     bench_parser.add_argument(
         "--quick",
@@ -176,7 +250,10 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser.add_argument(
         "--out",
         default=None,
-        help=f"trajectory JSON path (default: {bench_mod.DEFAULT_OUT})",
+        help=(
+            f"trajectory JSON path (default: {bench_mod.DEFAULT_OUT} or "
+            f"{bench_mod.DEFAULT_SCENARIO_OUT})"
+        ),
     )
     scenario_parser = sub.add_parser(
         "scenario", help="declarative ScenarioSpec scenarios (JSON/presets)"
@@ -212,6 +289,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="suppress progress/ETA output",
     )
+    scenario_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the first scenario point and print the top entries",
+    )
     scenario_sub.add_parser("list", help="show bundled scenario presets")
     scenario_dump = scenario_sub.add_parser(
         "dump", help="print a preset's JSON (start here for custom files)"
@@ -223,7 +305,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "bench":
         return bench_mod.main_bench(
-            out=args.out if args.out is not None else bench_mod.DEFAULT_OUT,
+            which=args.which,
+            out=args.out,
             quick=args.quick,
         )
 
@@ -246,6 +329,7 @@ def main(argv: list[str] | None = None) -> int:
                     workers=args.workers,
                     cache_dir=args.cache_dir,
                     show_progress=not args.no_progress,
+                    profile=args.profile,
                 )
         except (ReproError, OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -268,6 +352,7 @@ def main(argv: list[str] | None = None) -> int:
                 cache_dir=args.cache_dir,
                 show_progress=not args.no_progress,
                 position=(index, len(targets)) if len(targets) > 1 else None,
+                profile=args.profile,
             )
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)

@@ -15,7 +15,25 @@ class Adversary(ABC):
     every delivery (:meth:`observe`) — the adversary is omniscient, which
     is the right model for worst-case analysis: anything a weaker
     adversary achieves, this one can.
+
+    Fast-path capability flags (see
+    :class:`~repro.radio.mac.AdversaryLike`; both default conservative):
+
+    - ``spontaneous``: set ``False`` on subclasses whose ``on_slot`` is
+      an effect-free ``[]`` whenever ``honest`` is empty, so the driver
+      may skip empty slots. Re-evaluate when subclassing further.
+    - ``observe_stateless``: set ``True`` on subclasses whose
+      ``observe`` has no observable effect and whose ``on_slot`` /
+      ``has_pending`` read no delivery- or protocol-node-derived state,
+      enabling the driver's burst dedup.
+
+    Additionally, every adversary must satisfy the driver contract that
+    ``on_slot`` is an effect-free ``[]`` once no bad node has ledger
+    budget left (the driver stops consulting it then).
     """
+
+    spontaneous = True
+    observe_stateless = False
 
     @abstractmethod
     def on_slot(
@@ -32,7 +50,14 @@ class Adversary(ABC):
 
 
 class NullAdversary(Adversary):
-    """Bad nodes that never transmit (crash-faulty placement, clean runs)."""
+    """Bad nodes that never transmit (crash-faulty placement, clean runs).
+
+    ``spontaneous`` stays ``True``: test doubles subclass this with
+    transmitting ``on_slot`` overrides, so the empty-slot skip must not
+    be inherited silently.
+    """
+
+    observe_stateless = True
 
     def on_slot(
         self, round_index: int, slot: int, honest: list[Transmission]

@@ -24,7 +24,7 @@ from repro.errors import ConfigurationError
 from repro.network.grid import Grid
 from repro.network.node import NodeTable
 from repro.radio.budget import BudgetLedger
-from repro.radio.medium import Delivery
+from repro.radio.medium import Delivery, shared_plan_cache
 from repro.radio.messages import BadTransmission, MessageKind, Transmission
 from repro.sim.trace import NULL_TRACER, Tracer
 from repro.types import VFALSE, VTRUE, NodeId, Value
@@ -43,6 +43,11 @@ class ThresholdGuardJammer(Adversary):
             exist via :meth:`bind_decided`.
         wrong_value: value planted at collision receivers.
     """
+
+    #: Purely reactive: spends budget only against honest transmissions.
+    spontaneous = False
+    # observe_stateless stays False: on_slot reads the clean-copy counts
+    # that observe maintains, plus protocol-node decision state.
 
     def __init__(
         self,
@@ -68,16 +73,35 @@ class ThresholdGuardJammer(Adversary):
                 nid for nid in table.good_ids if nid != table.source
             ]
         self.protected: frozenset[NodeId] = frozenset(protected)
+        self._protected_mask = bytearray(grid.n)
+        for nid in self.protected:
+            self._protected_mask[nid] = 1
         self._decided_fn: Callable[[NodeId], bool] = lambda nid: False
-        # clean_count[w] = uncorrupted Vtrue copies delivered to w so far
-        self._clean_count: dict[NodeId, int] = {}
+        self._decided_bits: bytearray | None = None
+        # clean[w] = uncorrupted Vtrue copies delivered to w so far
+        # (flat, id-indexed — consulted on every at-risk check).
+        self._clean: list[int] = [0] * grid.n
+        # Per-batch observe plans: the medium's memo returns identity-
+        # stable batches, so the relevant receivers of a repeated slot
+        # are computed once — and shared across runs of one shape, since
+        # a plan depends only on (vtrue, protected set) and the batch.
+        self._observe_plans = shared_plan_cache(
+            ("guard-clean", grid.n, vtrue, tuple(sorted(self.protected)))
+        )
         # bad neighbors (within r) of each protected receiver, cached lazily
         self._bad_near: dict[NodeId, tuple[NodeId, ...]] = {}
+        # protected neighbors of each sender, cached lazily (the at-risk
+        # scan then touches only candidates instead of the whole ball)
+        self._protected_near: dict[NodeId, tuple[NodeId, ...]] = {}
         self.jams = 0
 
     def bind_decided(self, nodes: Mapping[NodeId, object]) -> None:
         """Wire the decision oracle to live protocol nodes."""
         self._decided_fn = lambda nid: bool(getattr(nodes[nid], "decided", False))
+
+    def bind_decided_bits(self, bits: bytearray) -> None:
+        """Read decisions from a shared flat bitmap (flat-engine runs)."""
+        self._decided_bits = bits
 
     # -- helpers ---------------------------------------------------------------
 
@@ -90,15 +114,29 @@ class ThresholdGuardJammer(Adversary):
             self._bad_near[receiver] = cached
         return cached
 
+    def _protected_neighbors_of(self, sender: NodeId) -> tuple[NodeId, ...]:
+        cached = self._protected_near.get(sender)
+        if cached is None:
+            protected = self._protected_mask
+            cached = tuple(
+                nb for nb in self.grid.neighbors(sender) if protected[nb]
+            )
+            self._protected_near[sender] = cached
+        return cached
+
     def _at_risk_receivers(self, victim: Transmission) -> list[NodeId]:
         """Protected, undecided receivers whom this delivery would tip over."""
         at_risk = []
-        for receiver in self.grid.neighbors(victim.sender):
-            if receiver not in self.protected:
+        clean = self._clean
+        bits = self._decided_bits
+        tip = self.threshold - 1
+        for receiver in self._protected_neighbors_of(victim.sender):
+            if bits is not None:
+                if bits[receiver]:
+                    continue
+            elif self._decided_fn(receiver):
                 continue
-            if self._decided_fn(receiver):
-                continue
-            if self._clean_count.get(receiver, 0) + 1 >= self.threshold:
+            if clean[receiver] >= tip:
                 at_risk.append(receiver)
         return at_risk
 
@@ -152,20 +190,27 @@ class ThresholdGuardJammer(Adversary):
         ]
 
     def observe(self, deliveries: list[Delivery]) -> None:
-        for delivery in deliveries:
-            if (
-                not delivery.corrupted
-                and delivery.kind is MessageKind.DATA
-                and delivery.value == self.vtrue
-                and delivery.receiver in self.protected
-            ):
-                self._clean_count[delivery.receiver] = (
-                    self._clean_count.get(delivery.receiver, 0) + 1
-                )
+        targets = self._observe_plans.get(deliveries)
+        if targets is None:
+            protected = self._protected_mask
+            vtrue = self.vtrue
+            data = MessageKind.DATA
+            targets = [
+                d.receiver
+                for d in deliveries
+                if not d.corrupted
+                and d.kind is data
+                and d.value == vtrue
+                and protected[d.receiver]
+            ]
+            self._observe_plans.put(deliveries, targets)
+        clean = self._clean
+        for receiver in targets:
+            clean[receiver] += 1
 
     def clean_copies_at(self, receiver: NodeId) -> int:
         """Clean Vtrue copies a protected receiver has (for experiment reports)."""
-        return self._clean_count.get(receiver, 0)
+        return self._clean[receiver]
 
 
 class PlannedJammer(Adversary):
@@ -187,7 +232,14 @@ class PlannedJammer(Adversary):
     assigned the same victim; they all transmit in the victim's slot,
     widening the corrupted area — Figure 2 needs exactly that for the
     mid-side suppliers audible from two defenders.
+
+    Purely reactive and observe-stateless: ``on_slot`` reads only the
+    plan quotas and the ledger, so the driver may skip empty slots and
+    dedup repeated bursts (the Figure-2 source phase is 2001 of them).
     """
+
+    spontaneous = False
+    observe_stateless = True
 
     def __init__(
         self,

@@ -29,8 +29,11 @@ class SpamLiar(Adversary):
 
     Transmitting in the node's own TDMA slot never collides with honest
     traffic (same-slot nodes share no receiver), so this is a pure
-    value-planting attack.
+    value-planting attack. Spontaneous by nature, but observe-stateless:
+    ``on_slot`` reads only the slot map and the ledger.
     """
+
+    observe_stateless = True
 
     def __init__(
         self,
@@ -73,7 +76,13 @@ class SpoofingJammer(Adversary):
     that common neighbors hear ``wrong_value`` *apparently from the
     victim*. Against sender-counting protocols each jam simultaneously
     suppresses a real endorsement and manufactures a fake one.
+
+    Purely reactive and observe-stateless: ``on_slot`` reads only its
+    own caches and the ledger.
     """
+
+    spontaneous = False
+    observe_stateless = True
 
     def __init__(
         self,

@@ -36,6 +36,8 @@ class NodeTable:
         for node_id in self.bad:
             self._roles[node_id] = Role.BAD
         self._roles[source] = Role.SOURCE
+        self._good_ids: list[NodeId] | None = None
+        self._bad_ids: list[NodeId] | None = None
 
     def role(self, node_id: NodeId) -> Role:
         return self._roles[node_id]
@@ -48,12 +50,26 @@ class NodeTable:
 
     @property
     def good_ids(self) -> list[NodeId]:
-        """All honest nodes, source included."""
-        return [nid for nid in self.grid.all_ids() if self._roles[nid] is not Role.BAD]
+        """All honest nodes, source included.
+
+        Computed once (roles never change) but returned as a fresh copy
+        per call: tables are shared process-wide by the scenario
+        runner's warm cache, so a caller mutating its list must never
+        reach the cached state.
+        """
+        if self._good_ids is None:
+            roles = self._roles
+            bad = Role.BAD
+            self._good_ids = [
+                nid for nid in self.grid.all_ids() if roles[nid] is not bad
+            ]
+        return list(self._good_ids)
 
     @property
     def bad_ids(self) -> list[NodeId]:
-        return sorted(self.bad)
+        if self._bad_ids is None:
+            self._bad_ids = sorted(self.bad)
+        return list(self._bad_ids)
 
     def bad_in_neighborhood(self, node_id: NodeId) -> int:
         """Number of bad nodes in the closed neighborhood of ``node_id``."""

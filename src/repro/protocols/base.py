@@ -46,7 +46,24 @@ class BroadcastParams:
 
 
 class BroadcastNode(ABC):
-    """Base class for honest protocol nodes driven by the MAC round loop."""
+    """Base class for honest protocol nodes driven by the MAC round loop.
+
+    Two class-level capability flags feed the driver's batched fast path
+    (:mod:`repro.radio.mac`):
+
+    - ``PEEK_STABILITY = "all"`` promises that :meth:`peek_burst` exactly
+      predicts the next ``pop_send`` results for a whole slot burst, and
+      that no ``on_receive`` between the peek and the pops can change
+      them. True here because the pending message/count only change at
+      decide time, and a node with pending sends has already decided.
+    - ``round_end_noop = True`` declares that :meth:`on_round_end` does
+      nothing but advance the round counter, so the driver may skip the
+      per-node round-end sweep whenever a flat engine stamps rounds at
+      decide time instead.
+    """
+
+    PEEK_STABILITY = "all"
+    round_end_noop = True
 
     __slots__ = (
         "node_id",
@@ -134,6 +151,17 @@ class BroadcastNode(ABC):
         self._pending_count -= 1
         return self._pending_msg
 
+    def peek_burst(self, limit: int) -> tuple[Value, MessageKind, int]:
+        """What up to ``limit`` consecutive ``pop_send`` calls would yield.
+
+        Returns ``(value, kind, count)``; the driver's predictable-round
+        path uses it to sign a whole round's traffic without mutating
+        node state (see ``PEEK_STABILITY``).
+        """
+        value, kind = self._pending_msg
+        count = self._pending_count
+        return (value, kind, count if count < limit else limit)
+
     def on_receive(self, sender: NodeId, value: Value, kind: MessageKind) -> None:
         if kind is not MessageKind.DATA:
             return
@@ -154,7 +182,7 @@ class ThresholdNode(BroadcastNode):
     heterogeneous configuration).
     """
 
-    __slots__ = ("_relay_count", "value_counts")
+    __slots__ = ("_relay_count", "_threshold", "value_counts")
 
     def __init__(
         self,
@@ -166,6 +194,9 @@ class ThresholdNode(BroadcastNode):
         if relay_count < 0:
             raise ConfigurationError(f"negative relay count: {relay_count}")
         self._relay_count = relay_count
+        # Cached once: the t*mf+1 threshold is consulted on every receive,
+        # and the property recomputes it from scratch.
+        self._threshold = params.threshold
         self.value_counts: Counter[Value] = Counter()
         super().__init__(node_id, role, params)
 
@@ -174,7 +205,7 @@ class ThresholdNode(BroadcastNode):
 
     def on_value(self, sender: NodeId, value: Value) -> None:
         self.value_counts[value] += 1
-        if not self._decided and self.value_counts[value] >= self.params.threshold:
+        if not self._decided and self.value_counts[value] >= self._threshold:
             self._decide(value)
 
     def count_of(self, value: Value) -> int:

@@ -1,0 +1,300 @@
+"""Flat-array protocol state: batched delivery distribution engines.
+
+The per-delivery cost of a scenario run is dominated not by slot
+resolution (memoized since the slot fast path) but by *distribution*:
+one ``on_receive`` call per delivery, each updating a per-node
+``Counter`` / dict-of-sets. These engines move the hottest protocol
+state onto flat id-indexed arrays shared by all nodes of a run:
+
+- :class:`FlatThresholdEngine` — the ``t*mf + 1``-copies acceptance rule
+  of :class:`~repro.protocols.base.ThresholdNode` (protocols B, Koo,
+  B_heter) as per-value ``counts`` integer arrays plus a ``decided``
+  bitmap;
+- :class:`FlatCpaEngine` — certified propagation's distinct-endorser
+  rule (:class:`~repro.protocols.cpa.CpaNode`) as per-value endorsement
+  *count* arrays, a ``decided`` bitmap, and a packed ``(receiver,
+  sender)`` seen-set for the distinctness constraint.
+
+The node classes keep their historical dict/Counter implementations as
+the reference path (``DEFAULT_FLAT = False`` routes whole scenarios
+through them; the equivalence suite asserts identical reports, mirroring
+``resolve_slot_reference``). After a run, :meth:`sync_nodes` writes the
+flat state back into each node's ``value_counts`` / ``endorsements`` /
+``received_total`` so reports and tests observe exactly the state the
+reference path would have produced.
+
+Batched distribution
+--------------------
+
+``distribute(batch, round_index, repeat)`` consumes one resolved slot.
+Because the medium's memo returns identity-stable
+:class:`~repro.radio.medium.DeliveryBatch` objects, each engine caches a
+per-batch *plan* — the deliveries regrouped by value, restricted to
+managed honest receivers — keyed by ``id(batch)`` while holding the
+batch alive (so the id cannot be recycled). Steady-state slots then cost
+one dict hit plus one tight loop over an int array per value group.
+``repeat > 1`` applies one batch several times at once (the driver's
+burst dedup): counts advance by ``repeat`` and a threshold crossing is
+detected as ``old < threshold <= old + repeat``, which is exactly where
+per-copy processing would have decided.
+
+Equivalence constraints the engines rely on (and the drivers preserve):
+a receiver hears at most one delivery per resolved slot, decisions are
+monotone, and ``ThresholdNode``/``CpaNode`` pending sends only ever
+appear at decide time — which is why ``newly_pending`` (drained by the
+driver's candidate tracker) is complete.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Mapping
+
+from repro.protocols.base import BroadcastParams, ThresholdNode
+from repro.protocols.cpa import CpaNode
+from repro.radio.medium import shared_plan_cache
+from repro.radio.messages import MessageKind
+from repro.types import NodeId, Value
+
+#: Process-wide default for routing scenario runs through the flat
+#: engines. Tests monkeypatch this to drive whole experiments through
+#: the per-node reference implementations when checking equivalence.
+DEFAULT_FLAT = True
+
+
+class FlatThresholdEngine:
+    """Shared flat state for a run of :class:`ThresholdNode` instances.
+
+    The live loop maintains only what decisions depend on: per-value
+    counts for *undecided* receivers. Everything else — per-node
+    ``received_total`` and the final ``value_counts`` — is pure
+    accounting, recomputed exactly at :meth:`sync_nodes` from per-batch
+    hit counters (each ``distribute`` call is one O(1) increment), so a
+    decided node costs one bitmap read per delivery instead of three
+    array updates.
+    """
+
+    def __init__(
+        self, nodes: Mapping[NodeId, ThresholdNode], n: int, threshold: int
+    ) -> None:
+        self.n = n
+        self.threshold = threshold
+        self._nodes = nodes
+        self.decided = bytearray(n)
+        self._is_node = bytearray(n)
+        self._counts: dict[Value, list[int]] = {}
+        # id(batch) -> [total hits, batch]; the strong reference keeps
+        # the id stable. Accounting, not a cache: never dropped mid-run.
+        self._batch_hits: dict[int, list] = {}
+        # Plans depend only on (n, managed receiver set) and the batch
+        # content: share them across a sweep's runs of one shape.
+        self._plans = shared_plan_cache(("threshold", n, tuple(nodes)))
+        self.newly_pending: list[NodeId] = []
+        for nid, node in nodes.items():
+            self._is_node[nid] = 1
+            if node.decided:
+                self.decided[nid] = 1
+
+    def _plan(self, batch) -> list[tuple[Value, list[NodeId]]]:
+        plan = self._plans.get(batch)
+        if plan is None:
+            groups: dict[Value, list[NodeId]] = {}
+            is_node = self._is_node
+            data = MessageKind.DATA
+            for d in batch:
+                if d.kind is data and is_node[d.receiver]:
+                    groups.setdefault(d.value, []).append(d.receiver)
+            plan = list(groups.items())
+            self._plans.put(batch, plan)
+        return plan
+
+    def distribute(self, batch, round_index: int, repeat: int = 1) -> None:
+        entry = self._batch_hits.get(id(batch))
+        if entry is not None and entry[1] is batch:
+            entry[0] += repeat
+        else:
+            self._batch_hits[id(batch)] = [repeat, batch]
+        decided = self.decided
+        threshold = self.threshold
+        counts_by_value = self._counts
+        for value, receivers in self._plan(batch):
+            counts = counts_by_value.get(value)
+            if counts is None:
+                counts = counts_by_value[value] = [0] * self.n
+            if repeat == 1:
+                for rec in receivers:
+                    if decided[rec]:
+                        continue
+                    c = counts[rec] + 1
+                    counts[rec] = c
+                    if c == threshold:
+                        self._decide(rec, value, round_index)
+            else:
+                for rec in receivers:
+                    if decided[rec]:
+                        continue
+                    c = counts[rec]
+                    counts[rec] = c + repeat
+                    if c < threshold <= c + repeat:
+                        self._decide(rec, value, round_index)
+
+    def _decide(self, rec: NodeId, value: Value, round_index: int) -> None:
+        node = self._nodes[rec]
+        # The reference path keeps _current_round fresh via on_round_end;
+        # the engine stamps it at the only moment it is observable.
+        node._current_round = round_index
+        node._decide(value)
+        self.decided[rec] = 1
+        if node.has_pending():
+            self.newly_pending.append(rec)
+
+    def sync_nodes(self) -> None:
+        """Write the reference-shape state back into the nodes.
+
+        Replays the per-batch hit counters through the (cached) plans,
+        which reproduces exactly the ``received_total`` / ``value_counts``
+        the per-delivery reference path accumulates.
+        """
+        n = self.n
+        received = [0] * n
+        totals: dict[Value, list[int]] = {}
+        for hits, batch in self._batch_hits.values():
+            for value, receivers in self._plan(batch):
+                counts = totals.get(value)
+                if counts is None:
+                    counts = totals[value] = [0] * n
+                for rec in receivers:
+                    received[rec] += hits
+                    counts[rec] += hits
+        for nid, node in self._nodes.items():
+            node.received_total = received[nid]
+            counter: Counter[Value] = Counter()
+            for value, counts in totals.items():
+                if counts[nid]:
+                    counter[value] = counts[nid]
+            node.value_counts = counter
+
+
+class FlatCpaEngine:
+    """Shared flat state for a run of :class:`CpaNode` instances."""
+
+    def __init__(
+        self,
+        nodes: Mapping[NodeId, CpaNode],
+        n: int,
+        source: NodeId,
+        threshold: int,
+    ) -> None:
+        self.n = n
+        self.source = source
+        self.threshold = threshold  # t + 1 distinct endorsers
+        self._nodes = nodes
+        self.decided = bytearray(n)
+        self._is_node = bytearray(n)
+        # value -> distinct-endorser counts; value -> {rec * n + sender}.
+        self._counts: dict[Value, list[int]] = {}
+        self._seen: dict[Value, set[int]] = {}
+        # id(batch) -> [total hits, batch] (see FlatThresholdEngine).
+        self._batch_hits: dict[int, list] = {}
+        self._plans = shared_plan_cache(("cpa", n, tuple(nodes)))
+        self.newly_pending: list[NodeId] = []
+        for nid, node in nodes.items():
+            self._is_node[nid] = 1
+            if node.decided:
+                self.decided[nid] = 1
+
+    def _plan(self, batch) -> list[tuple[Value, list[tuple[NodeId, NodeId]]]]:
+        plan = self._plans.get(batch)
+        if plan is None:
+            groups: dict[Value, list[tuple[NodeId, NodeId]]] = {}
+            is_node = self._is_node
+            data = MessageKind.DATA
+            for d in batch:
+                if d.kind is data and is_node[d.receiver]:
+                    groups.setdefault(d.value, []).append((d.receiver, d.sender))
+            plan = list(groups.items())
+            self._plans.put(batch, plan)
+        return plan
+
+    def distribute(self, batch, round_index: int, repeat: int = 1) -> None:
+        entry = self._batch_hits.get(id(batch))
+        if entry is not None and entry[1] is batch:
+            entry[0] += repeat
+        else:
+            self._batch_hits[id(batch)] = [repeat, batch]
+        decided = self.decided
+        threshold = self.threshold
+        source = self.source
+        n = self.n
+        for value, pairs in self._plan(batch):
+            counts = self._counts.get(value)
+            if counts is None:
+                counts = self._counts[value] = [0] * n
+                self._seen[value] = set()
+            seen = self._seen[value]
+            for rec, sender in pairs:
+                if decided[rec]:
+                    continue
+                if sender == source:
+                    self._decide(rec, value, round_index)
+                    continue
+                key = rec * n + sender
+                if key in seen:
+                    continue
+                seen.add(key)
+                c = counts[rec] + 1
+                counts[rec] = c
+                if c >= threshold:
+                    self._decide(rec, value, round_index)
+
+    def _decide(self, rec: NodeId, value: Value, round_index: int) -> None:
+        node = self._nodes[rec]
+        node._current_round = round_index
+        node._decide(value)
+        self.decided[rec] = 1
+        if node.has_pending():
+            self.newly_pending.append(rec)
+
+    def sync_nodes(self) -> None:
+        """Rebuild each node's dict-of-sets endorsements from flat state."""
+        n = self.n
+        received = [0] * n
+        for hits, batch in self._batch_hits.values():
+            for _value, pairs in self._plan(batch):
+                for rec, _sender in pairs:
+                    received[rec] += hits
+        per_node: dict[NodeId, dict[Value, set[NodeId]]] = {}
+        for value, seen in self._seen.items():
+            for key in seen:
+                rec, sender = divmod(key, n)
+                per_node.setdefault(rec, {}).setdefault(value, set()).add(sender)
+        for nid, node in self._nodes.items():
+            node.received_total = received[nid]
+            endorsements: defaultdict[Value, set[NodeId]] = defaultdict(set)
+            for value, senders in per_node.get(nid, {}).items():
+                endorsements[value] = senders
+            node.endorsements = endorsements
+
+
+def build_flat_engine(
+    nodes: Mapping[NodeId, object],
+    n: int,
+    params: BroadcastParams,
+    source: NodeId,
+):
+    """The flat engine matching a run's node population, or ``None``.
+
+    Engines replicate the exact acceptance logic of one concrete node
+    class, so eligibility is deliberately strict: every node must be an
+    *exact* instance (subclasses may override ``on_value`` and silently
+    diverge). Ineligible populations — reactive nodes, custom test
+    nodes, mixed sets — simply run the per-node reference path.
+    """
+    if not nodes:
+        return None
+    classes = {type(node) for node in nodes.values()}
+    if classes == {ThresholdNode}:
+        return FlatThresholdEngine(nodes, n, params.threshold)
+    if classes == {CpaNode}:
+        return FlatCpaEngine(nodes, n, source, params.t + 1)
+    return None

@@ -55,7 +55,15 @@ class ReactivePhase(enum.Enum):
 
 
 class ReactiveNode:
-    """Honest node of B_reactive (drives on the slotted MAC)."""
+    """Honest node of B_reactive (drives on the slotted MAC).
+
+    ``PEEK_STABILITY = "head"``: only the queue's head is stable across
+    mid-round receives (they may append NACKs/data behind it), so the
+    driver's predictable-round path engages only at
+    ``batch_per_slot == 1`` — which is what reactive scenarios use.
+    """
+
+    PEEK_STABILITY = "head"
 
     __slots__ = (
         "node_id",
@@ -147,6 +155,13 @@ class ReactiveNode:
     def has_pending(self) -> bool:
         return bool(self._queue)
 
+    def peek_burst(self, limit: int) -> tuple[Value, MessageKind, int]:
+        """The next send, without dequeueing (head-stable only; see class)."""
+        if not self._queue or limit < 1:
+            return (0, MessageKind.DATA, 0)
+        value, kind = self._queue[0]
+        return (value, kind, 1)
+
     def pop_send(self) -> tuple[Value, MessageKind]:
         if not self._queue:
             raise ConfigurationError(f"node {self.node_id} has nothing to send")
@@ -211,7 +226,17 @@ class CodedJammerAdversary:
 
     A coded transmission cannot be silently canceled, which is exactly the
     property the sub-bit layer buys (see :mod:`repro.coding.channel`).
+
+    Driver fast-path capabilities (see
+    :class:`~repro.radio.mac.AdversaryLike`): purely reactive
+    (``spontaneous = False`` — ``on_slot`` with no honest traffic is an
+    effect-free ``[]``) and ``observe_stateless`` (``observe`` is a
+    no-op and ``on_slot`` reads only its arguments, the ledger, and its
+    own RNG).
     """
+
+    spontaneous = False
+    observe_stateless = True
 
     def __init__(
         self,

@@ -58,13 +58,16 @@ class BudgetLedger:
         return budget - self._sent[node_id]
 
     def can_send(self, node_id: NodeId, count: int = 1) -> bool:
-        remaining = self.remaining(node_id)
-        return remaining is None or remaining >= count
+        # Consulted once per sender per burst: read the arrays directly
+        # rather than composing remaining().
+        budget = self._budget[node_id]
+        return budget is None or budget - self._sent[node_id] >= count
 
     def charge(self, node_id: NodeId, count: int = 1) -> None:
         if count < 0:
             raise ConfigurationError("cannot charge a negative number of messages")
-        if not self.can_send(node_id, count):
+        budget = self._budget[node_id]
+        if budget is not None and budget - self._sent[node_id] < count:
             raise BudgetExceededError(
                 f"node {node_id} attempted send #{self._sent[node_id] + count} "
                 f"with budget {self._budget[node_id]}"

@@ -10,6 +10,43 @@ The driver is deliberately independent of any concrete protocol or
 adversary: both are structural interfaces (:class:`ProtocolNodeLike`,
 :class:`AdversaryLike`) so the radio layer never imports the higher
 layers.
+
+Fast path
+---------
+
+``DEFAULT_FAST_DRIVER`` routes rounds through a batched loop that is
+observably identical to the historical one (kept verbatim as
+``_run_round_reference``; the scenario equivalence suite replays whole
+runs through both) but skips work the slot-by-slot loop repeats
+needlessly:
+
+- **pending candidates** — when a flat protocol engine manages every
+  node (so new pending sends can only appear at decide time), the
+  per-round bucket build scans only nodes that might be pending instead
+  of the whole grid, and budget-exhausted nodes drop out permanently;
+- **occupied slots** — empty slot classes are skipped wholesale
+  whenever the adversary cannot transmit spontaneously (it is out of
+  budget, or its class declares ``spontaneous = False``);
+- **budget-gated consultation** — once no Byzantine node can afford a
+  message the adversary is never consulted again (its ``on_slot`` must
+  be an effect-free ``[]`` in that state, which every bundled adversary
+  satisfies);
+- **burst dedup** — consecutive identical bursts within one slot
+  (Figure 2's 2001-repetition source phase, relay drains) are
+  distributed once with a multiplicity instead of once per burst. This
+  defers delivery distribution within the slot, so it requires either
+  an adversary whose class declares ``observe_stateless = True``
+  (``on_slot``/``observe`` neither read nor record anything
+  observable) or an adversary that is out of budget (then ``observe``
+  still runs, once per deferred burst, at flush time);
+- **whole-round memo** — when the adversary is inactive and every node
+  class can ``peek_burst`` its sends stably (``PEEK_STABILITY``), the
+  round's entire transmission pattern is signed up front and repeated
+  rounds replay their resolved delivery batches from
+  :meth:`~repro.radio.medium.Medium.round_memo_get` in one dict hit.
+
+Tracing always uses the reference loop, so per-delivery trace output is
+unchanged.
 """
 
 from __future__ import annotations
@@ -27,10 +64,29 @@ from repro.radio.schedule import TdmaSchedule
 from repro.sim.trace import NULL_TRACER, Tracer
 from repro.types import NodeId, Value
 
+#: Process-wide default for :class:`RoundDriver`'s ``fast`` switch.
+#: Tests monkeypatch this to drive whole experiments through the
+#: reference round loop when checking equivalence.
+DEFAULT_FAST_DRIVER = True
+
+#: Shared empty Byzantine-transmission list for unconsulted slots (never
+#: mutated; the medium only reads its arguments).
+_NO_BYZ: list[BadTransmission] = []
+
 
 @runtime_checkable
 class ProtocolNodeLike(Protocol):
-    """What the driver needs from an honest protocol node."""
+    """What the driver needs from an honest protocol node.
+
+    Optional extras the fast path exploits when present (see
+    :class:`~repro.protocols.base.BroadcastNode`): a ``PEEK_STABILITY``
+    class attribute (``"all"`` — ``peek_burst`` exactly predicts a whole
+    slot burst; ``"head"`` — only the first send is stable, so the
+    predictable-round path requires ``batch_per_slot == 1``) together
+    with a ``peek_burst(limit) -> (value, kind, count)`` method, and a
+    ``round_end_noop`` class attribute declaring ``on_round_end`` free
+    of protocol logic.
+    """
 
     def has_pending(self) -> bool:
         """Does the node currently want to transmit?"""
@@ -47,7 +103,20 @@ class ProtocolNodeLike(Protocol):
 
 @runtime_checkable
 class AdversaryLike(Protocol):
-    """What the driver needs from the adversary (a single coordinated mind)."""
+    """What the driver needs from the adversary (a single coordinated mind).
+
+    Contract the fast driver additionally relies on: whenever no
+    Byzantine node has ledger budget left, ``on_slot`` must return ``[]``
+    without observable side effects — the driver may then stop consulting
+    it. Two optional class attributes refine the fast path further:
+    ``spontaneous = False`` promises ``on_slot`` is an effect-free ``[]``
+    whenever ``honest`` is empty (purely reactive adversaries), letting
+    the driver skip empty slots; ``observe_stateless = True`` promises
+    ``observe`` has no observable effect *and* ``on_slot`` /
+    ``has_pending`` read no delivery- or protocol-node-derived state,
+    enabling burst dedup with ``observe`` skipped. Both default to the
+    conservative setting when absent.
+    """
 
     def on_slot(
         self, round_index: int, slot: int, honest: list[Transmission]
@@ -94,7 +163,17 @@ class RunStats:
 
 
 class RoundDriver:
-    """Runs the slotted network to quiescence or a round limit."""
+    """Runs the slotted network to quiescence or a round limit.
+
+    ``medium``/``schedule`` accept pre-built (possibly process-warm)
+    instances so sweeps can share one grid's CSR tables and delivery
+    memo across points; by default each driver builds its own.
+    ``engine`` is an optional flat protocol-state engine (see
+    :mod:`repro.protocols.flat`) that distributes whole delivery batches
+    instead of per-delivery ``on_receive`` calls. ``fast`` selects the
+    batched round loop (default :data:`DEFAULT_FAST_DRIVER`); tracing
+    runs always use the reference loop.
+    """
 
     def __init__(
         self,
@@ -106,6 +185,10 @@ class RoundDriver:
         *,
         batch_per_slot: int = 1,
         tracer: Tracer = NULL_TRACER,
+        medium: Medium | None = None,
+        schedule: TdmaSchedule | None = None,
+        engine=None,
+        fast: bool | None = None,
     ) -> None:
         missing = [nid for nid in table.good_ids if nid not in nodes]
         if missing:
@@ -120,23 +203,80 @@ class RoundDriver:
         self.adversary = adversary
         self.ledger = ledger
         self.batch_per_slot = batch_per_slot
-        self.schedule = TdmaSchedule(grid)
-        self.medium = Medium(grid)
+        self.schedule = schedule if schedule is not None else TdmaSchedule(grid)
+        self.medium = medium if medium is not None else Medium(grid)
+        self.engine = engine
         self.tracer = tracer
+        self.fast = DEFAULT_FAST_DRIVER if fast is None else fast
         self.stats = RunStats()
         self._honest_ids = list(table.good_ids)
+        self._bad_ids = list(table.bad_ids)
         # Reusable per-slot sender buckets: cleared and refilled every
         # round so steady-state rounds allocate no per-slot containers
         # (the medium's scratch buffers are likewise reused).
         self._slot_buckets: list[list[NodeId]] = [
             [] for _ in range(self.schedule.period)
         ]
+        # -- fast-path state ------------------------------------------------
+        adversary_cls = type(adversary)
+        self._observe_stateless = bool(
+            getattr(adversary_cls, "observe_stateless", False)
+        )
+        self._spontaneous = bool(getattr(adversary_cls, "spontaneous", True))
+        # Sticky: budgets are monotone, so once the adversary cannot send
+        # it never can again. An adversary over no bad nodes at all stays
+        # "active" so driver-level validation of rogue transmissions (a
+        # test/debugging affordance) keeps firing.
+        self._adversary_active = True
+        # Identity-stable per-sender transmissions: repeated sends of one
+        # (value, kind) reuse one frozen object, which makes burst dedup
+        # and memo-key hashing cheap.
+        self._tx_cache: list[Transmission | None] = [None] * grid.n
+        self._occupied: list[int] = []
+        # Per-slot front cache over the medium memo: relay plateaus
+        # repeat one slot's exact inputs across consecutive rounds, and
+        # identity-stable transmissions make the equality check cheaper
+        # than re-hashing the memo key.
+        self._slot_last: list[tuple | None] = [None] * self.schedule.period
+        node_classes = {type(node) for node in nodes.values()}
+        stabilities = {
+            getattr(cls, "PEEK_STABILITY", None) for cls in node_classes
+        }
+        self._peek_ok = bool(nodes) and (
+            stabilities == {"all"}
+            or (stabilities <= {"all", "head"} and batch_per_slot == 1)
+        )
+        # "all"-stable nodes (BroadcastNode family) can never gain new
+        # pending sends from a mid-slot receive; queue-based nodes can
+        # (a jam delivered to an already-drained co-owner enqueues a
+        # NACK), which constrains burst dedup and sender compaction
+        # whenever the adversary is still able to transmit.
+        self._sends_stable = bool(nodes) and stabilities == {"all"}
+        self._skip_round_end = engine is not None and all(
+            getattr(cls, "round_end_noop", False) for cls in node_classes
+        )
+        # Pending-candidate tracking needs every pending transition to be
+        # observable by the driver; only the flat engines guarantee that
+        # (their node classes become pending exclusively at decide time,
+        # which the engine reports via newly_pending).
+        if engine is not None:
+            self._scan: list[NodeId] | None = list(self._honest_ids)
+            self._in_scan: bytearray | None = bytearray(grid.n)
+            for nid in self._honest_ids:
+                self._in_scan[nid] = 1
+        else:
+            self._scan = None
+            self._in_scan = None
 
     # -- main loop ----------------------------------------------------------
 
     def run(self, limits: RunLimits) -> RunStats:
+        use_fast = self.fast and not self.tracer.enabled
         for round_index in range(limits.max_rounds):
-            transmitted = self._run_round(round_index)
+            if use_fast:
+                transmitted = self._run_round_fast(round_index)
+            else:
+                transmitted = self._run_round_reference(round_index)
             self.stats.rounds = round_index + 1
             if not transmitted:
                 self.stats.idle_rounds += 1
@@ -151,7 +291,315 @@ class RoundDriver:
                 break
         return self.stats
 
-    def _run_round(self, round_index: int) -> bool:
+    # -- fast round loop ----------------------------------------------------
+
+    def _run_round_fast(self, round_index: int) -> bool:
+        ledger = self.ledger
+        nodes = self.nodes
+        if self._adversary_active and self._bad_ids:
+            if not any(ledger.can_send(bad) for bad in self._bad_ids):
+                self._adversary_active = False
+        active = self._adversary_active
+
+        # Build the per-slot sender buckets for this round.
+        by_slot = self._slot_buckets
+        occupied = self._occupied
+        for slot in occupied:
+            by_slot[slot].clear()
+        occupied.clear()
+        slot_of = self.schedule._slot_of
+        scan = self._scan
+        if scan is not None:
+            in_scan = self._in_scan
+            write = 0
+            for nid in scan:
+                node = nodes[nid]
+                if node.has_pending():
+                    if ledger.can_send(nid):
+                        slot = slot_of[nid]
+                        bucket = by_slot[slot]
+                        if not bucket:
+                            occupied.append(slot)
+                        bucket.append(nid)
+                        scan[write] = nid
+                        write += 1
+                    else:
+                        in_scan[nid] = 0  # budget gone forever
+                else:
+                    in_scan[nid] = 0  # re-added when it becomes pending
+            del scan[write:]
+        else:
+            for nid in self._honest_ids:
+                node = nodes[nid]
+                if node.has_pending() and ledger.can_send(nid):
+                    slot = slot_of[nid]
+                    bucket = by_slot[slot]
+                    if not bucket:
+                        occupied.append(slot)
+                    bucket.append(nid)
+        occupied.sort()
+
+        if not active and self._peek_ok:
+            return self._run_round_predictable(round_index)
+
+        consult_empty = active and self._spontaneous
+        slots = range(self.schedule.period) if consult_empty else occupied
+        return self._run_slot_loop(round_index, slots, active, None)
+
+    def _run_slot_loop(
+        self, round_index: int, slots, active: bool, record: list | None
+    ) -> bool:
+        """One round, slot by slot, with per-slot burst dedup.
+
+        ``record`` (predictable rounds only) collects each occupied
+        slot's per-burst batch sequence for the whole-round memo.
+        """
+        ledger = self.ledger
+        nodes = self.nodes
+        adversary = self.adversary
+        medium = self.medium
+        by_slot = self._slot_buckets
+        tx_cache = self._tx_cache
+        slot_last = self._slot_last
+        stats = self.stats
+        per_kind = stats.per_kind_honest
+        # Burst dedup defers delivery distribution to the end of a
+        # burst group, and sender compaction stops re-checking a slot
+        # owner that ran dry. Both are safe only when nothing can act on
+        # mid-slot deliveries: the adversary must not look (it is
+        # inactive, or observe_stateless by contract) AND no bucketed
+        # sender may *become* pending from a receive (sends are
+        # "all"-stable, or there is a single burst per slot, or no
+        # Byzantine transmission can reach a drained co-owner because
+        # the adversary is inactive). With an inactive adversary,
+        # observe still re-fires once per deferred burst at flush time.
+        single_burst = self.batch_per_slot == 1
+        senders_settled = self._sends_stable or single_burst or not active
+        dedup = senders_settled and (self._observe_stateless or not active)
+        compact = senders_settled
+        data_kind = MessageKind.DATA
+        data_count = 0
+        honest_total = 0
+        byz_total = 0
+        transmitted = False
+        for slot in slots:
+            # When senders_settled, owners that fail the pending/budget
+            # check are compacted away for the slot's remaining bursts:
+            # both conditions are then monotone within a slot (budgets
+            # only shrink, and no receive can re-arm a drained owner).
+            senders = by_slot[slot]
+            slot_batches: list | None = [] if record is not None else None
+            prev_honest: list[Transmission] | None = None
+            prev_byz: list[BadTransmission] | None = None
+            pending_batch = None
+            multiplicity = 0
+            for _burst in range(self.batch_per_slot):
+                honest_txs: list[Transmission] = []
+                write = 0
+                for nid in senders:
+                    node = nodes[nid]
+                    if not node.has_pending() or not ledger.can_send(nid):
+                        continue
+                    value, kind = node.pop_send()
+                    ledger.charge(nid)
+                    tx = tx_cache[nid]
+                    if tx is None or tx.value != value or tx.kind is not kind:
+                        tx = Transmission(nid, value, kind)
+                        tx_cache[nid] = tx
+                    honest_txs.append(tx)
+                    if compact:
+                        senders[write] = nid
+                        write += 1
+                    if kind is data_kind:
+                        data_count += 1
+                    else:
+                        per_kind[kind] += 1
+                if compact:
+                    del senders[write:]
+                if active:
+                    byz_txs = adversary.on_slot(round_index, slot, honest_txs)
+                    for tx in byz_txs:
+                        if not self.table.is_bad(tx.sender):
+                            raise ConfigurationError(
+                                f"adversary transmitted from honest node {tx.sender}"
+                            )
+                        ledger.charge(tx.sender)
+                else:
+                    byz_txs = _NO_BYZ
+                if not honest_txs and not byz_txs:
+                    break
+                transmitted = True
+                honest_total += len(honest_txs)
+                byz_total += len(byz_txs)
+
+                if not dedup:
+                    # A stateful-observe adversary must see each burst's
+                    # deliveries before its next on_slot: flush eagerly.
+                    # (record implies an inactive adversary, hence dedup,
+                    # so round recording never takes this branch.)
+                    last = slot_last[slot]
+                    if last is not None and (
+                        honest_txs == last[0] and byz_txs == last[1]
+                    ):
+                        batch = last[2]
+                    else:
+                        batch = medium.resolve_slot(honest_txs, byz_txs)
+                        slot_last[slot] = (honest_txs, byz_txs, batch)
+                    self._flush(batch, 1, round_index)
+                    continue
+                if pending_batch is not None and (
+                    honest_txs == prev_honest and byz_txs == prev_byz
+                ):
+                    multiplicity += 1
+                else:
+                    if pending_batch is not None:
+                        self._flush(pending_batch, multiplicity, round_index)
+                    last = slot_last[slot]
+                    if last is not None and (
+                        honest_txs == last[0] and byz_txs == last[1]
+                    ):
+                        pending_batch = last[2]
+                    else:
+                        pending_batch = medium.resolve_slot(honest_txs, byz_txs)
+                        slot_last[slot] = (honest_txs, byz_txs, pending_batch)
+                    prev_honest = honest_txs
+                    prev_byz = byz_txs
+                    multiplicity = 1
+                if slot_batches is not None:
+                    slot_batches.append(pending_batch)
+            if pending_batch is not None:
+                self._flush(pending_batch, multiplicity, round_index)
+            if record is not None and slot_batches:
+                record.append(tuple(slot_batches))
+
+        if data_count:
+            per_kind[data_kind] += data_count
+        stats.honest_transmissions += honest_total
+        stats.byzantine_transmissions += byz_total
+        if not self._skip_round_end:
+            for nid in self._honest_ids:
+                nodes[nid].on_round_end(round_index)
+        return transmitted
+
+    def _flush(self, batch, multiplicity: int, round_index: int) -> None:
+        """Distribute one resolved batch ``multiplicity`` times at once."""
+        stats = self.stats
+        size = len(batch)
+        stats.deliveries += size * multiplicity
+        corrupted = getattr(batch, "corrupted_count", None)
+        if corrupted is None:  # reference-resolver plain list
+            corrupted = sum(1 for d in batch if d.corrupted)
+        stats.corrupted_deliveries += corrupted * multiplicity
+        engine = self.engine
+        if engine is not None:
+            engine.distribute(batch, round_index, multiplicity)
+            newly = engine.newly_pending
+            if newly:
+                scan = self._scan
+                in_scan = self._in_scan
+                for nid in newly:
+                    if not in_scan[nid]:
+                        in_scan[nid] = 1
+                        scan.append(nid)
+                newly.clear()
+        else:
+            nodes = self.nodes
+            for _ in range(multiplicity):
+                for delivery in batch:
+                    node = nodes.get(delivery.receiver)
+                    if node is not None:  # honest receiver
+                        node.on_receive(
+                            delivery.sender, delivery.value, delivery.kind
+                        )
+        if not self._observe_stateless:
+            observe = self.adversary.observe
+            for _ in range(multiplicity):
+                observe(batch)
+
+    # -- predictable rounds (whole-round memo) -------------------------------
+
+    def _round_signature(self) -> tuple:
+        """Sign this round's entire honest traffic without mutating state.
+
+        Only valid when the adversary is inactive and every node's
+        ``peek_burst`` is stable for the round (``PEEK_STABILITY``): the
+        signature then fully determines every burst of every occupied
+        slot, because bucketed senders cannot receive anything during
+        their own slot (TDMA puts co-owners out of range) and peeked
+        sends survive mid-round receives by contract.
+        """
+        ledger = self.ledger
+        nodes = self.nodes
+        by_slot = self._slot_buckets
+        batch = self.batch_per_slot
+        parts = []
+        for slot in self._occupied:
+            entries = []
+            for nid in by_slot[slot]:
+                value, kind, count = nodes[nid].peek_burst(batch)
+                remaining = ledger.remaining(nid)
+                if remaining is not None and remaining < count:
+                    count = remaining
+                if count:
+                    entries.append((nid, value, kind, count))
+            if entries:
+                parts.append((slot, tuple(entries)))
+        return tuple(parts)
+
+    def _run_round_predictable(self, round_index: int) -> bool:
+        signature = self._round_signature()
+        if not signature:
+            # A silent round: nothing to send anywhere, but round-end
+            # hooks (timers, quiet windows) still fire.
+            if not self._skip_round_end:
+                nodes = self.nodes
+                for nid in self._honest_ids:
+                    nodes[nid].on_round_end(round_index)
+            return False
+        cached = self.medium.round_memo_get(signature)
+        if cached is not None:
+            self._replay_round(round_index, signature, cached)
+            return True
+        record: list[tuple] = []
+        transmitted = self._run_slot_loop(
+            round_index, self._occupied, False, record
+        )
+        self.medium.round_memo_put(signature, tuple(record))
+        return transmitted
+
+    def _replay_round(
+        self, round_index: int, signature: tuple, cached: tuple
+    ) -> None:
+        """Re-enact a memoized round: state changes, no re-resolution."""
+        ledger = self.ledger
+        nodes = self.nodes
+        stats = self.stats
+        per_kind = stats.per_kind_honest
+        for (slot, entries), batches in zip(signature, cached):
+            for nid, _value, kind, count in entries:
+                node = nodes[nid]
+                for _ in range(count):
+                    node.pop_send()
+                ledger.charge(nid, count)
+                stats.honest_transmissions += count
+                per_kind[kind] += count
+            index = 0
+            total = len(batches)
+            while index < total:
+                batch = batches[index]
+                end = index + 1
+                while end < total and batches[end] is batch:
+                    end += 1
+                self._flush(batch, end - index, round_index)
+                index = end
+        if not self._skip_round_end:
+            for nid in self._honest_ids:
+                nodes[nid].on_round_end(round_index)
+
+    # -- reference round loop ------------------------------------------------
+
+    def _run_round_reference(self, round_index: int) -> bool:
+        """The historical slot-by-slot loop (the fast path's referee)."""
         schedule = self.schedule
         ledger = self.ledger
         by_slot = self._slot_buckets
@@ -229,9 +677,12 @@ class RoundDriver:
 
     def _any_honest_active(self) -> bool:
         ledger = self.ledger
+        nodes = self.nodes
+        scan = self._scan
+        candidates = scan if scan is not None else self._honest_ids
         return any(
-            self.nodes[nid].has_pending() and ledger.can_send(nid)
-            for nid in self._honest_ids
+            nodes[nid].has_pending() and ledger.can_send(nid)
+            for nid in candidates
         )
 
     def _quiescent(self) -> bool:

@@ -40,6 +40,19 @@ The historical dict-based implementation is preserved as
 byte-for-byte identical delivery lists, and ``python -m repro bench``
 records the speedup trajectory in ``BENCH_slot_resolution.json``.
 
+Since the scenario fast path (``python -m repro bench scenario``), the
+fast resolver returns a :class:`DeliveryBatch` — a ``list`` subclass
+carrying a precomputed ``corrupted_count`` — and memo hits return the
+*same cached batch object* rather than a fresh copy, so callers must
+treat resolver output as immutable. Identity-stable batches are what
+lets the round driver and the flat protocol engines cache per-batch
+distribution plans (keyed by ``id(batch)`` while holding the batch
+alive). A :class:`Medium` also owns the *whole-round memo*
+(:meth:`round_memo_get` / :meth:`round_memo_put`): the driver keys a
+steady-state round's entire transmission pattern by the tuple of its
+slot signatures, so repeated rounds (silent rounds, relay plateaus,
+repeated retransmission waves) resolve in one dict hit.
+
 ``spoof_sender`` hygiene: an apparent sender outside the grid raises
 :class:`~repro.errors.ConfigurationError` (an adversary bug, not an
 attack), and a transmission spoofing the *receiver's own id* falls back
@@ -66,6 +79,9 @@ DEFAULT_FAST = True
 #: the memo without bound (the memo is simply dropped when full).
 _SLOT_MEMO_LIMIT = 2048
 
+#: Whole-round memo bound (each entry holds one round's batch tuple).
+_ROUND_MEMO_LIMIT = 512
+
 
 @dataclass(frozen=True, slots=True)
 class Delivery:
@@ -82,6 +98,78 @@ class Delivery:
     value: Value
     kind: MessageKind
     corrupted: bool = False
+
+
+class BatchPlanCache:
+    """``id(batch) -> plan`` memo with an identity guard.
+
+    Delivery batches are identity-stable (memo hits return the same
+    object), so consumers that precompute per-batch *plans* — regrouped
+    delivery views for the flat protocol engines, filtered receiver
+    lists for adversary bookkeeping — key them by ``id(batch)``. Each
+    entry holds the batch itself, pinning its id for the entry's
+    lifetime; the identity recheck guards recycled addresses after a
+    clear. Bounded: dropped wholesale when full.
+    """
+
+    __slots__ = ("_plans", "limit")
+
+    def __init__(self, limit: int = 4096) -> None:
+        self.limit = limit
+        self._plans: dict[int, tuple] = {}
+
+    def get(self, batch):
+        entry = self._plans.get(id(batch))
+        if entry is not None and entry[1] is batch:
+            return entry[0]
+        return None
+
+    def put(self, batch, plan) -> None:
+        if len(self._plans) >= self.limit:
+            self._plans.clear()
+        self._plans[id(batch)] = (plan, batch)
+
+
+#: Shared plan caches keyed by what the plan's content depends on (e.g.
+#: ``("threshold", n, good-ids)``), so repeated runs of one scenario
+#: shape — a sweep's points inside one worker — reuse plans instead of
+#: rebuilding them per run. Process-local, like the batches themselves.
+_PLAN_CACHES: dict[tuple, BatchPlanCache] = {}
+_PLAN_CACHE_REGISTRY_LIMIT = 64
+
+
+def shared_plan_cache(signature: tuple) -> BatchPlanCache:
+    """The process-wide :class:`BatchPlanCache` for a plan signature.
+
+    Callers must fold *everything* their plan derives from (beyond the
+    batch content itself) into ``signature`` — two consumers with equal
+    signatures will happily share plans.
+    """
+    cache = _PLAN_CACHES.get(signature)
+    if cache is None:
+        if len(_PLAN_CACHES) >= _PLAN_CACHE_REGISTRY_LIMIT:
+            _PLAN_CACHES.clear()
+        cache = _PLAN_CACHES[signature] = BatchPlanCache()
+    return cache
+
+
+class DeliveryBatch(list):
+    """One slot's delivery list plus precomputed aggregates.
+
+    A plain ``list`` to every existing consumer (equality, iteration,
+    ``len``), with ``corrupted_count`` attached so the driver's stats
+    update is O(1) instead of one pass per slot. Memo hits hand out the
+    same batch object every time, which makes ``id(batch)`` a stable key
+    for per-batch distribution plans **as long as the keeper also holds a
+    strong reference to the batch** (see the flat protocol engines).
+    Treat batches as immutable.
+    """
+
+    __slots__ = ("corrupted_count",)
+
+    def __init__(self, deliveries=(), corrupted_count: int = 0) -> None:
+        super().__init__(deliveries)
+        self.corrupted_count = corrupted_count
 
 
 def _apparent_sender(
@@ -121,11 +209,15 @@ class Medium:
         self._ctrl_sender = [n] * n  # min Byzantine sender heard (n = none)
         self._ctrl_idx = [0] * n  # its index into the byzantine list
         self._touched: list[NodeId] = []
-        # (tuple(honest), tuple(byzantine)) -> immutable delivery tuple.
-        # Transmissions are frozen dataclasses, so the key captures the
-        # slot's entire input, including list order (which breaks
-        # equal-id Byzantine ties).
-        self._slot_memo: dict[tuple, tuple[Delivery, ...]] = {}
+        # (tuple(honest), tuple(byzantine)) -> DeliveryBatch. Transmissions
+        # are frozen dataclasses, so the key captures the slot's entire
+        # input, including list order (which breaks equal-id Byzantine
+        # ties). Hits return the cached batch itself (no copy).
+        self._slot_memo: dict[tuple, DeliveryBatch] = {}
+        # Whole-round memo: round signature -> whatever the driver stored
+        # (a tuple of per-slot sender specs and batch tuples). Owned here
+        # so warm Medium instances carry it across runs of one grid.
+        self._round_memo: dict[tuple, tuple] = {}
 
     def resolve_slot(
         self,
@@ -146,22 +238,34 @@ class Medium:
         key = (tuple(honest), tuple(byzantine))
         cached = self._slot_memo.get(key)
         if cached is not None:
-            return list(cached)
+            return cached
         if len(honest) + len(byzantine) == 1:
             # A lone transmission: no collision is possible anywhere, so
             # every neighbor hears it verbatim (a lone Byzantine message
             # is a plain lie — spoof_sender only acts at collisions).
             tx = honest[0] if honest else byzantine[0]
-            deliveries = [
+            batch = DeliveryBatch(
                 Delivery(receiver, tx.sender, tx.value, tx.kind, False)
                 for receiver in self.grid.neighbors_sorted(tx.sender)
-            ]
+            )
         else:
-            deliveries = self._resolve_flat(honest, byzantine)
+            batch = self._resolve_flat(honest, byzantine)
         if len(self._slot_memo) >= _SLOT_MEMO_LIMIT:
             self._slot_memo.clear()
-        self._slot_memo[key] = tuple(deliveries)
-        return deliveries
+        self._slot_memo[key] = batch
+        return batch
+
+    # -- whole-round memo --------------------------------------------------
+
+    def round_memo_get(self, signature: tuple) -> tuple | None:
+        """Look up a previously stored round by its transmission signature."""
+        return self._round_memo.get(signature)
+
+    def round_memo_put(self, signature: tuple, value: tuple) -> None:
+        """Store one resolved round (bounded; dropped wholesale when full)."""
+        if len(self._round_memo) >= _ROUND_MEMO_LIMIT:
+            self._round_memo.clear()
+        self._round_memo[signature] = value
 
     # -- fast path ---------------------------------------------------------
 
@@ -169,7 +273,7 @@ class Medium:
         self,
         honest: list[Transmission],
         byzantine: list[BadTransmission],
-    ) -> list[Delivery]:
+    ) -> DeliveryBatch:
         grid = self.grid
         n = grid.n
         neighbors = grid._neighbors_sorted
@@ -222,8 +326,9 @@ class Medium:
                         ctrl_idx[receiver] = bindex
 
             touched.sort()
-            deliveries: list[Delivery] = []
+            deliveries = DeliveryBatch()
             append = deliveries.append
+            corrupted = 0
             for receiver in touched:
                 if heard[receiver] == 1:
                     index = single[receiver]
@@ -248,6 +353,7 @@ class Medium:
                 controller = byzantine[ctrl_idx[receiver]]
                 if controller.silence_at_collision:
                     continue  # receiver hears nothing and notices nothing
+                corrupted += 1
                 append(
                     Delivery(
                         receiver,
@@ -257,6 +363,7 @@ class Medium:
                         True,
                     )
                 )
+            deliveries.corrupted_count = corrupted
             return deliveries
         finally:
             for tx in honest:

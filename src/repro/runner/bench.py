@@ -1,25 +1,40 @@
-"""Benchmark harness behind ``python -m repro bench``.
+"""Benchmark harnesses behind ``python -m repro bench``.
 
-Measures the slot-resolution hot loop — :meth:`repro.radio.medium.Medium.
-resolve_slot` — on the E2 Figure-2 scenario (36x36 torus, r=4), fast
-path vs the preserved dict-based reference path, and appends one entry
-to a JSON *trajectory file* (default ``BENCH_slot_resolution.json``) so
-successive PRs can gate on regressions::
+Two benchmarks, each with its own JSON *trajectory file* so successive
+PRs can gate on regressions:
 
-    python -m repro bench            # full run, appends to the trajectory
-    python -m repro bench --quick    # CI smoke: fewer iterations
-    python -m repro bench --out PATH # write the trajectory elsewhere
+- ``python -m repro bench`` (or ``bench slot``) measures the
+  slot-resolution hot loop — :meth:`repro.radio.medium.Medium.
+  resolve_slot` — on the E2 Figure-2 scenario (36x36 torus, r=4), fast
+  path vs the preserved dict-based reference path, appending to
+  ``BENCH_slot_resolution.json``;
+- ``python -m repro bench scenario`` measures the *end-to-end* scenario
+  fast path — full :func:`repro.scenario.run` on the bundled presets
+  (quickstart, theorem2, figure2, reactive) — with every scenario-level
+  optimization enabled (batched round driver, flat protocol engines,
+  warm world cache) vs all of them disabled (the slot-by-slot
+  pre-fast-path shape), appending to ``BENCH_scenario_run.json``.
 
-Scenario slots are lifted from the Figure-2 run's actual traffic
+Common flags::
+
+    python -m repro bench [slot|scenario]   # full run, appends an entry
+    python -m repro bench ... --quick       # CI smoke: fewer repetitions
+    python -m repro bench ... --out PATH    # write the trajectory elsewhere
+
+Slot workloads are lifted from the Figure-2 run's actual traffic
 shapes: the repeated source broadcast, the clairvoyantly defended
 source slot (one honest transmission plus the four defender jams), a
 same-TDMA-class relay wave, and a silence-at-collision jam. Every
-measurement first asserts the two paths produce identical delivery
-lists, so the benchmark cannot drift from the determinism suite.
+measurement first asserts the compared paths produce identical results
+(delivery lists for slots; outcome/costs/stats reports for scenarios),
+so the benchmarks cannot drift from the determinism suites.
 
-The trajectory file holds ``{"benchmark": ..., "runs": [entry, ...]}``;
-each entry records per-scenario reference/fast timings and the overall
-speedup (total reference time / total fast time).
+Trajectory files hold ``{"benchmark": ..., "runs": [entry, ...]}``;
+each entry records per-workload timings and the overall speedup (total
+baseline time / total fast time). ``--quick`` exits nonzero when the
+overall speedup regressed more than :data:`REGRESSION_FACTOR` versus
+the trajectory's last entry — perf PRs are expected to extend a bench
+*before* claiming wins, and CI uploads both trajectories as artifacts.
 """
 
 from __future__ import annotations
@@ -38,8 +53,9 @@ from repro.radio.medium import Medium
 from repro.radio.messages import BadTransmission, Transmission
 from repro.types import VTRUE
 
-#: Default trajectory file, relative to the working directory.
+#: Default trajectory files, relative to the working directory.
 DEFAULT_OUT = "BENCH_slot_resolution.json"
+DEFAULT_SCENARIO_OUT = "BENCH_scenario_run.json"
 
 #: The four clairvoyant defender positions of the Figure-2 defense.
 _DEFENDERS = ((4, 5), (-5, 5), (4, -4), (-5, -4))
@@ -171,10 +187,12 @@ def run_slot_resolution_bench(
     }
 
 
-def append_trajectory(entry: dict, out_path: str | Path) -> dict:
+def append_trajectory(
+    entry: dict, out_path: str | Path, *, benchmark: str = "slot_resolution"
+) -> dict:
     """Append one entry to the trajectory file (created if missing)."""
     path = Path(out_path)
-    payload = {"benchmark": "slot_resolution", "runs": []}
+    payload = {"benchmark": benchmark, "runs": []}
     if path.exists():
         try:
             existing = json.loads(path.read_text(encoding="utf-8"))
@@ -226,7 +244,11 @@ REGRESSION_FACTOR = 1.5
 
 
 def check_regression(
-    entry: dict, out_path: str | Path, *, factor: float = REGRESSION_FACTOR
+    entry: dict,
+    out_path: str | Path,
+    *,
+    factor: float = REGRESSION_FACTOR,
+    label: str = "slot-resolution",
 ) -> str | None:
     """Compare ``entry`` against the last trajectory entry on disk.
 
@@ -244,27 +266,220 @@ def check_regression(
     current = entry["overall_speedup"]
     if current * factor < baseline:
         return (
-            f"slot-resolution speedup regressed >{factor}x: "
+            f"{label} speedup regressed >{factor}x: "
             f"{current:.1f}x now vs {baseline:.1f}x in the last "
             f"trajectory entry ({last.get('timestamp', '?')})"
         )
     return None
 
 
+# -- end-to-end scenario benchmark ---------------------------------------------
+
+#: Bundled presets the scenario benchmark times, in reporting order.
+SCENARIO_BENCH_PRESETS = ("quickstart", "theorem2", "figure2", "reactive")
+
+
+@dataclass(frozen=True)
+class ScenarioRunTiming:
+    """One preset's end-to-end ``run(spec)`` timing (seconds per run).
+
+    ``legacy_s`` is the pre-fast-path shape — reference round loop,
+    per-node protocol state, cold world per run — and ``fast_s`` the
+    fully optimized one (batched driver + flat engines + warm world),
+    measured warm because that is what every sweep point after the first
+    pays inside a worker process.
+    """
+
+    name: str
+    rounds: int
+    deliveries: int
+    legacy_s: float
+    fast_s: float
+    speedup: float
+
+
+class _scenario_flags:
+    """Temporarily force every scenario-level optimization on or off."""
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+    def __enter__(self) -> None:
+        import repro.protocols.flat as flat
+        import repro.radio.mac as mac
+        import repro.scenario.runner as scenario_runner
+
+        self._saved = (
+            mac.DEFAULT_FAST_DRIVER,
+            flat.DEFAULT_FLAT,
+            scenario_runner.DEFAULT_WARM_WORLD,
+        )
+        mac.DEFAULT_FAST_DRIVER = self.enabled
+        flat.DEFAULT_FLAT = self.enabled
+        scenario_runner.DEFAULT_WARM_WORLD = self.enabled
+
+    def __exit__(self, *exc_info) -> None:
+        import repro.protocols.flat as flat
+        import repro.radio.mac as mac
+        import repro.scenario.runner as scenario_runner
+
+        (
+            mac.DEFAULT_FAST_DRIVER,
+            flat.DEFAULT_FLAT,
+            scenario_runner.DEFAULT_WARM_WORLD,
+        ) = self._saved
+
+
+def _best_run_time(run_fn, repeats: int) -> float:
+    best = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run_fn()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def run_scenario_bench(
+    *,
+    quick: bool = False,
+    presets: tuple[str, ...] = SCENARIO_BENCH_PRESETS,
+) -> dict:
+    """Measure end-to-end ``run(spec)`` fast vs legacy on bundled presets.
+
+    Every preset is first run once through each path and the resulting
+    reports compared field-for-field (outcome, costs, stats) — the
+    benchmark refuses to time paths that disagree. Timings are
+    best-of-N full runs; ``quick`` cuts N for CI smoke runs.
+    """
+    from repro.scenario import preset as load_preset
+    from repro.scenario import run as run_scenario
+
+    fast_repeats = 2 if quick else 5
+    legacy_repeats = 1 if quick else 2
+    scenarios: list[ScenarioRunTiming] = []
+    total_legacy = 0.0
+    total_fast = 0.0
+    for name in presets:
+        spec = load_preset(name)
+        with _scenario_flags(True):
+            fast_report = run_scenario(spec)
+            fast_s = _best_run_time(lambda: run_scenario(spec), fast_repeats)
+        with _scenario_flags(False):
+            legacy_report = run_scenario(spec)
+            legacy_s = _best_run_time(lambda: run_scenario(spec), legacy_repeats)
+        if (
+            fast_report.outcome != legacy_report.outcome
+            or fast_report.costs != legacy_report.costs
+            or fast_report.stats != legacy_report.stats
+        ):  # pragma: no cover - safety net
+            raise AssertionError(
+                f"fast/legacy scenario divergence on preset {name!r}"
+            )
+        total_legacy += legacy_s
+        total_fast += fast_s
+        scenarios.append(
+            ScenarioRunTiming(
+                name=name,
+                rounds=fast_report.stats.rounds,
+                deliveries=fast_report.stats.deliveries,
+                legacy_s=legacy_s,
+                fast_s=fast_s,
+                speedup=legacy_s / fast_s,
+            )
+        )
+
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "quick": quick,
+        "fast_repeats": fast_repeats,
+        "legacy_repeats": legacy_repeats,
+        "scenarios": [asdict(s) for s in scenarios],
+        "overall_speedup": total_legacy / total_fast,
+    }
+
+
+def format_scenario_entry(entry: dict) -> str:
+    """Human-readable summary of one scenario-trajectory entry."""
+    from repro.runner.report import format_table
+
+    rows = [
+        [
+            s["name"],
+            s["rounds"],
+            s["deliveries"],
+            f"{s['legacy_s'] * 1e3:.1f}",
+            f"{s['fast_s'] * 1e3:.1f}",
+            f"{s['speedup']:.1f}x",
+        ]
+        for s in entry["scenarios"]
+    ]
+    table = format_table(
+        ["preset", "rounds", "deliveries", "legacy ms", "fast ms", "speedup"],
+        rows,
+        title=(
+            "end-to-end scenario benchmark, full run(spec) per preset "
+            f"(best of {entry['fast_repeats']} fast / "
+            f"{entry['legacy_repeats']} legacy runs)"
+        ),
+    )
+    return f"{table}\noverall speedup: {entry['overall_speedup']:.1f}x"
+
+
+def _trajectory_kind_mismatch(out: str | Path, benchmark: str) -> str | None:
+    """Reject appending one benchmark's entry into the other's trajectory.
+
+    The two trajectories' speedups are incomparable (slot microbench vs
+    end-to-end runs), so mixing them would both corrupt the file and
+    gate against a meaningless baseline. Missing/unreadable files are
+    fine — they start fresh.
+    """
+    try:
+        existing = json.loads(Path(out).read_text(encoding="utf-8"))
+        recorded = existing["benchmark"]
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    if recorded != benchmark:
+        return (
+            f"trajectory {out} records benchmark {recorded!r}, refusing to "
+            f"append a {benchmark!r} entry; pick the matching --out file"
+        )
+    return None
+
+
 def main_bench(
-    *, out: str | Path = DEFAULT_OUT, quick: bool = False
+    *,
+    which: str = "slot",
+    out: str | Path | None = None,
+    quick: bool = False,
 ) -> int:
-    """CLI body: run, gate on the trajectory, append, print.
+    """CLI body: run the chosen benchmark, gate, append, print.
 
     Returns a process exit code: nonzero when the run regressed more
     than :data:`REGRESSION_FACTOR` against the last recorded entry (the
     entry is still appended so the trajectory records the regression).
     """
     started = time.perf_counter()
-    entry = run_slot_resolution_bench(quick=quick)
-    regression = check_regression(entry, out)
-    append_trajectory(entry, out)
-    print(format_entry(entry))
+    benchmark = "scenario_run" if which == "scenario" else "slot_resolution"
+    if out is not None:
+        mismatch = _trajectory_kind_mismatch(out, benchmark)
+        if mismatch is not None:
+            print(f"error: {mismatch}", file=sys.stderr)
+            return 2
+    if which == "scenario":
+        out = DEFAULT_SCENARIO_OUT if out is None else out
+        entry = run_scenario_bench(quick=quick)
+        regression = check_regression(entry, out, label="scenario-run")
+        append_trajectory(entry, out, benchmark="scenario_run")
+        print(format_scenario_entry(entry))
+    else:
+        out = DEFAULT_OUT if out is None else out
+        entry = run_slot_resolution_bench(quick=quick)
+        regression = check_regression(entry, out)
+        append_trajectory(entry, out)
+        print(format_entry(entry))
     print(
         f"[bench finished in {time.perf_counter() - started:.1f}s; "
         f"trajectory: {out}]"

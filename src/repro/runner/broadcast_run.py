@@ -18,6 +18,7 @@ New code should build specs directly::
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Literal
 
@@ -121,6 +122,12 @@ def run_threshold_broadcast(cfg: ThresholdRunConfig) -> BroadcastReport:
     """Deprecated shim: translate to a spec and run via :func:`repro.scenario.run`."""
     from repro.scenario.runner import run
 
+    warnings.warn(
+        "run_threshold_broadcast is deprecated; build a "
+        "repro.scenario.ScenarioSpec and call repro.scenario.run(spec)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if cfg.behavior == "custom":
         if cfg.adversary_factory is None:
             raise ConfigurationError(
@@ -195,4 +202,11 @@ def run_reactive_broadcast(cfg: ReactiveRunConfig) -> BroadcastReport:
     """Deprecated shim: translate to a spec and run via :func:`repro.scenario.run`."""
     from repro.scenario.runner import run
 
+    warnings.warn(
+        "run_reactive_broadcast is deprecated; build a "
+        "repro.scenario.ScenarioSpec (protocol='reactive') and call "
+        "repro.scenario.run(spec)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return run(cfg.to_scenario_spec(), tracer=cfg.tracer)

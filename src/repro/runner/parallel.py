@@ -284,6 +284,48 @@ class ResultCache:
         self.stats.stores += 1
 
 
+# -- process-local warm-object cache -------------------------------------------
+
+
+class ProcessLocalCache:
+    """A tiny keyed cache for expensive immutable-per-key objects.
+
+    The scenario runner uses one to share warm ``Grid`` (CSR tables) /
+    ``TdmaSchedule`` / ``Medium`` (delivery memo) instances across the
+    sweep points a worker process executes, so a 500-point sweep builds
+    each grid once per worker instead of once per point. Spawned workers
+    each get their own copy of the module state, hence *process-local*:
+    nothing here is shared or locked across processes.
+
+    Entries are dropped wholesale when ``limit`` distinct keys
+    accumulate — sweeps touch a handful of grid shapes, so eviction
+    sophistication would buy nothing.
+    """
+
+    def __init__(self, limit: int = 8) -> None:
+        if limit < 1:
+            raise ConfigurationError(f"cache limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._entries: dict[Any, Any] = {}
+
+    def get_or_build(self, key: Any, factory: Callable[[], Any]) -> Any:
+        try:
+            return self._entries[key]
+        except KeyError:
+            pass
+        value = factory()
+        if len(self._entries) >= self.limit:
+            self._entries.clear()
+        self._entries[key] = value
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 # -- progress reporting --------------------------------------------------------
 
 
@@ -451,11 +493,17 @@ def sweep(
         flush()
         return SweepResult(tuple(point_list), tuple(results))
 
+    # The simulations are CPU-bound: worker processes beyond the core
+    # count buy nothing and each costs a full interpreter + import on
+    # spawn, so an explicit --workers N is capped to the machine (the
+    # same bound workers=0 resolves to). The pool is kept even at one
+    # process so spawn-safety is exercised identically everywhere.
+    pool_workers = max(1, min(workers, len(pending), default_workers()))
     if chunksize is None:
-        chunksize = max(1, len(pending) // (workers * 4))
+        chunksize = max(1, len(pending) // (pool_workers * 4))
     context = multiprocessing.get_context("spawn")
     executor = ProcessPoolExecutor(
-        max_workers=min(workers, len(pending)), mp_context=context
+        max_workers=pool_workers, mp_context=context
     )
     try:
         outcomes = executor.map(

@@ -19,18 +19,86 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import repro.radio.mac as mac
+import repro.radio.medium as medium_mod
 from repro.analysis.verify import collect_costs, collect_outcome
 from repro.network.grid import Grid
 from repro.network.node import NodeTable
+from repro.protocols import flat
 from repro.protocols.base import BroadcastParams
 from repro.radio.budget import BudgetLedger
 from repro.radio.mac import RoundDriver, RunLimits
+from repro.radio.schedule import TdmaSchedule
+from repro.runner.parallel import ProcessLocalCache
 from repro.runner.report import BroadcastReport, format_table
 from repro.scenario.registries import BehaviorContext, BuildContext, behaviors, protocols
 from repro.scenario.spec import ScenarioSpec
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import NULL_TRACER, Tracer
 from repro.types import NodeId
+
+#: Share warm Grid/TdmaSchedule/Medium instances across the scenario
+#: runs of one process (sweep workers build each grid once). Tests
+#: monkeypatch this off to measure/verify the cold path.
+DEFAULT_WARM_WORLD = True
+
+_GRIDS = ProcessLocalCache(limit=8)
+_MEDIA = ProcessLocalCache(limit=8)
+_TABLES = ProcessLocalCache(limit=16)
+
+
+def _world_for(spec: ScenarioSpec):
+    """(grid, schedule, medium) for a spec — warm-cached when enabled.
+
+    The medium cache key includes the (monkeypatchable) medium class and
+    the resolved fast flag so recording/reference test setups never
+    receive a stale instance; sharing the slot/round memos across runs
+    of one grid is sound because delivery resolution depends only on the
+    grid and the transmissions, never on placement or protocol state.
+    """
+    medium_cls = mac.Medium
+    fast = medium_mod.DEFAULT_FAST
+    if not DEFAULT_WARM_WORLD:
+        grid = Grid(spec.grid)
+        return grid, TdmaSchedule(grid), medium_cls(grid)
+    grid, schedule = _GRIDS.get_or_build(
+        spec.grid, lambda: (g := Grid(spec.grid), TdmaSchedule(g))
+    )
+    medium = _MEDIA.get_or_build(
+        (spec.grid, medium_cls, fast), lambda: medium_cls(grid)
+    )
+    return grid, schedule, medium
+
+
+def _table_for(spec: ScenarioSpec, grid: Grid, source: NodeId) -> NodeTable:
+    """The spec's role table — warm-cached when enabled.
+
+    Sound to share because a :class:`NodeTable` is immutable after
+    construction and placements are deterministic in ``(grid, source)``;
+    the key carries everything validation depends on. Unhashable custom
+    placements simply rebuild every run.
+    """
+
+    def build() -> NodeTable:
+        table = NodeTable(grid, source, spec.placement.bad_ids(grid, source))
+        if spec.validate_local_bound:
+            table.validate_locally_bounded(spec.t)
+        return table
+
+    if not DEFAULT_WARM_WORLD:
+        return build()
+    try:
+        key = (
+            spec.grid,
+            source,
+            spec.placement,
+            spec.t,
+            spec.validate_local_bound,
+        )
+        hash(key)
+    except TypeError:
+        return build()
+    return _TABLES.get_or_build(key, build)
 
 
 def run(
@@ -48,11 +116,9 @@ def run(
     ``spec.behavior``.
     """
     protocol = protocols.get(spec.protocol)
-    grid = Grid(spec.grid)
+    grid, schedule, medium = _world_for(spec)
     source = grid.id_of(spec.source)
-    table = NodeTable(grid, source, spec.placement.bad_ids(grid, source))
-    if spec.validate_local_bound:
-        table.validate_locally_bounded(spec.t)
+    table = _table_for(spec, grid, source)
     params = BroadcastParams(r=spec.grid.r, t=spec.t, mf=spec.mf, vtrue=spec.vtrue)
 
     build = protocol.build(
@@ -86,6 +152,19 @@ def run(
     if callable(binder):
         binder(build.nodes)
 
+    # The flat engine only makes sense when the fast round loop will
+    # consume it (tracing and reference-mode runs distribute through the
+    # nodes themselves, which must then stay canonical).
+    engine = (
+        flat.build_flat_engine(build.nodes, grid.n, params, source)
+        if flat.DEFAULT_FLAT and mac.DEFAULT_FAST_DRIVER and not tracer.enabled
+        else None
+    )
+    if engine is not None:
+        bits_binder = getattr(adversary, "bind_decided_bits", None)
+        if callable(bits_binder):
+            bits_binder(engine.decided)
+
     driver = RoundDriver(
         grid,
         table,
@@ -94,9 +173,14 @@ def run(
         ledger,
         batch_per_slot=spec.batch_per_slot,
         tracer=tracer,
+        medium=medium,
+        schedule=schedule,
+        engine=engine,
     )
     max_rounds = spec.max_rounds if spec.max_rounds is not None else build.max_rounds
     stats = driver.run(RunLimits(max_rounds=max_rounds))
+    if engine is not None:
+        engine.sync_nodes()
 
     outcome = collect_outcome(table, build.nodes, stats, spec.vtrue)
     costs = collect_costs(table, ledger)

@@ -35,7 +35,15 @@ class Event:
     race in callback-style simulation code.
     """
 
-    __slots__ = ("sim", "name", "payload", "_callbacks", "_fired", "_cancelled")
+    __slots__ = (
+        "sim",
+        "name",
+        "payload",
+        "_callbacks",
+        "_fired",
+        "_cancelled",
+        "_queued",
+    )
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
@@ -44,6 +52,7 @@ class Event:
         self._callbacks: list[Callback] = []
         self._fired = False
         self._cancelled = False
+        self._queued = 0  # heap entries referencing this event
 
     @property
     def fired(self) -> bool:
@@ -67,9 +76,12 @@ class Event:
         (quiet windows, watchdogs) must be able to cancel blindly.
         ``cancelled`` stays ``False`` in that case — the event did fire.
         """
-        if self._fired:
+        if self._fired or self._cancelled:
             return
         self._cancelled = True
+        # Its queued entries no longer count as pending; they are lazily
+        # discarded when they reach the top of the heap.
+        self.sim._pending -= self._queued
 
     def _fire(self) -> None:
         if self._cancelled:
@@ -101,6 +113,7 @@ class Simulator:
         self._heap: list[_QueueEntry] = []
         self._seq = itertools.count()
         self._processed = 0
+        self._pending = 0  # live count of non-cancelled queued entries
 
     @property
     def now(self) -> float:
@@ -114,7 +127,13 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for entry in self._heap if not entry.event.cancelled)
+        """Queued events that will still fire.
+
+        A live counter maintained on push/pop/cancel — the historical
+        implementation scanned the whole heap per call, which made
+        polling it O(n).
+        """
+        return self._pending
 
     def event(self, name: str = "") -> Event:
         """Create an untimed event, to be triggered via :meth:`trigger`."""
@@ -136,6 +155,8 @@ class Simulator:
         if callback is not None:
             event.add_callback(callback)
         heapq.heappush(self._heap, _QueueEntry(self._now + delay, next(self._seq), event))
+        event._queued += 1
+        self._pending += 1
         return event
 
     def schedule_at(
@@ -156,13 +177,18 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot trigger into the past (delay={delay})")
         heapq.heappush(self._heap, _QueueEntry(self._now + delay, next(self._seq), event))
+        event._queued += 1
+        if not event._cancelled:
+            self._pending += 1
 
     def step(self) -> bool:
         """Fire the next pending event. Returns False if the heap is empty."""
         while self._heap:
             entry = heapq.heappop(self._heap)
+            entry.event._queued -= 1
             if entry.event.cancelled:
-                continue
+                continue  # already uncounted at cancel time
+            self._pending -= 1
             if entry.time < self._now:
                 raise SimulationError("event heap corrupted: time went backwards")
             self._now = entry.time
@@ -194,7 +220,7 @@ class Simulator:
 
     def _peek_time(self) -> float | None:
         while self._heap and self._heap[0].event.cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap).event._queued -= 1
         if not self._heap:
             return None
         return self._heap[0].time

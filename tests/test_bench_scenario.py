@@ -1,0 +1,73 @@
+"""Tests for the end-to-end scenario benchmark harness."""
+
+import json
+
+import repro.protocols.flat as flat
+import repro.radio.mac as mac
+import repro.scenario.runner as runner_mod
+from repro.runner.bench import (
+    DEFAULT_SCENARIO_OUT,
+    append_trajectory,
+    check_regression,
+    format_scenario_entry,
+    run_scenario_bench,
+)
+
+
+def test_default_out_is_the_scenario_trajectory():
+    assert DEFAULT_SCENARIO_OUT == "BENCH_scenario_run.json"
+
+
+def test_quick_bench_single_preset_entry_shape():
+    entry = run_scenario_bench(quick=True, presets=("quickstart",))
+    assert entry["quick"] is True
+    (timing,) = entry["scenarios"]
+    assert timing["name"] == "quickstart"
+    assert timing["rounds"] > 0
+    assert timing["deliveries"] > 0
+    assert timing["legacy_s"] > 0 and timing["fast_s"] > 0
+    assert timing["speedup"] == timing["legacy_s"] / timing["fast_s"]
+    assert entry["overall_speedup"] > 0
+    # The flag flip-flopping must leave the process defaults untouched.
+    assert mac.DEFAULT_FAST_DRIVER
+    assert flat.DEFAULT_FLAT
+    assert runner_mod.DEFAULT_WARM_WORLD
+    # And the report table renders.
+    rendered = format_scenario_entry(entry)
+    assert "quickstart" in rendered
+    assert "overall speedup" in rendered
+
+
+def test_trajectory_append_and_regression_gate(tmp_path):
+    out = tmp_path / "BENCH_scenario_run.json"
+    good = {"timestamp": "t0", "overall_speedup": 9.0, "scenarios": []}
+    payload = append_trajectory(good, out, benchmark="scenario_run")
+    assert payload["benchmark"] == "scenario_run"
+    assert json.loads(out.read_text())["runs"] == [good]
+
+    fine = {"timestamp": "t1", "overall_speedup": 8.0, "scenarios": []}
+    assert check_regression(fine, out, label="scenario-run") is None
+
+    regressed = {"timestamp": "t2", "overall_speedup": 2.0, "scenarios": []}
+    message = check_regression(regressed, out, label="scenario-run")
+    assert message is not None and "scenario-run" in message
+
+    append_trajectory(fine, out, benchmark="scenario_run")
+    assert [r["timestamp"] for r in json.loads(out.read_text())["runs"]] == [
+        "t0",
+        "t1",
+    ]
+
+
+def test_missing_trajectory_never_gates(tmp_path):
+    entry = {"timestamp": "t", "overall_speedup": 1.0, "scenarios": []}
+    assert check_regression(entry, tmp_path / "absent.json") is None
+
+
+def test_cross_benchmark_out_is_rejected(tmp_path):
+    from repro.runner.bench import main_bench
+
+    out = tmp_path / "slot.json"
+    out.write_text(json.dumps({"benchmark": "slot_resolution", "runs": []}))
+    assert main_bench(which="scenario", out=out, quick=True) == 2
+    assert json.loads(out.read_text())["runs"] == []  # untouched

@@ -1,0 +1,100 @@
+"""Deprecated entry points: warn loudly, behave identically.
+
+``run_threshold_broadcast`` / ``run_reactive_broadcast`` and the
+``repro.runner.sweep`` module alias survive for old callers; each must
+emit :class:`DeprecationWarning` and produce results bit-identical to
+the replacement (:func:`repro.scenario.run` / ``repro.runner.parallel``).
+"""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+from repro.adversary.placement import RandomPlacement
+from repro.network.grid import GridSpec
+from repro.runner.broadcast_run import (
+    ReactiveRunConfig,
+    ThresholdRunConfig,
+    run_reactive_broadcast,
+    run_threshold_broadcast,
+)
+from repro.scenario import run
+
+SPEC = GridSpec(width=12, height=12, r=1, torus=True)
+
+
+def _assert_same_report(shim_report, spec_report):
+    assert shim_report.outcome == spec_report.outcome
+    assert shim_report.costs == spec_report.costs
+    assert shim_report.stats == spec_report.stats
+
+
+class TestThresholdShim:
+    CFG = ThresholdRunConfig(
+        spec=SPEC,
+        t=1,
+        mf=2,
+        placement=RandomPlacement(t=1, count=5, seed=42),
+        protocol="b",
+        behavior="jam",
+        m=4,
+        batch_per_slot=2,
+    )
+
+    def test_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="run_threshold_broadcast"):
+            run_threshold_broadcast(self.CFG)
+
+    def test_result_identical_to_scenario_run(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim_report = run_threshold_broadcast(self.CFG)
+        spec_report = run(self.CFG.to_scenario_spec())
+        _assert_same_report(shim_report, spec_report)
+
+
+class TestReactiveShim:
+    CFG = ReactiveRunConfig(
+        spec=SPEC,
+        t=1,
+        mf=2,
+        mmax=10**6,
+        placement=RandomPlacement(t=1, count=4, seed=77),
+        seed=5,
+    )
+
+    def test_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="run_reactive_broadcast"):
+            run_reactive_broadcast(self.CFG)
+
+    def test_result_identical_to_scenario_run(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim_report = run_reactive_broadcast(self.CFG)
+        spec_report = run(self.CFG.to_scenario_spec())
+        _assert_same_report(shim_report, spec_report)
+
+
+class TestSweepModuleAlias:
+    def test_import_warns_and_reexports_parallel(self):
+        import repro.runner.parallel as parallel
+
+        sys.modules.pop("repro.runner.sweep", None)
+        with pytest.warns(DeprecationWarning, match="repro.runner.sweep"):
+            module = importlib.import_module("repro.runner.sweep")
+        assert module.sweep is parallel.sweep
+        assert module.SweepResult is parallel.SweepResult
+
+    def test_alias_runs_identically(self):
+        import repro.runner.parallel as parallel
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            sys.modules.pop("repro.runner.sweep", None)
+            legacy = importlib.import_module("repro.runner.sweep")
+        points = list(range(6))
+        assert legacy.sweep(points, lambda x: x * x) == parallel.sweep(
+            points, lambda x: x * x
+        )

@@ -1,0 +1,261 @@
+"""Equivalence suite for the end-to-end scenario fast path.
+
+The referee for this PR's optimizations: whole scenarios run with every
+fast-path feature disabled (reference round loop, per-node protocol
+state, cold world per run) and enabled (batched driver + burst dedup +
+whole-round memo, flat engines, warm world), and the resulting reports
+must be identical in every observable — outcome, costs, stats, and the
+per-node state the reference implementations maintain (``value_counts``
+/ ``received_total`` / ``endorsements``). Same pattern as the PR-2
+recorded-traffic suite for ``resolve_slot_reference``.
+"""
+
+import pytest
+
+import repro.protocols.flat as flat
+import repro.radio.mac as mac
+import repro.scenario.runner as runner_mod
+from repro.adversary.placement import LatticePlacement, RandomPlacement, StripePlacement
+from repro.network.grid import GridSpec
+from repro.scenario import ScenarioSpec, run
+
+
+def _set_fast(monkeypatch, enabled: bool) -> None:
+    monkeypatch.setattr(mac, "DEFAULT_FAST_DRIVER", enabled)
+    monkeypatch.setattr(flat, "DEFAULT_FLAT", enabled)
+    monkeypatch.setattr(runner_mod, "DEFAULT_WARM_WORLD", enabled)
+
+
+def _run_both(monkeypatch, spec):
+    _set_fast(monkeypatch, True)
+    fast = run(spec)
+    _set_fast(monkeypatch, False)
+    reference = run(spec)
+    return fast, reference
+
+
+def _assert_reports_identical(fast, reference):
+    assert fast.outcome == reference.outcome
+    assert fast.costs == reference.costs
+    assert fast.stats == reference.stats
+    for nid, ref_node in reference.nodes.items():
+        node = fast.nodes[nid]
+        assert node.decided == ref_node.decided
+        assert node.accepted_value == ref_node.accepted_value
+        assert node.decide_round == ref_node.decide_round
+        if hasattr(ref_node, "received_total"):
+            assert node.received_total == ref_node.received_total
+        if hasattr(ref_node, "value_counts"):
+            assert node.value_counts == ref_node.value_counts
+        if hasattr(ref_node, "endorsements"):
+            assert dict(node.endorsements) == dict(ref_node.endorsements)
+
+
+GRID = GridSpec(width=15, height=15, r=1, torus=True)
+
+
+def _spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        grid=GRID,
+        t=1,
+        mf=2,
+        placement=RandomPlacement(t=1, count=6, seed=11),
+        protocol="b",
+        m=4,
+        batch_per_slot=2,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestFlatEngineAndDriverEquivalence:
+    """Reference vs fast whole-run equality across protocol/behavior mixes."""
+
+    def test_threshold_jam(self, monkeypatch):
+        # Stateful-observe adversary: no burst dedup, eager flushes.
+        fast, reference = _run_both(monkeypatch, _spec(behavior="jam"))
+        _assert_reports_identical(fast, reference)
+
+    def test_threshold_lie(self, monkeypatch):
+        # Spontaneous observe-stateless adversary: dedup with observe off.
+        fast, reference = _run_both(monkeypatch, _spec(behavior="lie", mf=3))
+        _assert_reports_identical(fast, reference)
+
+    def test_threshold_crash_faults(self, monkeypatch):
+        # NullAdversary with budget: consulted but never transmits.
+        fast, reference = _run_both(monkeypatch, _spec(behavior="none"))
+        _assert_reports_identical(fast, reference)
+
+    def test_cpa_spoof(self, monkeypatch):
+        # Flat CPA engine (packed seen-set) under forged endorsements.
+        spec = _spec(protocol="cpa", behavior="spoof", m=3, batch_per_slot=1)
+        fast, reference = _run_both(monkeypatch, spec)
+        _assert_reports_identical(fast, reference)
+
+    def test_koo_jam(self, monkeypatch):
+        fast, reference = _run_both(
+            monkeypatch, _spec(protocol="koo", m=None, behavior="jam")
+        )
+        _assert_reports_identical(fast, reference)
+
+    def test_reactive_coded(self, monkeypatch):
+        # Queue-based nodes: no flat engine, head-stable peeks only.
+        spec = ScenarioSpec(
+            grid=GridSpec(width=12, height=12, r=1, torus=True),
+            t=1,
+            mf=3,
+            mmax=10**6,
+            placement=RandomPlacement(t=1, count=5, seed=503),
+            protocol="reactive",
+            seed=3,
+        )
+        fast, reference = _run_both(monkeypatch, spec)
+        _assert_reports_identical(fast, reference)
+
+    def test_reactive_coded_batched_slots(self, monkeypatch):
+        # batch_per_slot > 1 with an active jammer: a drained slot owner
+        # can be re-armed mid-slot by a jam-induced NACK, so the driver
+        # must keep eager flushes and full per-burst owner re-scans
+        # (no dedup, no compaction) for queue-based nodes.
+        for seed in (0, 1, 2, 3):
+            spec = ScenarioSpec(
+                grid=GridSpec(width=9, height=9, r=1, torus=True),
+                t=1,
+                mf=6,
+                mmax=10**6,
+                placement=RandomPlacement(t=1, count=6, seed=200 + seed),
+                protocol="reactive",
+                behavior_params={"p_forge": 0.3},
+                seed=seed,
+                batch_per_slot=3,
+            )
+            fast, reference = _run_both(monkeypatch, spec)
+            _assert_reports_identical(fast, reference)
+
+    def test_stripe_protected_band(self, monkeypatch):
+        spec = _spec(
+            t=2,
+            mf=2,
+            m=3,
+            placement=StripePlacement(y0=4, t=2),
+            batch_per_slot=3,
+        )
+        fast, reference = _run_both(monkeypatch, spec)
+        _assert_reports_identical(fast, reference)
+
+    @pytest.mark.slow
+    def test_figure2_paper_instance(self, monkeypatch):
+        # The headline workload: 2001-burst source phase, planned
+        # defense, burst dedup with multiplicity through the flat engine.
+        from repro.experiments.e2_figure2 import paper_spec
+
+        fast, reference = _run_both(monkeypatch, paper_spec())
+        _assert_reports_identical(fast, reference)
+
+
+class TestRoundMemoEquivalence:
+    """The whole-round memo path (adversary out of budget) is exact."""
+
+    def test_broke_adversary_replays_rounds(self, monkeypatch):
+        # mf=0: the adversary is inactive from round one, so every round
+        # runs through the predictable path and repeated rounds replay
+        # from the medium's round memo.
+        spec = _spec(mf=0, behavior="jam", m=6)
+        fast, reference = _run_both(monkeypatch, spec)
+        _assert_reports_identical(fast, reference)
+
+    def test_round_memo_actually_hit(self, monkeypatch):
+        _set_fast(monkeypatch, True)
+        runner_mod._MEDIA.clear()
+        runner_mod._GRIDS.clear()
+        spec = _spec(mf=0, behavior="jam", m=6)
+        report = run(spec)
+        assert report.stats.rounds > 1
+        # The warm medium of this grid now carries memoized rounds.
+        medium = runner_mod._world_for(spec)[2]
+        assert medium._round_memo
+
+    def test_reactive_quiet_window_survives_silent_rounds(self, monkeypatch):
+        # Silent predictable rounds must still run on_round_end (the
+        # reactive quiet-window countdown is driven by it).
+        spec = ScenarioSpec(
+            grid=GridSpec(width=9, height=9, r=1, torus=True),
+            t=1,
+            mf=0,
+            mmax=100,
+            placement=RandomPlacement(t=1, count=3, seed=7),
+            protocol="reactive",
+            seed=1,
+        )
+        fast, reference = _run_both(monkeypatch, spec)
+        _assert_reports_identical(fast, reference)
+
+
+class TestWarmWorld:
+    """Per-process Grid/Medium sharing across runs of one grid shape."""
+
+    def test_grid_and_medium_shared_across_runs(self, monkeypatch):
+        _set_fast(monkeypatch, True)
+        runner_mod._GRIDS.clear()
+        runner_mod._MEDIA.clear()
+        spec = _spec()
+        first = run(spec)
+        second = run(spec)
+        assert first.grid is second.grid  # one CSR build per process
+        assert first.outcome == second.outcome
+        assert first.costs == second.costs
+        assert first.stats == second.stats
+
+    def test_warm_medium_respects_reference_mode(self, monkeypatch):
+        # Flipping medium.DEFAULT_FAST must never serve a fast-mode
+        # Medium from the warm cache (the key carries the flag).
+        import repro.radio.medium as medium_mod
+
+        _set_fast(monkeypatch, True)
+        spec = _spec()
+        fast_medium = runner_mod._world_for(spec)[2]
+        monkeypatch.setattr(medium_mod, "DEFAULT_FAST", False)
+        slow_medium = runner_mod._world_for(spec)[2]
+        assert fast_medium is not slow_medium
+        assert fast_medium.fast and not slow_medium.fast
+
+    def test_cold_mode_builds_fresh_world(self, monkeypatch):
+        _set_fast(monkeypatch, True)
+        spec = _spec()
+        warm = runner_mod._world_for(spec)[0]
+        monkeypatch.setattr(runner_mod, "DEFAULT_WARM_WORLD", False)
+        cold = runner_mod._world_for(spec)[0]
+        assert warm is not cold
+
+
+class TestAdversaryBudgetGating:
+    """Once no bad node can afford a message, on_slot is never consulted."""
+
+    def test_broke_adversary_not_consulted_but_run_identical(self, monkeypatch):
+        from repro.adversary.jamming import ThresholdGuardJammer
+
+        calls = {"fast": 0, "reference": 0}
+
+        class CountingJammer(ThresholdGuardJammer):
+            mode = "fast"
+
+            def on_slot(self, round_index, slot, honest):
+                calls[type(self).mode] += 1
+                return super().on_slot(round_index, slot, honest)
+
+        def patched(mode):
+            cls = type("Counting", (CountingJammer,), {"mode": mode})
+            return lambda grid, table, ledger: cls(
+                grid, table, ledger, threshold=3
+            )
+
+        spec = _spec(mf=0, behavior="jam", m=6)
+        _set_fast(monkeypatch, True)
+        fast = run(spec, adversary_override=patched("fast"))
+        _set_fast(monkeypatch, False)
+        reference = run(spec, adversary_override=patched("reference"))
+        _assert_reports_identical(fast, reference)
+        # mf=0 means the adversary could never act: the fast driver skips
+        # every consultation, the reference loop performs them all.
+        assert calls["fast"] == 0
+        assert calls["reference"] > 0

@@ -166,3 +166,67 @@ def test_event_fires_only_once():
     sim.run()
     with pytest.raises(SimulationError):
         event._fire()
+
+
+class TestPendingEventsCounter:
+    """pending_events is a live counter (O(1)), not a heap scan."""
+
+    def test_counts_scheduled_and_fired(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i))
+        assert sim.pending_events == 5
+        sim.step()
+        assert sim.pending_events == 4
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_cancel_uncounts_immediately(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0)
+        drop = sim.schedule(2.0)
+        drop.cancel()
+        assert sim.pending_events == 1
+        drop.cancel()  # idempotent: no double-uncount
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+        assert keep.fired and not drop.fired
+
+    def test_cancelled_entries_discarded_lazily(self):
+        # The cancelled event sits at the top of the heap; peeking must
+        # discard it without corrupting the counter.
+        sim = Simulator()
+        first = sim.schedule(1.0)
+        sim.schedule(2.0)
+        first.cancel()
+        assert sim.pending_events == 1
+        assert sim.run() == 2.0
+        assert sim.pending_events == 0
+
+    def test_triggering_cancelled_event_never_counts(self):
+        sim = Simulator()
+        event = sim.event("zombie")
+        event.cancel()
+        sim.trigger(event, delay=1.0)
+        assert sim.pending_events == 0
+        sim.run()
+        assert not event.fired
+
+    def test_untimed_event_cancel_is_free(self):
+        sim = Simulator()
+        event = sim.event()
+        event.cancel()
+        assert sim.pending_events == 0
+
+    def test_counter_matches_heap_scan_under_churn(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i % 7)) for i in range(30)]
+        for event in events[::3]:
+            event.cancel()
+        expected = sum(
+            1 for entry in sim._heap if not entry.event.cancelled
+        )
+        assert sim.pending_events == expected
+        sim.run()
+        assert sim.pending_events == 0
