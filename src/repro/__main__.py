@@ -15,6 +15,9 @@ Usage::
     python -m repro scenario dump figure2       # preset as editable JSON
     python -m repro scenario run my.json        # run a JSON scenario file
     python -m repro scenario run figure2 --workers 2 --cache-dir .cache
+    python -m repro fuzz run --cases 200 --seed 0 --workers 4
+    python -m repro fuzz run --time-budget 60 --seed 0
+    python -m repro fuzz replay tests/corpus    # re-execute repro files
     python -m repro e2                          # legacy alias for `run e2`
 
 ``--workers N`` fans each experiment's sweep points out over ``N``
@@ -40,6 +43,13 @@ regression versus the trajectory's last entry.
 ``--profile`` (on ``run`` and ``scenario run``) cProfiles one point
 serially and prints the top cumulative entries — the tooling future
 perf PRs should start from before touching code.
+
+``fuzz run`` samples random scenarios from the component registries and
+differentially verifies every fast/reference implementation pair plus
+the :mod:`repro.fuzz.oracles` invariants on each; failures are shrunk
+and written to ``--corpus`` as replayable JSON repros (see README
+"Fuzzing"). ``fuzz replay`` re-executes repro files or whole corpus
+directories.
 """
 
 from __future__ import annotations
@@ -301,6 +311,57 @@ def main(argv: list[str] | None = None) -> int:
     scenario_dump.add_argument(
         "preset", choices=preset_names(), help="preset name"
     )
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="randomized-scenario differential verification (repro.fuzz)",
+    )
+    fuzz_sub = fuzz_parser.add_subparsers(dest="fuzz_command", required=True)
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="sample scenarios and differentially verify each"
+    )
+    fuzz_run.add_argument(
+        "--cases",
+        type=int,
+        default=None,
+        help="number of scenarios to sample (mutually exclusive with "
+        "--time-budget)",
+    )
+    fuzz_run.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="keep sampling batches until this much wall-clock has passed",
+    )
+    fuzz_run.add_argument(
+        "--seed", type=int, default=0, help="master sampling seed (default 0)"
+    )
+    fuzz_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the case sweep (0 = one per CPU)",
+    )
+    fuzz_run.add_argument(
+        "--corpus",
+        default="fuzz-corpus",
+        help="directory minimized failure repros are written to "
+        "(default: fuzz-corpus)",
+    )
+    fuzz_run.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress progress/ETA output",
+    )
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="re-execute repro JSON files or corpus directories"
+    )
+    fuzz_replay.add_argument(
+        "targets",
+        nargs="+",
+        metavar="file.json|dir",
+        help="repro file(s) and/or corpus directories",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "bench":
@@ -309,6 +370,24 @@ def main(argv: list[str] | None = None) -> int:
             out=args.out,
             quick=args.quick,
         )
+
+    if args.command == "fuzz":
+        from repro.fuzz.cli import fuzz_replay_command, fuzz_run_command
+
+        try:
+            if args.fuzz_command == "replay":
+                return fuzz_replay_command(args.targets)
+            return fuzz_run_command(
+                cases=args.cases,
+                time_budget=args.time_budget,
+                seed=args.seed,
+                workers=args.workers,
+                corpus_dir=args.corpus,
+                show_progress=not args.no_progress,
+            )
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.command == "scenario":
         try:

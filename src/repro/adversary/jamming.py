@@ -72,6 +72,13 @@ class ThresholdGuardJammer(Adversary):
             protected = [
                 nid for nid in table.good_ids if nid != table.source
             ]
+        else:
+            # A Byzantine "victim" has no decision state to guard (and
+            # the reference decision oracle only knows honest nodes), so
+            # bad ids in an explicit protected set are dropped rather
+            # than wasting jam budget on them. Found by repro.fuzz:
+            # tests/corpus pins the regression.
+            protected = [nid for nid in protected if not table.is_bad(nid)]
         self.protected: frozenset[NodeId] = frozenset(protected)
         self._protected_mask = bytearray(grid.n)
         for nid in self.protected:

@@ -1,0 +1,67 @@
+"""repro.fuzz — scenario fuzzing and differential verification.
+
+The paper's claims are safety/liveness properties of broadcast under
+Byzantine interference; the repository's fast-path PRs additionally
+claim bit-identical equivalence between every optimized path and its
+preserved reference implementation. This package checks both claims on
+*sampled* scenarios instead of hand-written presets:
+
+- :mod:`repro.fuzz.sampler` — deterministic random
+  :class:`~repro.scenario.ScenarioSpec` sampling from the component
+  registries, degenerate shapes included;
+- :mod:`repro.fuzz.runner` — per-case differential execution (all fast
+  layers vs all reference layers) plus greedy spec shrinking;
+- :mod:`repro.fuzz.oracles` — the pluggable ``Invariant`` registry of
+  protocol-independent run oracles;
+- :mod:`repro.fuzz.corpus` — minimized JSON repros and their replay;
+- :mod:`repro.fuzz.cli` — ``python -m repro fuzz run|replay``.
+
+Typical use::
+
+    python -m repro fuzz run --cases 200 --seed 0 --workers 4
+    python -m repro fuzz replay tests/corpus
+"""
+
+from repro.fuzz.corpus import ReproRecord, load_repro, replay, repro_paths, write_repro
+from repro.fuzz.oracles import (
+    Invariant,
+    OracleContext,
+    check_invariants,
+    invariant,
+    invariants,
+)
+from repro.fuzz.runner import (
+    CaseResult,
+    FuzzCase,
+    check_spec,
+    compare_reports,
+    run_case,
+    shrink_candidates,
+    shrink_spec,
+    validation_probes,
+)
+from repro.fuzz.sampler import PROTOCOL_BEHAVIORS, SpecSampler, sample_spec
+
+__all__ = [
+    "CaseResult",
+    "FuzzCase",
+    "Invariant",
+    "OracleContext",
+    "PROTOCOL_BEHAVIORS",
+    "ReproRecord",
+    "SpecSampler",
+    "check_invariants",
+    "check_spec",
+    "compare_reports",
+    "invariant",
+    "invariants",
+    "load_repro",
+    "replay",
+    "repro_paths",
+    "run_case",
+    "sample_spec",
+    "shrink_candidates",
+    "shrink_spec",
+    "validation_probes",
+    "write_repro",
+]

@@ -1,0 +1,168 @@
+"""CLI entry points for ``python -m repro fuzz run|replay``.
+
+``fuzz run`` samples scenarios (fixed count or wall-clock budget), fans
+the cases out over the parallel sweep substrate, shrinks and writes any
+failures to the corpus directory, and prints a deterministic digest of
+``(case hash, verdict)`` pairs — two runs with the same ``--seed`` and
+``--cases`` print the same digest whatever ``--workers`` is, which is
+how CI (and a suspicious human) can verify determinism cheaply.
+
+``fuzz replay`` re-executes repro documents (files or corpus
+directories) through the same checks; exit status is the number of
+still-failing repros, capped for shell safety.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+from repro.fuzz.corpus import replay, write_repro
+from repro.fuzz.runner import (
+    CaseResult,
+    FuzzCase,
+    check_spec,
+    run_case,
+    shrink_spec,
+    validation_probes,
+)
+from repro.fuzz.sampler import SpecSampler
+from repro.runner.parallel import SweepProgress, sweep
+
+#: At most this many failing cases are shrunk/written per run — shrinking
+#: re-runs scenarios dozens of times, and one root cause usually explains
+#: a whole cluster of failing cases.
+MAX_SHRINKS = 5
+
+#: First sweep batch in ``--time-budget`` mode; later batches scale to
+#: the measured case rate (a spawn worker pool is rebuilt per batch, so
+#: many tiny batches would spend the budget on interpreter startup).
+TIME_BUDGET_CHUNK = 16
+
+#: Ceiling on one adaptive batch (bounds budget overshoot).
+TIME_BUDGET_MAX_CHUNK = 1024
+
+
+def _digest(results: list[CaseResult]) -> str:
+    """Stable digest over (case hash, verdict) in case order."""
+    hasher = hashlib.sha256()
+    for result in sorted(results, key=lambda r: r.index):
+        verdict = "ok" if result.ok else "fail"
+        hasher.update(f"{result.index}:{result.case_hash}:{verdict}\n".encode())
+    return hasher.hexdigest()[:16]
+
+
+def _report_failures(
+    cases: dict[int, FuzzCase],
+    results: list[CaseResult],
+    corpus_dir: str,
+) -> int:
+    """Shrink + persist failing cases; returns how many cases failed."""
+    failing = [result for result in results if not result.ok]
+    for result in failing[:MAX_SHRINKS]:
+        case = cases[result.index]
+        print(f"-- case {result.index} [{result.case_hash[:12]}] FAILED --")
+        for message in result.failures:
+            print(f"   {message}")
+        shrunk, shrunk_failures = shrink_spec(
+            case.spec, list(result.failures), check=check_spec
+        )
+        path = write_repro(
+            corpus_dir, shrunk, shrunk_failures, original=case.spec
+        )
+        print(
+            f"   minimized to {shrunk.grid.width}x{shrunk.grid.height} "
+            f"grid, repro written to {path}"
+        )
+    if len(failing) > MAX_SHRINKS:
+        print(
+            f"-- {len(failing) - MAX_SHRINKS} further failing case(s) "
+            "not shrunk (one root cause usually explains a cluster) --"
+        )
+    return len(failing)
+
+
+def fuzz_run_command(
+    *,
+    cases: int | None,
+    time_budget: float | None,
+    seed: int,
+    workers: int,
+    corpus_dir: str,
+    show_progress: bool = True,
+) -> int:
+    """``python -m repro fuzz run``; returns the process exit status."""
+    if (cases is None) == (time_budget is None):
+        print("error: pass exactly one of --cases or --time-budget")
+        return 2
+    probe_failures = validation_probes()
+    for message in probe_failures:
+        print(f"-- validation probe FAILED: {message}")
+
+    sampler = SpecSampler(seed)
+    progress = SweepProgress("fuzz") if show_progress else None
+    started = time.perf_counter()
+    case_index = 0
+    all_cases: dict[int, FuzzCase] = {}
+    results: list[CaseResult] = []
+
+    def run_batch(count: int) -> None:
+        nonlocal case_index
+        batch = [
+            FuzzCase(index=i, spec=sampler.case_spec(i))
+            for i in range(case_index, case_index + count)
+        ]
+        case_index += count
+        for case in batch:
+            all_cases[case.index] = case
+        outcome = sweep(batch, run_case, workers=workers, progress=progress)
+        results.extend(outcome.results)
+
+    if cases is not None:
+        run_batch(cases)
+    else:
+        while True:
+            elapsed = time.perf_counter() - started
+            remaining = time_budget - elapsed
+            if remaining <= 0:
+                break
+            if results and elapsed > 0:
+                # Size the batch to roughly half the remaining budget at
+                # the measured rate: few enough batches that per-batch
+                # pool spawns stay negligible, small enough that the
+                # last batch cannot badly overshoot the budget.
+                rate = len(results) / elapsed
+                count = int(rate * remaining / 2)
+                count = max(TIME_BUDGET_CHUNK, min(count, TIME_BUDGET_MAX_CHUNK))
+            else:
+                count = TIME_BUDGET_CHUNK
+            run_batch(count)
+
+    elapsed = time.perf_counter() - started
+    failed = _report_failures(all_cases, results, corpus_dir)
+    ok = len(results) - failed
+    print(
+        f"fuzz: {len(results)} case(s), {ok} ok, {failed} failing, "
+        f"{len(probe_failures)} probe failure(s) in {elapsed:.1f}s "
+        f"[seed {seed}, digest {_digest(results)}]"
+    )
+    return 1 if failed or probe_failures else 0
+
+
+def fuzz_replay_command(targets: list[str]) -> int:
+    """``python -m repro fuzz replay``; exit = failing repro count (<=99)."""
+    results = replay(targets)
+    if not results:
+        print("no repro files found")
+        return 2
+    failing = 0
+    for path, failures in results:
+        if failures:
+            failing += 1
+            print(f"{path}: FAIL")
+            for message in failures:
+                print(f"   {message}")
+        else:
+            print(f"{path}: ok")
+    print(f"replay: {len(results)} repro(s), {failing} failing")
+    return min(failing, 99)

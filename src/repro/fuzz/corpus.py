@@ -1,0 +1,116 @@
+"""Failure corpus: minimized repros as standalone JSON files.
+
+When a fuzz case fails, the shrunk spec and its failure messages are
+written to a corpus directory as one self-contained JSON document. The
+file re-executes with ``python -m repro fuzz replay <file-or-dir>``,
+which re-runs the full differential + oracle check suite on the embedded
+spec — red while the bug lives, green once fixed.
+
+A fixed bug's repro belongs in ``tests/corpus/``: CI replays that
+directory on every push, so the scenario that found the bug becomes a
+permanent regression test (see README "Fuzzing").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.fuzz.runner import check_spec
+from repro.scenario.spec import ScenarioSpec
+
+#: Schema version of a repro document.
+FORMAT = 1
+
+
+@dataclass(frozen=True)
+class ReproRecord:
+    """One loaded corpus entry."""
+
+    path: Path
+    spec: ScenarioSpec
+    failures: tuple[str, ...]
+    original: ScenarioSpec | None = None
+
+
+def write_repro(
+    directory: str | Path,
+    spec: ScenarioSpec,
+    failures: list[str],
+    *,
+    original: ScenarioSpec | None = None,
+) -> Path:
+    """Write one minimized repro; returns its path.
+
+    The filename is derived from the spec's content hash, so re-finding
+    the same minimized scenario overwrites rather than duplicates.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, Any] = {
+        "format": FORMAT,
+        "case": spec.content_hash(),
+        "failures": list(failures),
+        "spec": spec.to_dict(),
+    }
+    if original is not None and original != spec:
+        payload["original"] = original.to_dict()
+    path = directory / f"repro-{spec.content_hash()[:12]}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def load_repro(path: str | Path) -> ReproRecord:
+    """Parse one repro document (errors name the offending file)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(f"unreadable repro {path}: {exc}") from None
+    if not isinstance(payload, dict) or "spec" not in payload:
+        raise ConfigurationError(
+            f"repro {path} is not an object with a 'spec' key"
+        )
+    spec = ScenarioSpec.from_dict(payload["spec"])
+    original = (
+        ScenarioSpec.from_dict(payload["original"])
+        if "original" in payload
+        else None
+    )
+    return ReproRecord(
+        path=path,
+        spec=spec,
+        failures=tuple(payload.get("failures", ())),
+        original=original,
+    )
+
+
+def repro_paths(target: str | Path) -> list[Path]:
+    """Resolve a replay target: one file, or every ``*.json`` in a dir."""
+    target = Path(target)
+    if target.is_dir():
+        return sorted(target.glob("*.json"))
+    if target.is_file():
+        return [target]
+    raise ConfigurationError(f"no repro file or corpus directory at {target}")
+
+
+def replay(
+    targets: list[str | Path],
+    *,
+    check: Callable[[ScenarioSpec], list[str]] = check_spec,
+) -> list[tuple[Path, list[str]]]:
+    """Re-execute every repro; returns ``(path, current failures)`` pairs.
+
+    A committed (fixed-bug) corpus replays to all-empty failure lists; a
+    fresh failure's repro keeps failing until the bug is fixed.
+    """
+    results: list[tuple[Path, list[str]]] = []
+    for target in targets:
+        for path in repro_paths(target):
+            record = load_repro(path)
+            results.append((path, check(record.spec)))
+    return results

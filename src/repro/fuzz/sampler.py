@@ -1,0 +1,235 @@
+"""Randomized :class:`~repro.scenario.spec.ScenarioSpec` sampling.
+
+The sampler draws whole scenarios from the component *name registries*
+(:mod:`repro.scenario.registries`) — random grids, placements, budgets,
+protocols, behaviors, run limits, and seeds — deliberately including the
+degenerate shapes the hand-written presets never exercise:
+
+- 1xN bounded stripes (a single row of nodes);
+- zero-budget adversaries (``mf = 0``) and zero bad nodes (``t = 0``);
+- bad-node densities saturated at the model bound
+  ``t = r(2r+1) - 1`` (:func:`repro.analysis.bounds.max_locally_bounded_t`);
+- tiny round caps (``max_rounds = 1``) that must stop every protocol
+  mid-flight without tripping any accounting invariant.
+
+Sampling is *rejection-based*: a candidate spec is accepted only when
+:func:`repro.scenario.runner.validate` proves it runnable (grid
+constraints, placement local-boundedness, source not corrupted, model
+bounds). That keeps the sampler honest as new components register
+themselves — a new placement with new constraints never requires sampler
+edits, it just rejects more candidates.
+
+Determinism: :meth:`SpecSampler.case_spec` is a pure function of
+``(master_seed, index)`` via :func:`repro.sim.rng.derive_seed`, so a fuzz
+run's case list is identical across processes, worker counts, and hosts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.adversary.placement import (
+    BernoulliPlacement,
+    LatticePlacement,
+    RandomPlacement,
+    StripePlacement,
+)
+from repro.analysis.bounds import max_locally_bounded_t
+from repro.errors import ReproError
+from repro.network.grid import GridSpec
+from repro.scenario.runner import validate
+from repro.scenario.spec import ScenarioSpec
+from repro.sim.rng import derive_seed
+
+#: Protocols the sampler draws from by default, with the behaviors each
+#: can face. Reactive scenarios need ``mmax`` (integrity-code length) and
+#: run long, so their behavior pool is the coded jammer family; the
+#: threshold protocols face every generic behavior. ``figure2-defense``
+#: is excluded: its jam plan is hardwired to the Figure-2 lattice family.
+PROTOCOL_BEHAVIORS: dict[str, tuple[str | None, ...]] = {
+    "b": (None, "jam", "lie", "spoof", "none"),
+    "koo": (None, "jam", "lie", "none"),
+    "heter": (None, "jam", "lie", "none"),
+    "cpa": (None, "jam", "lie", "spoof", "none"),
+    "reactive": (None, "coded", "none"),
+}
+
+#: How many rejected candidates the sampler tolerates before giving up.
+#: Rejections are common (a random stripe may cross the source, a random
+#: ``t`` may not fit a lattice cluster) but runaway rejection means the
+#: sampler and the validators disagree about the spec space — surface it.
+MAX_ATTEMPTS = 120
+
+
+def _sample_grid(rng: random.Random) -> GridSpec:
+    """A random topology: torus, bounded rectangle, or degenerate stripe."""
+    r = 1 if rng.random() < 0.85 else 2
+    side = 2 * r + 1
+    shape = rng.random()
+    if shape < 0.60:
+        # Torus: each dimension a multiple of 2r+1, at least 2*(2r+1).
+        width = side * rng.choice((2, 3) if r == 1 else (2,))
+        height = side * rng.choice((2, 3) if r == 1 else (2,))
+        return GridSpec(width=width, height=height, r=r, torus=True)
+    if shape < 0.80:
+        # Degenerate bounded stripe: 1xN or Nx1.
+        length = rng.randint(2, 24)
+        if rng.random() < 0.5:
+            return GridSpec(width=length, height=1, r=r, torus=False)
+        return GridSpec(width=1, height=length, r=r, torus=False)
+    # Small bounded rectangle.
+    return GridSpec(
+        width=rng.randint(2, 12), height=rng.randint(2, 12), r=r, torus=False
+    )
+
+
+def _sample_t(rng: random.Random, r: int) -> int:
+    """Bad-node density: usually small, sometimes saturated at the bound."""
+    max_t = max_locally_bounded_t(r)
+    roll = rng.random()
+    if roll < 0.10:
+        return 0
+    if roll < 0.22:
+        return max_t  # just under the impossibility bound t < r(2r+1)
+    return rng.randint(1, min(3, max_t))
+
+
+def _sample_placement(rng: random.Random, grid: GridSpec, t: int):
+    """A placement plausible for (grid, t); validation rejects misfits."""
+    side = 2 * grid.r + 1
+    seed = rng.randint(0, 10**6)
+    if t == 0:
+        # RandomPlacement requires t >= 1; with count=0 it corrupts
+        # nobody, which is the only locally-0-bounded bad set.
+        return RandomPlacement(t=1, count=0, seed=seed)
+    roll = rng.random()
+    if roll < 0.5:
+        count = rng.choice((0, 1, 2, rng.randint(0, max(1, grid.width))))
+        return RandomPlacement(t=t, count=count, seed=seed)
+    if roll < 0.7 and grid.torus and t <= grid.r * side:
+        return StripePlacement(
+            y0=rng.randint(1, max(1, grid.height - grid.r)),
+            t=t,
+            victims_above=rng.random() < 0.5,
+        )
+    if roll < 0.85 and grid.torus:
+        return LatticePlacement(
+            x0=rng.randint(0, side - 1),
+            y0=rng.randint(1, side - 1),
+            cluster=rng.randint(1, t),
+        )
+    return BernoulliPlacement(p=rng.uniform(0.0, 0.12), seed=seed)
+
+
+def sample_spec(
+    rng: random.Random,
+    *,
+    protocols: tuple[str, ...] | None = None,
+    behavior: str | None | type(...) = ...,
+) -> ScenarioSpec:
+    """Draw one *valid* scenario; raises after :data:`MAX_ATTEMPTS` rejects.
+
+    ``protocols`` restricts the protocol pool; ``behavior`` pins the
+    behavior name (``None`` means "the protocol's default"), which is how
+    the capability tests fuzz a single adversary class.
+    """
+    pool = tuple(protocols) if protocols is not None else tuple(PROTOCOL_BEHAVIORS)
+    last_error: Exception | None = None
+    for _ in range(MAX_ATTEMPTS):
+        protocol = rng.choice(pool)
+        grid = _sample_grid(rng)
+        t = _sample_t(rng, grid.r)
+        mf = rng.randint(0, 4)
+        chosen_behavior = (
+            rng.choice(PROTOCOL_BEHAVIORS.get(protocol, (None,)))
+            if behavior is ...
+            else behavior
+        )
+        behavior_params: dict = {}
+        protocol_params: dict = {}
+        mmax = None
+        if protocol == "reactive":
+            mmax = rng.choice((10, 100, 10**4))
+            if rng.random() < 0.25:
+                protocol_params["quiet_limit"] = rng.randint(2, 12)
+            if chosen_behavior == "coded" and rng.random() < 0.3:
+                behavior_params["p_forge"] = round(rng.uniform(0.0, 0.4), 3)
+        elif protocol == "b" and rng.random() < 0.15:
+            protocol_params["relay_override"] = rng.randint(1, 4)
+        placement = _sample_placement(rng, grid, t)
+        validate_local_bound = not isinstance(placement, BernoulliPlacement)
+        roll = rng.random()
+        if roll < 0.15:
+            max_rounds: int | None = 1  # hard stop mid-flight
+        elif roll < 0.75:
+            max_rounds = rng.randint(2, 60)
+        else:
+            max_rounds = None  # the protocol's generous default cap
+        source = (0, 0)
+        if rng.random() < 0.2:
+            source = (
+                rng.randrange(grid.width),
+                rng.randrange(grid.height),
+            )
+        protected = None
+        try:
+            candidate = ScenarioSpec(
+                grid=grid,
+                t=t,
+                mf=mf,
+                placement=placement,
+                protocol=protocol,
+                behavior=chosen_behavior,
+                m=None if rng.random() < 0.35 else rng.randint(1, 6),
+                mmax=mmax,
+                source=source,
+                seed=rng.randint(0, 10**6),
+                protected=protected,
+                max_rounds=max_rounds,
+                batch_per_slot=rng.randint(1, 3),
+                validate_local_bound=validate_local_bound,
+                protocol_params=protocol_params,
+                behavior_params=behavior_params,
+            )
+            grid_live = validate(candidate)
+        except ReproError as exc:
+            last_error = exc
+            continue
+        if rng.random() < 0.2 and grid_live.n > 2:
+            # Focus the adversary on a random victim subset.
+            count = rng.randint(1, max(1, grid_live.n // 4))
+            victims = tuple(
+                sorted(rng.sample(range(grid_live.n), count))
+            )
+            candidate = candidate.replace(protected=victims)
+        return candidate
+    raise ReproError(
+        f"spec sampler rejected {MAX_ATTEMPTS} candidates in a row; "
+        f"last error: {last_error}"
+    )
+
+
+class SpecSampler:
+    """Deterministic per-index scenario sampling for a fuzz run.
+
+    ``case_spec(i)`` depends only on ``(master_seed, i)`` — never on how
+    many cases were drawn before, which worker draws it, or wall-clock —
+    so a fuzz run's verdicts are reproducible case-by-case.
+    """
+
+    def __init__(
+        self,
+        master_seed: int,
+        *,
+        protocols: tuple[str, ...] | None = None,
+        behavior: str | None | type(...) = ...,
+    ) -> None:
+        self.master_seed = master_seed
+        self.protocols = protocols
+        self.behavior = behavior
+
+    def case_spec(self, index: int) -> ScenarioSpec:
+        rng = random.Random(derive_seed(self.master_seed, "fuzz-spec", index))
+        return sample_spec(
+            rng, protocols=self.protocols, behavior=self.behavior
+        )

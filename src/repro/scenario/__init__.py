@@ -37,6 +37,7 @@ from repro.scenario.runner import (
     outcome_table,
     run,
     run_summary,
+    validate,
 )
 
 # Importing the component packages triggers their self-registration, so
@@ -52,6 +53,7 @@ __all__ = [
     "ScenarioOutcome",
     "run",
     "run_summary",
+    "validate",
     "outcome_table",
     "preset",
     "preset_names",

@@ -21,8 +21,9 @@ cycles through the rest of the package.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generic, Mapping, TypeVar
+from typing import Any, Callable, Generic, Iterator, Mapping, TypeVar
 
 from repro.errors import ConfigurationError
 
@@ -54,6 +55,29 @@ class Registry(Generic[EntryT]):
             raise ConfigurationError(
                 f"unknown {self.kind} {name!r}; registered: {known}"
             ) from None
+
+    def unregister(self, name: str) -> EntryT:
+        """Remove and return a registered component (test doubles, probes)."""
+        try:
+            return self._entries.pop(name)
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.kind} {name!r} is not registered"
+            ) from None
+
+    @contextmanager
+    def temporarily(self, name: str, entry: EntryT) -> Iterator[EntryT]:
+        """Register ``entry`` for the duration of a ``with`` block.
+
+        The fuzz suite and capability tests inject deliberately-broken
+        doubles this way so a failing test can never leak them into the
+        process-wide registry.
+        """
+        self.register(name, entry)
+        try:
+            yield entry
+        finally:
+            self.unregister(name)
 
     def names(self) -> tuple[str, ...]:
         return tuple(sorted(self._entries))

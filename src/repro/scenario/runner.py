@@ -22,6 +22,7 @@ from typing import Callable
 import repro.radio.mac as mac
 import repro.radio.medium as medium_mod
 from repro.analysis.verify import collect_costs, collect_outcome
+from repro.errors import ConfigurationError
 from repro.network.grid import Grid
 from repro.network.node import NodeTable
 from repro.protocols import flat
@@ -99,6 +100,32 @@ def _table_for(spec: ScenarioSpec, grid: Grid, source: NodeId) -> NodeTable:
     except TypeError:
         return build()
     return _TABLES.get_or_build(key, build)
+
+
+def validate(spec: ScenarioSpec) -> Grid:
+    """Check a spec is runnable without running it; return its grid.
+
+    Resolves the protocol and behavior names against the registries,
+    builds (or warm-fetches) the grid, checks the source coordinate and
+    protected ids, constructs the protocol parameters (which enforce the
+    model bounds on ``t``/``mf``), and materializes the role table — so
+    the placement's local-bound validation fires exactly as it would at
+    run time. The fuzz sampler uses this as its acceptance test; CLI
+    paths can use it for dry runs.
+    """
+    protocol = protocols.get(spec.protocol)
+    behaviors.get(spec.behavior or protocol.default_behavior)
+    grid, _schedule, _medium = _world_for(spec)
+    source = grid.id_of(spec.source)
+    BroadcastParams(r=spec.grid.r, t=spec.t, mf=spec.mf, vtrue=spec.vtrue)
+    if spec.protected is not None:
+        out_of_range = [nid for nid in spec.protected if not 0 <= nid < grid.n]
+        if out_of_range:
+            raise ConfigurationError(
+                f"protected ids outside the grid: {out_of_range[:5]}"
+            )
+    _table_for(spec, grid, source)
+    return grid
 
 
 def run(

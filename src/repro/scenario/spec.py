@@ -25,12 +25,14 @@ the package is still importing; names are resolved at run/serialize time.
 from __future__ import annotations
 
 import dataclasses
+import difflib
 import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.adversary.placement import Placement
+from repro.analysis.bounds import validate_t
 from repro.errors import ConfigurationError
 from repro.network.grid import GridSpec
 from repro.scenario.registries import placements
@@ -162,6 +164,25 @@ class ScenarioSpec:
             object.__setattr__(self, "protected", tuple(self.protected))
         object.__setattr__(self, "protocol_params", dict(self.protocol_params))
         object.__setattr__(self, "behavior_params", dict(self.behavior_params))
+        # Fail at construction, not mid-run: every numeric field that a
+        # runner, driver, or protocol builder would reject later is
+        # validated here, so a sampled/deserialized spec is either usable
+        # or loudly invalid (the fuzz sampler leans on this contract).
+        validate_t(self.grid.r, self.t)
+        if self.mf < 0:
+            raise ConfigurationError(f"mf must be non-negative, got {self.mf}")
+        if self.m is not None and self.m < 0:
+            raise ConfigurationError(f"m must be non-negative, got {self.m}")
+        if self.mmax is not None and self.mmax < 1:
+            raise ConfigurationError(f"mmax must be >= 1, got {self.mmax}")
+        if self.batch_per_slot < 1:
+            raise ConfigurationError(
+                f"batch_per_slot must be >= 1, got {self.batch_per_slot}"
+            )
+        if self.max_rounds is not None and self.max_rounds < 1:
+            raise ConfigurationError(
+                f"max_rounds must be >= 1, got {self.max_rounds}"
+            )
 
     def __hash__(self) -> int:
         # The dataclass-generated hash would raise on the dict-valued
@@ -230,8 +251,10 @@ class ScenarioSpec:
         optional = {}
         for key in list(data):
             if key not in spec_fields:
+                close = difflib.get_close_matches(key, sorted(spec_fields), n=1)
+                hint = f" (did you mean {close[0]!r}?)" if close else ""
                 raise ConfigurationError(
-                    f"unknown scenario key {key!r}; known: "
+                    f"unknown scenario key {key!r}{hint}; expected keys: "
                     f"{', '.join(sorted(spec_fields))}"
                 )
             optional[key] = data.pop(key)

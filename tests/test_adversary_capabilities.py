@@ -1,0 +1,159 @@
+"""Matrix test: every behavior's capability flags match observed behavior.
+
+The fast round loop trusts two class-level declarations on adversaries
+(:class:`repro.radio.mac.AdversaryLike`): ``spontaneous = False``
+promises ``on_slot`` is an effect-free ``[]`` on empty slots, and
+``observe_stateless = True`` promises ``observe`` has no observable
+effect on later decisions. A wrong flag silently corrupts the PR-4 fast
+loop (skipped slots, wrongly-deduped bursts) — so every *registered*
+behavior is probed here, three ways:
+
+1. direct probe of the ``spontaneous = False`` contract on every slot;
+2. direct probe of the ``observe_stateless = True`` contract against a
+   twin instance fed fabricated deliveries;
+3. a full fast-vs-reference differential on a per-behavior probe
+   scenario via :func:`repro.fuzz.check_spec` (the flags' consumers).
+
+The matrix is *closed*: registering a new behavior without adding a
+probe scenario fails the suite, which is the ROADMAP's fuzz-first rule
+made executable.
+"""
+
+import pytest
+
+from repro.fuzz import check_spec
+from repro.adversary.placement import RandomPlacement
+from repro.network.grid import Grid, GridSpec
+from repro.network.node import NodeTable
+from repro.protocols.base import BroadcastParams
+from repro.radio.budget import BudgetLedger
+from repro.radio.medium import Medium
+from repro.radio.messages import Transmission
+from repro.radio.schedule import TdmaSchedule
+from repro.scenario import ScenarioSpec, behaviors
+from repro.scenario.registries import BehaviorContext
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import NULL_TRACER
+
+
+def _probe_spec(behavior: str) -> ScenarioSpec:
+    """A small scenario that actually exercises ``behavior``."""
+    if behavior == "coded":
+        return ScenarioSpec(
+            grid=GridSpec(width=9, height=9, r=1, torus=True),
+            t=1,
+            mf=3,
+            mmax=100,
+            placement=RandomPlacement(t=1, count=4, seed=3),
+            protocol="reactive",
+            behavior="coded",
+            seed=2,
+        )
+    if behavior == "figure2-defense":
+        from repro.experiments.e2_figure2 import paper_spec
+
+        # The plan is hardwired to the Figure-2 lattice; a short cap
+        # keeps the probe quick while still consulting the adversary.
+        return paper_spec().replace(max_rounds=3, batch_per_slot=5, mf=6)
+    protocol = "cpa" if behavior == "spoof" else "b"
+    return ScenarioSpec(
+        grid=GridSpec(width=9, height=9, r=1, torus=True),
+        t=1,
+        mf=2,
+        placement=RandomPlacement(t=1, count=4, seed=3),
+        protocol=protocol,
+        behavior=behavior,
+        m=3,
+        max_rounds=40,
+    )
+
+
+def _build_adversary(spec: ScenarioSpec):
+    """Assemble a live adversary exactly as the scenario runner would."""
+    grid = Grid(spec.grid)
+    source = grid.id_of(spec.source)
+    table = NodeTable(grid, source, spec.placement.bad_ids(grid, source))
+    ledger = BudgetLedger(
+        grid.n,
+        default_budget=None,
+        overrides={bad: spec.mf for bad in table.bad_ids},
+    )
+    params = BroadcastParams(r=spec.grid.r, t=spec.t, mf=spec.mf, vtrue=spec.vtrue)
+    adversary = behaviors.get(spec.behavior).build(
+        BehaviorContext(
+            spec=spec,
+            grid=grid,
+            table=table,
+            ledger=ledger,
+            params=params,
+            rngs=RngRegistry(spec.seed),
+            tracer=NULL_TRACER,
+        )
+    )
+    return adversary, grid, table, ledger
+
+
+BEHAVIOR_NAMES = behaviors.names()
+
+
+def test_matrix_covers_every_registered_behavior():
+    """New behaviors must add a probe here (the fuzz-first rule)."""
+    for name in BEHAVIOR_NAMES:
+        spec = _probe_spec(name)
+        assert spec.behavior == name
+
+
+@pytest.mark.parametrize("name", BEHAVIOR_NAMES)
+def test_spontaneous_false_means_silent_empty_slots(name):
+    spec = _probe_spec(name)
+    adversary, grid, table, ledger = _build_adversary(spec)
+    if getattr(type(adversary), "spontaneous", True):
+        pytest.skip(f"{name}: spontaneous=True is always a safe declaration")
+    schedule = TdmaSchedule(grid)
+    sent_before = [ledger.sent(nid) for nid in range(grid.n)]
+    for round_index in range(2):
+        for slot in range(schedule.period):
+            assert adversary.on_slot(round_index, slot, []) == [], (
+                f"behavior {name!r} declares spontaneous=False but "
+                f"transmitted on an empty slot"
+            )
+    assert [ledger.sent(nid) for nid in range(grid.n)] == sent_before
+
+
+@pytest.mark.parametrize("name", BEHAVIOR_NAMES)
+def test_observe_stateless_means_observe_changes_nothing(name):
+    spec = _probe_spec(name)
+    adversary, grid, table, ledger = _build_adversary(spec)
+    if not getattr(type(adversary), "observe_stateless", False):
+        pytest.skip(f"{name}: observe_stateless=False is always safe")
+    twin, twin_grid, twin_table, twin_ledger = _build_adversary(spec)
+    schedule = TdmaSchedule(grid)
+    medium = Medium(grid)
+    vtrue = spec.vtrue
+    sent_before = [twin_ledger.sent(nid) for nid in range(grid.n)]
+    for round_index in range(3):
+        for slot in range(schedule.period):
+            honest = [
+                Transmission(nid, vtrue)
+                for nid in schedule.owners(slot)
+                if not table.is_bad(nid)
+            ][:2]
+            out_a = adversary.on_slot(round_index, slot, honest)
+            out_b = twin.on_slot(round_index, slot, honest)
+            assert out_a == out_b, (
+                f"behavior {name!r} declares observe_stateless=True but "
+                f"observe() changed its on_slot decisions"
+            )
+            # Only the twin sees deliveries; outputs must stay equal.
+            twin.observe(medium.resolve_slot(honest, out_b))
+    assert [twin_ledger.sent(nid) for nid in range(grid.n)] == sent_before
+
+
+@pytest.mark.parametrize("name", BEHAVIOR_NAMES)
+def test_flags_hold_up_under_the_fast_loop(name):
+    """The consumer-side check: fast vs reference on the probe scenario."""
+    failures = check_spec(_probe_spec(name))
+    assert failures == [], (
+        f"behavior {name!r}: differential/oracle failures on its probe "
+        f"scenario: {failures[:3]}"
+    )

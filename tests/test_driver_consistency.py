@@ -3,51 +3,25 @@
 Whatever the scenario, the driver's aggregate statistics, the ledger,
 and the protocol nodes must agree with each other — these invariants
 catch double-charging and lost-delivery bugs that outcome-level tests
-could miss.
+could miss. Scenario generation lives in ``tests/strategies.py`` (shared
+with the fuzz subsystem); runs go through the declarative scenario API.
 """
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
-from repro.adversary.placement import RandomPlacement
-from repro.network.grid import GridSpec
 from repro.radio.messages import MessageKind
-from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
-
-SPEC = GridSpec(width=12, height=12, r=1, torus=True)
-
-scenario = st.fixed_dictionaries(
-    {
-        "t": st.integers(1, 2),
-        "mf": st.integers(0, 3),
-        "m": st.integers(1, 6),
-        "bad_count": st.integers(0, 10),
-        "seed": st.integers(0, 10**6),
-        "behavior": st.sampled_from(["jam", "lie", "none"]),
-    }
-)
+from repro.scenario import run
+from strategies import threshold_scenarios, threshold_spec
 
 
-def run(cfg):
-    return run_threshold_broadcast(
-        ThresholdRunConfig(
-            spec=SPEC,
-            t=cfg["t"],
-            mf=cfg["mf"],
-            placement=RandomPlacement(
-                t=cfg["t"], count=cfg["bad_count"], seed=cfg["seed"]
-            ),
-            protocol="b",
-            behavior=cfg["behavior"],
-            m=cfg["m"],
-            batch_per_slot=2,
-        )
-    )
+def run_cfg(cfg):
+    return run(threshold_spec(cfg))
 
 
 @settings(max_examples=25, deadline=None)
-@given(scenario)
+@given(threshold_scenarios)
 def test_transmission_counts_match_ledger(cfg):
-    report = run(cfg)
+    report = run_cfg(cfg)
     honest_sent = sum(report.ledger.sent(nid) for nid in report.table.good_ids)
     bad_sent = sum(report.ledger.sent(nid) for nid in report.table.bad_ids)
     assert report.stats.honest_transmissions == honest_sent
@@ -56,9 +30,9 @@ def test_transmission_counts_match_ledger(cfg):
 
 
 @settings(max_examples=25, deadline=None)
-@given(scenario)
+@given(threshold_scenarios)
 def test_delivery_counts_bounded_by_geometry(cfg):
-    report = run(cfg)
+    report = run_cfg(cfg)
     neighborhood = report.grid.spec.neighborhood_size
     total_tx = (
         report.stats.honest_transmissions + report.stats.byzantine_transmissions
@@ -68,9 +42,9 @@ def test_delivery_counts_bounded_by_geometry(cfg):
 
 
 @settings(max_examples=25, deadline=None)
-@given(scenario)
+@given(threshold_scenarios)
 def test_received_totals_match_deliveries_to_honest(cfg):
-    report = run(cfg)
+    report = run_cfg(cfg)
     received = sum(
         getattr(node, "received_total", 0) for node in report.nodes.values()
     )
@@ -81,9 +55,9 @@ def test_received_totals_match_deliveries_to_honest(cfg):
 
 
 @settings(max_examples=15, deadline=None)
-@given(scenario)
+@given(threshold_scenarios)
 def test_quiescent_runs_leave_no_affordable_pending(cfg):
-    report = run(cfg)
+    report = run_cfg(cfg)
     if report.stats.quiescent:
         for nid, node in report.nodes.items():
             if node.has_pending():

@@ -2,31 +2,20 @@
 
 Hypothesis generates random sets of non-interfering honest transmitters
 plus arbitrary Byzantine transmissions; the medium must always satisfy
-the paper's model invariants regardless of configuration.
+the paper's model invariants regardless of configuration. The world and
+traffic generators are the shared ones in ``tests/strategies.py``.
 """
 
 from hypothesis import given, settings, strategies as st
 
-from repro.network.grid import Grid, GridSpec
-from repro.radio.medium import Medium
-from repro.radio.messages import BadTransmission, Transmission
-from repro.radio.schedule import TdmaSchedule
-
-GRID = Grid(GridSpec(15, 15, r=2, torus=True))
-MEDIUM = Medium(GRID)
-SCHEDULE = TdmaSchedule(GRID)
-
-# Honest transmitters drawn from a single TDMA slot class => guaranteed
-# non-interfering, as the model requires.
-slot_class = st.integers(0, SCHEDULE.period - 1)
-bad_nodes = st.lists(
-    st.integers(0, GRID.n - 1), min_size=0, max_size=4, unique=True
+from repro.radio.messages import BadTransmission
+from strategies import (
+    MEDIUM,
+    MEDIUM_GRID as GRID,
+    honest_for_slot,
+    medium_bad_nodes as bad_nodes,
+    slot_classes as slot_class,
 )
-
-
-def honest_for_slot(slot, how_many):
-    owners = SCHEDULE.owners(slot)
-    return [Transmission(nid, 1) for nid in owners[:how_many]]
 
 
 @settings(max_examples=60, deadline=None)

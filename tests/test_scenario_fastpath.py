@@ -8,6 +8,10 @@ must be identical in every observable — outcome, costs, stats, and the
 per-node state the reference implementations maintain (``value_counts``
 / ``received_total`` / ``endorsements``). Same pattern as the PR-2
 recorded-traffic suite for ``resolve_slot_reference``.
+
+The base scenario comes from ``tests/strategies.py`` and report equality
+is asserted through :func:`repro.fuzz.compare_reports` — the same
+comparator the fuzz subsystem applies to sampled scenarios.
 """
 
 import pytest
@@ -15,9 +19,11 @@ import pytest
 import repro.protocols.flat as flat
 import repro.radio.mac as mac
 import repro.scenario.runner as runner_mod
-from repro.adversary.placement import LatticePlacement, RandomPlacement, StripePlacement
+from repro.adversary.placement import RandomPlacement, StripePlacement
+from repro.fuzz import compare_reports
 from repro.network.grid import GridSpec
 from repro.scenario import ScenarioSpec, run
+from strategies import equivalence_spec as _spec
 
 
 def _set_fast(monkeypatch, enabled: bool) -> None:
@@ -35,37 +41,7 @@ def _run_both(monkeypatch, spec):
 
 
 def _assert_reports_identical(fast, reference):
-    assert fast.outcome == reference.outcome
-    assert fast.costs == reference.costs
-    assert fast.stats == reference.stats
-    for nid, ref_node in reference.nodes.items():
-        node = fast.nodes[nid]
-        assert node.decided == ref_node.decided
-        assert node.accepted_value == ref_node.accepted_value
-        assert node.decide_round == ref_node.decide_round
-        if hasattr(ref_node, "received_total"):
-            assert node.received_total == ref_node.received_total
-        if hasattr(ref_node, "value_counts"):
-            assert node.value_counts == ref_node.value_counts
-        if hasattr(ref_node, "endorsements"):
-            assert dict(node.endorsements) == dict(ref_node.endorsements)
-
-
-GRID = GridSpec(width=15, height=15, r=1, torus=True)
-
-
-def _spec(**overrides) -> ScenarioSpec:
-    base = dict(
-        grid=GRID,
-        t=1,
-        mf=2,
-        placement=RandomPlacement(t=1, count=6, seed=11),
-        protocol="b",
-        m=4,
-        batch_per_slot=2,
-    )
-    base.update(overrides)
-    return ScenarioSpec(**base)
+    assert compare_reports(fast, reference) == []
 
 
 class TestFlatEngineAndDriverEquivalence:

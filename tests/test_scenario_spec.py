@@ -118,6 +118,40 @@ class TestJsonRoundTrip:
         with pytest.raises(ConfigurationError, match="unknown scenario key"):
             ScenarioSpec.from_dict(payload)
 
+    def test_misspelled_behavior_key_rejected_with_suggestion(self):
+        # Regression: a typo'd key in a hand-written scenario file must
+        # fail loudly, list the expected fields, and suggest the fix —
+        # never silently fall back to the default behavior.
+        payload = _spec().to_dict()
+        del payload["behavior"]
+        payload["behaviour"] = "lie"
+        with pytest.raises(ConfigurationError) as excinfo:
+            ScenarioSpec.from_dict(payload)
+        message = str(excinfo.value)
+        assert "'behaviour'" in message
+        assert "did you mean 'behavior'?" in message
+        assert "expected keys" in message and "placement" in message
+
+    def test_invalid_numeric_fields_rejected_at_construction(self):
+        # Validation tightening: a spec is either runnable or loudly
+        # invalid the moment it exists (the fuzz sampler's contract).
+        grid = GridSpec(width=30, height=30, r=2, torus=True)
+        placement = StripePlacement(y0=8, t=2)
+        with pytest.raises(ConfigurationError):  # t >= r(2r+1)
+            ScenarioSpec(grid=grid, t=10, mf=1, placement=placement)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(grid=grid, t=2, mf=-1, placement=placement)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(grid=grid, t=2, mf=1, placement=placement, max_rounds=0)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(
+                grid=grid, t=2, mf=1, placement=placement, batch_per_slot=0
+            )
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(grid=grid, t=2, mf=1, placement=placement, m=-2)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(grid=grid, t=2, mf=1, placement=placement, mmax=0)
+
     def test_missing_required_key_rejected(self):
         payload = _spec().to_dict()
         del payload["placement"]

@@ -1,0 +1,61 @@
+"""Property suite: ScenarioSpec serialization over the sampled spec space.
+
+Random *valid* specs (drawn through the shared fuzz sampler in
+``tests/strategies.py``) must round-trip through every serialization
+path with a stable content hash, and ``replace()`` must never produce a
+spec the decoder rejects — the contracts the result cache, the sweep
+seeding, and the fuzz corpus all lean on.
+"""
+
+import json
+
+from hypothesis import given, settings
+
+from repro.runner.parallel import point_key
+from repro.scenario import ScenarioSpec
+from strategies import scenario_specs
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario_specs())
+def test_dict_round_trip_is_exact(spec):
+    rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+    assert rebuilt == spec
+    assert rebuilt.content_hash() == spec.content_hash()
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario_specs())
+def test_json_round_trip_is_exact(spec):
+    rebuilt = ScenarioSpec.from_json(spec.to_json())
+    assert rebuilt == spec
+    assert rebuilt.content_hash() == spec.content_hash()
+    # A JSON round-trip of the *dict* form is also stable (file-on-disk
+    # scenarios go through json.load, not from_json).
+    assert ScenarioSpec.from_dict(json.loads(spec.to_json())) == spec
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario_specs())
+def test_content_hash_matches_point_key(spec):
+    # The sweep cache and point_seed key on exactly the spec's content.
+    assert point_key(spec) == spec.content_hash()
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario_specs())
+def test_replace_never_breaks_decodability(spec):
+    variants = [
+        spec.replace(seed=spec.seed + 1),
+        spec.replace(batch_per_slot=spec.batch_per_slot + 1),
+        spec.replace(behavior_params={"probe": 1}),
+        spec.replace(protected=None),
+        spec.replace(max_rounds=17),
+    ]
+    for variant in variants:
+        rebuilt = ScenarioSpec.from_json(variant.to_json())
+        assert rebuilt == variant
+        assert rebuilt.content_hash() == variant.content_hash()
+    # Unchanged fields keep the hash; changed fields move it.
+    assert spec.replace() == spec
+    assert spec.replace(seed=spec.seed + 1).content_hash() != spec.content_hash()
