@@ -26,6 +26,12 @@ class Adversary(ABC):
       ``observe`` has no observable effect and whose ``on_slot`` /
       ``has_pending`` read no delivery- or protocol-node-derived state,
       enabling the driver's burst dedup.
+    - ``observe_inert_when_broke``: set ``True`` on subclasses whose
+      ``observe`` maintains state that is only ever read by ``on_slot``
+      — so skipping ``observe`` entirely is unobservable in any run
+      where no bad node can ever transmit. The vectorized whole-grid
+      kernel (:mod:`repro.protocols.vectorized`) requires one of these
+      two flags (or an un-overridden ``observe``) to engage.
 
     Additionally, every adversary must satisfy the driver contract that
     ``on_slot`` is an effect-free ``[]`` once no bad node has ledger
@@ -34,6 +40,7 @@ class Adversary(ABC):
 
     spontaneous = True
     observe_stateless = False
+    observe_inert_when_broke = False
 
     @abstractmethod
     def on_slot(

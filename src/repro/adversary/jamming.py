@@ -48,6 +48,11 @@ class ThresholdGuardJammer(Adversary):
     spontaneous = False
     # observe_stateless stays False: on_slot reads the clean-copy counts
     # that observe maintains, plus protocol-node decision state.
+    #: ``observe`` only maintains ``_clean``, which nothing but
+    #: ``on_slot`` reads — skipping it is unobservable whenever the
+    #: jammer can never transmit (mf=0 or no bad nodes), which is what
+    #: lets the vectorized kernel take jam-behavior scenarios.
+    observe_inert_when_broke = True
 
     def __init__(
         self,

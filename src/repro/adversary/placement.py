@@ -208,6 +208,11 @@ class RandomPlacement(Placement):
     def bad_ids(self, grid: Grid, source: NodeId) -> set[NodeId]:
         if self.t < 1:
             raise PlacementError("random placement needs t >= 1")
+        if self.count <= 0:
+            # Identical result to the loop below (which would break on its
+            # first iteration) without shuffling the full id list — at 10^6
+            # nodes the shuffle costs more than the broadcast run.
+            return set()
         rng = random.Random(self.seed)
         candidates = [nid for nid in grid.all_ids() if nid != source]
         rng.shuffle(candidates)

@@ -11,6 +11,11 @@ of them forced onto the historical reference implementations — and then:
 2. checks every applicable :mod:`repro.fuzz.oracles` invariant on *both*
    reports.
 
+When NumPy is installed a third leg runs with the whole-grid vectorized
+kernel enabled (:mod:`repro.protocols.vectorized`) and is compared
+against the reference report the same way — every sampled case then
+cross-checks vectorized vs flat vs reference.
+
 Any violation is a *failure*: the case's spec is greedily shrunk
 (:func:`shrink_spec`) toward a smaller scenario that still fails, which
 the corpus layer writes out as a replayable JSON repro.
@@ -27,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 import repro.protocols.flat as flat
+import repro.protocols.vectorized as vectorized
 import repro.radio.mac as mac
 import repro.radio.medium as medium_mod
 import repro.scenario.runner as scenario_runner
@@ -39,24 +45,40 @@ from repro.scenario.runner import validate
 from repro.scenario.spec import ScenarioSpec
 
 #: The module globals one fuzz mode flips: every fast/reference seam the
-#: equivalence suites check individually, exercised together here.
+#: equivalence suites check individually, exercised together here. The
+#: vectorized-kernel flag is special-cased in :func:`_run_mode`: fast
+#: runs keep it *off* (so the flat engines stay under test) and the
+#: third, ``vector=True`` leg turns it on.
 MODE_FLAGS: tuple[tuple[Any, str], ...] = (
     (mac, "DEFAULT_FAST_DRIVER"),
     (flat, "DEFAULT_FLAT"),
     (medium_mod, "DEFAULT_FAST"),
     (scenario_runner, "DEFAULT_WARM_WORLD"),
+    (vectorized, "DEFAULT_VECTOR"),
 )
 
 
-def _run_mode(spec: ScenarioSpec, *, fast: bool):
+def _run_mode(spec: ScenarioSpec, *, fast: bool, vector: bool = False):
     """Run ``spec`` with all fast-path layers forced on or off.
+
+    ``vector=True`` (implies ``fast``) additionally enables the NumPy
+    whole-grid kernel — which engages only for eligible specs, so a
+    vector-mode report may still come from the flat engine; callers that
+    need to know check ``isinstance(report.nodes, vectorized.LazyNodeMap)``.
 
     Returns ``(report, medium)``; the medium is only captured for warm
     fast runs (it feeds the delivery-batch immutability oracle).
     """
+    values = {
+        (mac, "DEFAULT_FAST_DRIVER"): fast,
+        (flat, "DEFAULT_FLAT"): fast,
+        (medium_mod, "DEFAULT_FAST"): fast,
+        (scenario_runner, "DEFAULT_WARM_WORLD"): fast,
+        (vectorized, "DEFAULT_VECTOR"): fast and vector,
+    }
     saved = [getattr(module, name) for module, name in MODE_FLAGS]
     for module, name in MODE_FLAGS:
-        setattr(module, name, fast)
+        setattr(module, name, values[(module, name)])
     try:
         report = run_scenario(spec)
         medium = scenario_runner._world_for(spec)[2] if fast else None
@@ -149,6 +171,29 @@ def check_spec(spec: ScenarioSpec) -> list[str]:
             OracleContext(spec=spec, report=reference_report, mode="reference")
         )
     )
+    # Third leg of the differential: the NumPy whole-grid kernel. For
+    # kernel-ineligible specs this replays the flat path (still a valid
+    # determinism check); eligible ones cross-check the kernel proper.
+    if vectorized.available():
+        try:
+            vector_report, vector_medium = _run_mode(spec, fast=True, vector=True)
+        except Exception as exc:
+            failures.append(f"[vector] run raised {type(exc).__name__}: {exc}")
+            return failures
+        failures.extend(
+            f"[vector] {message}"
+            for message in compare_reports(vector_report, reference_report)
+        )
+        failures.extend(
+            check_invariants(
+                OracleContext(
+                    spec=spec,
+                    report=vector_report,
+                    medium=vector_medium,
+                    mode="vector",
+                )
+            )
+        )
     return failures
 
 

@@ -36,9 +36,50 @@ from __future__ import annotations
 from array import array
 from dataclasses import dataclass
 
+try:  # optional accelerator; every path below has a pure-python twin
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
 from repro.errors import ConfigurationError
 from repro.geometry.linf import chebyshev, chebyshev_torus, linf_ball_offsets
 from repro.types import Coord, NodeId
+
+#: Build the CSR neighbor table with NumPy when it is available. The
+#: result is byte-identical to the python build (tests pin this); the
+#: flag exists so the differential suite can force the python path.
+DEFAULT_FAST_BUILD = True
+
+
+class _LazyNeighborView:
+    """List-like per-node neighbor tuples, materialized on first access.
+
+    The numpy grid build produces only the flat CSR arrays; this view
+    recovers the legacy ``list[tuple[NodeId, ...]]`` interface without
+    paying for a million tuple allocations up front. Materialized rows
+    are cached, so hot loops that iterate one node's tuple repeatedly
+    (adversary plans, the slot resolver) see plain pre-boxed ints
+    exactly like the eager build.
+    """
+
+    __slots__ = ("_rows", "_make")
+
+    def __init__(self, n: int, make) -> None:
+        self._rows: list[tuple[NodeId, ...] | None] = [None] * n
+        self._make = make
+
+    def __getitem__(self, node_id: NodeId) -> tuple[NodeId, ...]:
+        row = self._rows[node_id]
+        if row is None:
+            row = self._rows[node_id] = self._make(node_id)
+        return row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        for node_id in range(len(self._rows)):
+            yield self[node_id]
 
 
 @dataclass(frozen=True)
@@ -109,11 +150,52 @@ class Grid:
         self.r = spec.r
         self.torus = spec.torus
         self.n = spec.n
-        self._neighbors: list[tuple[NodeId, ...]] = self._build_neighbors()
-        self.neighbor_starts: array
-        self.neighbor_ids: array
-        self._neighbors_sorted: list[tuple[NodeId, ...]]
-        self._build_flat_neighbors()
+        # CSR table backing: the python build fills the array('q') pair
+        # eagerly; the numpy build keeps int64 arrays and materializes
+        # the array('q') views lazily (a 10^6-node grid pays the 200MB
+        # copy only if a python-loop consumer actually asks for it).
+        self._starts_arr: array | None = None
+        self._ids_arr: array | None = None
+        self._starts_np = None
+        self._ids_np = None
+        if _np is not None and DEFAULT_FAST_BUILD:
+            self._build_neighbors_numpy()
+        else:
+            self._neighbors: list[tuple[NodeId, ...]] = self._build_neighbors()
+            self._neighbors_sorted: list[tuple[NodeId, ...]]
+            self._build_flat_neighbors()
+
+    # -- CSR views --------------------------------------------------------
+
+    @property
+    def neighbor_starts(self) -> array:
+        """``n + 1`` segment offsets into :attr:`neighbor_ids` (``array('q')``)."""
+        arr = self._starts_arr
+        if arr is None:
+            arr = self._starts_arr = array("q")
+            arr.frombytes(self._starts_np.reshape(-1).data.cast("B"))
+        return arr
+
+    @property
+    def neighbor_ids(self) -> array:
+        """All neighbor ids, ascending within each segment (``array('q')``)."""
+        arr = self._ids_arr
+        if arr is None:
+            arr = self._ids_arr = array("q")
+            arr.frombytes(self._ids_np.reshape(-1).data.cast("B"))
+        return arr
+
+    def csr_arrays(self):
+        """The CSR table as ``(starts, ids)`` int64 NumPy arrays.
+
+        Zero-copy from whichever backing the build produced; only valid
+        when NumPy is importable (the vector kernel is the consumer).
+        """
+        if self._starts_np is not None:
+            return self._starts_np, self._ids_np
+        starts = _np.frombuffer(self.neighbor_starts, dtype=_np.int64)
+        ids = _np.frombuffer(self.neighbor_ids, dtype=_np.int64)
+        return starts, ids
 
     # -- identity ---------------------------------------------------------
 
@@ -200,11 +282,87 @@ class Grid:
         for ids in self._neighbors:
             flat.extend(sorted(ids))
             starts.append(len(flat))
-        self.neighbor_starts = starts
-        self.neighbor_ids = flat
+        self._starts_arr = starts
+        self._ids_arr = flat
         self._neighbors_sorted = [
             tuple(flat[starts[v] : starts[v + 1]]) for v in range(self.n)
         ]
+
+    def _build_neighbors_numpy(self) -> None:
+        """NumPy twin of the neighbor-table build (identical output).
+
+        An interior node's ascending neighbor ids are exactly
+        ``id + sorted(dy*width + dx)`` — a single broadcast add, no
+        per-row sort. Only the O(r * perimeter) rows within ``r`` of an
+        edge wrap (torus) or truncate (bounded); those few are fixed up
+        with the scalar formula. The legacy per-node tuple views
+        (``_neighbors`` in offset order, ``_neighbors_sorted``
+        ascending) become lazy slices so a 10^6-node grid never
+        materializes a million tuples it will not touch.
+        """
+        offsets = linf_ball_offsets(self.r)
+        width, height, n, r = self.width, self.height, self.n, self.r
+        k = len(offsets)
+        interior_offs = _np.array(
+            sorted(dy * width + dx for dx, dy in offsets), dtype=_np.int64
+        )
+        ids = _np.arange(n, dtype=_np.int64)
+        cols = ids[:, None] + interior_offs
+        xs = ids % width
+        ys = ids // width
+        edge = (xs < r) | (xs >= width - r) | (ys < r) | (ys >= height - r)
+        sentinel = n  # bounded rows are padded; sentinels never survive
+        for v in _np.nonzero(edge)[0].tolist():
+            x, y = v % width, v // width
+            if self.torus:
+                row = sorted(
+                    ((y + dy) % height) * width + ((x + dx) % width)
+                    for dx, dy in offsets
+                )
+            else:
+                row = sorted(
+                    (y + dy) * width + (x + dx)
+                    for dx, dy in offsets
+                    if 0 <= x + dx < width and 0 <= y + dy < height
+                )
+                row += [sentinel] * (k - len(row))
+            cols[v, :] = row
+        if self.torus:
+            flat_np = cols.reshape(-1)
+            starts_np = _np.arange(0, (n + 1) * k, k, dtype=_np.int64)
+        else:
+            keep = cols < sentinel
+            flat_np = cols[keep]
+            starts_np = _np.zeros(n + 1, dtype=_np.int64)
+            _np.cumsum(keep.sum(axis=1), out=starts_np[1:])
+        self._starts_np = _np.ascontiguousarray(starts_np)
+        self._ids_np = _np.ascontiguousarray(flat_np)
+        self._neighbors = _LazyNeighborView(n, self._offset_row)
+        self._neighbors_sorted = _LazyNeighborView(n, self._sorted_row)
+
+    def _offset_row(self, node_id: NodeId) -> tuple[NodeId, ...]:
+        """One node's neighbors in ball-offset order (the legacy order)."""
+        offsets = linf_ball_offsets(self.r)
+        width, height = self.width, self.height
+        x, y = node_id % width, node_id // width
+        if self.torus:
+            return tuple(
+                ((y + dy) % height) * width + ((x + dx) % width)
+                for dx, dy in offsets
+            )
+        return tuple(
+            (y + dy) * width + (x + dx)
+            for dx, dy in offsets
+            if 0 <= x + dx < width and 0 <= y + dy < height
+        )
+
+    def _sorted_row(self, node_id: NodeId) -> tuple[NodeId, ...]:
+        """One node's neighbors ascending, sliced from the CSR table."""
+        starts, ids = self._starts_np, self._ids_np
+        if ids is not None:  # slice the int64 backing; tolist boxes to int
+            return tuple(ids[starts[node_id] : starts[node_id + 1]].tolist())
+        starts = self.neighbor_starts
+        return tuple(self.neighbor_ids[starts[node_id] : starts[node_id + 1]])
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         kind = "torus" if self.torus else "bounded"

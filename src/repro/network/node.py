@@ -7,8 +7,9 @@ and validates the paper's standing assumptions eagerly:
 - the bad set is *locally bounded*: no neighborhood (closed L∞ ball of
   radius r around any node) contains more than ``t`` bad nodes.
 
-The local-boundedness check is O(n·(2r+1)²) and runs once per scenario;
-placements that violate it fail fast with :class:`PlacementError`.
+The local-boundedness check scans only the neighborhoods of bad nodes
+(O(bad·(2r+1)⁴)) and runs once per scenario; placements that violate it
+fail fast with :class:`PlacementError`.
 """
 
 from __future__ import annotations
@@ -85,8 +86,22 @@ class NodeTable:
         return max(self.bad_in_neighborhood(nid) for nid in self.grid.all_ids())
 
     def validate_locally_bounded(self, t: int) -> None:
-        """Raise :class:`PlacementError` unless every neighborhood has <= t bad."""
-        for node_id in self.grid.all_ids():
+        """Raise :class:`PlacementError` unless every neighborhood has <= t bad.
+
+        Only a node within ``r`` of a bad node can exceed the bound, so
+        the scan covers the union of the bad nodes' closed neighborhoods
+        — O(bad * (2r+1)^4) instead of O(n * (2r+1)^2), which is what
+        lets a 10^6-node grid with a handful of bad nodes validate
+        instantly. Candidates are visited in ascending id order so the
+        first violation reported is identical to the full scan's.
+        """
+        if not self.bad:
+            return
+        candidates: set[NodeId] = set()
+        for bad_id in self.bad:
+            candidates.add(bad_id)
+            candidates.update(self.grid.neighbors(bad_id))
+        for node_id in sorted(candidates):
             count = self.bad_in_neighborhood(node_id)
             if count > t:
                 raise PlacementError(

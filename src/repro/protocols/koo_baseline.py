@@ -54,6 +54,18 @@ def _build_koo(ctx):
     )
 
 
+def _vector_koo(ctx):
+    """Array program for the whole-grid kernel (same formulas as
+    :func:`_build_koo`)."""
+    from repro.protocols import vectorized
+
+    spec, params = ctx.spec, ctx.params
+    good_budget = spec.m if spec.m is not None else params.source_sends
+    return vectorized.homogeneous_program(
+        ctx, relay=koo_budget(params.t, params.mf), good_budget=good_budget
+    )
+
+
 from repro.scenario.registries import ProtocolEntry, protocols as _protocols  # noqa: E402
 
 _protocols.register(
@@ -63,5 +75,6 @@ _protocols.register(
         _build_koo,
         default_behavior="jam",
         description="Koo et al. repetition baseline [14]: 2tmf+1 per node",
+        vector_build=_vector_koo,
     ),
 )

@@ -76,6 +76,24 @@ def _build_protocol_b(ctx):
     )
 
 
+def _vector_protocol_b(ctx):
+    """Array program for the whole-grid kernel — same formulas as
+    :func:`_build_protocol_b` (the triple-differential suite pins the
+    two against each other, so any drift fails loudly)."""
+    from repro.protocols import vectorized
+
+    spec, params = ctx.spec, ctx.params
+    relay = spec.protocol_params.get("relay_override")
+    if relay is None:
+        relay = protocol_b_relay_count(params.r, params.t, params.mf)
+    good_budget = (
+        spec.m
+        if spec.m is not None
+        else protocol_b_required_budget(spec.grid.r, spec.t, spec.mf)
+    )
+    return vectorized.homogeneous_program(ctx, relay=relay, good_budget=good_budget)
+
+
 from repro.scenario.registries import ProtocolEntry, protocols as _protocols  # noqa: E402
 
 _protocols.register(
@@ -85,5 +103,6 @@ _protocols.register(
         _build_protocol_b,
         default_behavior="jam",
         description="protocol B (§3): homogeneous budgets, pooled relays",
+        vector_build=_vector_protocol_b,
     ),
 )

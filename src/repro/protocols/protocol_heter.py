@@ -51,6 +51,18 @@ def _build_heter(ctx):
     )
 
 
+def _vector_heter(ctx):
+    """Array program for the whole-grid kernel (same Figure-5 assignment
+    as :func:`_build_heter`; relay count = assigned budget)."""
+    from repro.analysis.budgets import heterogeneous_assignment
+    from repro.protocols import vectorized
+
+    assignment = heterogeneous_assignment(
+        ctx.grid, ctx.source, ctx.spec.t, ctx.spec.mf
+    )
+    return vectorized.assignment_program(ctx, assignment)
+
+
 from repro.scenario.registries import ProtocolEntry, protocols as _protocols  # noqa: E402
 
 _protocols.register(
@@ -60,5 +72,6 @@ _protocols.register(
         _build_heter,
         default_behavior="jam",
         description="protocol B_heter (§4): cross m', elsewhere m0",
+        vector_build=_vector_heter,
     ),
 )

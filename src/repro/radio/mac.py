@@ -337,7 +337,19 @@ class RoundDriver:
                     if not bucket:
                         occupied.append(slot)
                     bucket.append(nid)
+            scan = None  # already ascending: _honest_ids order
         occupied.sort()
+        if scan is not None:
+            # The scan list holds pending-arrival order, but the
+            # reference loop fills buckets in ascending id order — and
+            # order-sensitive adversaries observe it: SpoofingJammer
+            # allocates its per-slot jammers to victims in list order,
+            # so an unsorted bucket jams different victims and forges
+            # different endorsements than the reference run.
+            for slot in occupied:
+                bucket = by_slot[slot]
+                if len(bucket) > 1:
+                    bucket.sort()
 
         if not active and self._peek_ok:
             return self._run_round_predictable(round_index)

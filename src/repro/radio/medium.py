@@ -199,16 +199,19 @@ class Medium:
     def __init__(self, grid: Grid, *, fast: bool | None = None) -> None:
         self.grid = grid
         self.fast = DEFAULT_FAST if fast is None else fast
-        n = grid.n
-        # Reusable flat scratch (multi-transmission slots). All buffers
+        # Reusable flat scratch (multi-transmission slots), allocated on
+        # the first multi-transmission slot: vectorized-kernel runs (and
+        # single-transmission workloads) never resolve one, and five
+        # O(n) buffers are real money on a 10^6-node grid. All buffers
         # are restored to their idle state after every call — including
         # on the ScheduleConflictError path — via the touched list.
-        self._transmitting = bytearray(n)
-        self._heard = bytearray(n)  # 0, 1, or 2 meaning "two or more"
-        self._single = [0] * n  # tx index while heard == 1
-        self._ctrl_sender = [n] * n  # min Byzantine sender heard (n = none)
-        self._ctrl_idx = [0] * n  # its index into the byzantine list
-        self._touched: list[NodeId] = []
+        self._scratch_ready = False
+        self._transmitting: bytearray
+        self._heard: bytearray
+        self._single: list[int]
+        self._ctrl_sender: list[int]
+        self._ctrl_idx: list[int]
+        self._touched: list[NodeId]
         # (tuple(honest), tuple(byzantine)) -> DeliveryBatch. Transmissions
         # are frozen dataclasses, so the key captures the slot's entire
         # input, including list order (which breaks equal-id Byzantine
@@ -269,11 +272,23 @@ class Medium:
 
     # -- fast path ---------------------------------------------------------
 
+    def _ensure_scratch(self) -> None:
+        n = self.grid.n
+        self._transmitting = bytearray(n)
+        self._heard = bytearray(n)  # 0, 1, or 2 meaning "two or more"
+        self._single = [0] * n  # tx index while heard == 1
+        self._ctrl_sender = [n] * n  # min Byzantine sender heard (n = none)
+        self._ctrl_idx = [0] * n  # its index into the byzantine list
+        self._touched = []
+        self._scratch_ready = True
+
     def _resolve_flat(
         self,
         honest: list[Transmission],
         byzantine: list[BadTransmission],
     ) -> DeliveryBatch:
+        if not self._scratch_ready:
+            self._ensure_scratch()
         grid = self.grid
         n = grid.n
         neighbors = grid._neighbors_sorted

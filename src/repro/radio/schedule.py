@@ -14,6 +14,11 @@ otherwise the coloring would break across the wrap seam.)
 
 from __future__ import annotations
 
+try:  # optional accelerator for the slot-table build
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
 from repro.errors import ScheduleConflictError
 from repro.network.grid import Grid
 from repro.types import NodeId
@@ -28,10 +33,18 @@ class TdmaSchedule:
         self.side = side
         self.period = side * side
         width = grid.width
-        self._slot_of: list[int] = [
-            (node_id % width) % side + side * ((node_id // width) % side)
-            for node_id in range(grid.n)
-        ]
+        if _np is not None:
+            # Same list of python ints, built ~10x faster — measurable
+            # at 10^6 nodes, where the comprehension alone costs ~1s.
+            ids = _np.arange(grid.n, dtype=_np.int64)
+            self._slot_of: list[int] = (
+                ((ids % width) % side + side * ((ids // width) % side)).tolist()
+            )
+        else:
+            self._slot_of = [
+                (node_id % width) % side + side * ((node_id // width) % side)
+                for node_id in range(grid.n)
+            ]
 
     def slot_of(self, node_id: NodeId) -> int:
         """The slot index (within the period) owned by a node."""

@@ -13,7 +13,9 @@ PRs can gate on regressions:
   (quickstart, theorem2, figure2, reactive) — with every scenario-level
   optimization enabled (batched round driver, flat protocol engines,
   warm world cache) vs all of them disabled (the slot-by-slot
-  pre-fast-path shape), appending to ``BENCH_scenario_run.json``.
+  pre-fast-path shape), appending to ``BENCH_scenario_run.json``; when
+  NumPy is present the entry also carries a ``vector`` section timing
+  the whole-grid kernel on the 10^6-node ``megatorus`` preset.
 
 Common flags::
 
@@ -250,18 +252,24 @@ def check_regression(
     factor: float = REGRESSION_FACTOR,
     label: str = "slot-resolution",
 ) -> str | None:
-    """Compare ``entry`` against the last trajectory entry on disk.
+    """Compare ``entry`` against the last *like-for-like* entry on disk.
 
     Returns an error message when the new overall speedup regressed by
-    more than ``factor`` versus the last recorded run, ``None`` otherwise
-    (including when there is no usable trajectory yet).
+    more than ``factor`` versus the last recorded run of the same
+    flavor, ``None`` otherwise (including when there is no usable
+    trajectory yet). Quick and full runs use different repeat counts, so
+    a quick entry only gates against the last quick entry and a full one
+    against the last full one — a trajectory that interleaves both must
+    not compare across flavors.
     """
     path = Path(out_path)
     try:
         runs = json.loads(path.read_text(encoding="utf-8"))["runs"]
-        last = runs[-1]
+        flavor = bool(entry.get("quick"))
+        matching = [r for r in runs if bool(r.get("quick")) == flavor]
+        last = matching[-1]
         baseline = float(last["overall_speedup"])
-    except (OSError, ValueError, KeyError, IndexError, TypeError):
+    except (OSError, ValueError, KeyError, IndexError, TypeError, AttributeError):
         return None
     current = entry["overall_speedup"]
     if current * factor < baseline:
@@ -277,6 +285,16 @@ def check_regression(
 
 #: Bundled presets the scenario benchmark times, in reporting order.
 SCENARIO_BENCH_PRESETS = ("quickstart", "theorem2", "figure2", "reactive")
+
+#: The vectorized-kernel showcase timed as the trajectory's ``vector``
+#: section: the 10^6-node torus that only the NumPy backend can finish
+#: in seconds.
+VECTOR_BENCH_PRESET = "megatorus"
+
+#: Side length of the scaled-down replica the vector section uses to
+#: cross-check kernel-vs-flat equivalence before timing the full preset
+#: (whose flat run would take minutes).
+_VECTOR_CHECK_SIDE = 100
 
 
 @dataclass(frozen=True)
@@ -299,13 +317,21 @@ class ScenarioRunTiming:
 
 
 class _scenario_flags:
-    """Temporarily force every scenario-level optimization on or off."""
+    """Temporarily force every scenario-level optimization on or off.
 
-    def __init__(self, enabled: bool) -> None:
+    ``vector`` overrides the NumPy whole-grid kernel flag independently
+    (the vector bench section needs "everything fast *except* the
+    kernel" for its flat cross-check leg); by default it follows
+    ``enabled``.
+    """
+
+    def __init__(self, enabled: bool, *, vector: bool | None = None) -> None:
         self.enabled = enabled
+        self.vector = enabled if vector is None else vector
 
     def __enter__(self) -> None:
         import repro.protocols.flat as flat
+        import repro.protocols.vectorized as vectorized
         import repro.radio.mac as mac
         import repro.scenario.runner as scenario_runner
 
@@ -313,13 +339,16 @@ class _scenario_flags:
             mac.DEFAULT_FAST_DRIVER,
             flat.DEFAULT_FLAT,
             scenario_runner.DEFAULT_WARM_WORLD,
+            vectorized.DEFAULT_VECTOR,
         )
         mac.DEFAULT_FAST_DRIVER = self.enabled
         flat.DEFAULT_FLAT = self.enabled
         scenario_runner.DEFAULT_WARM_WORLD = self.enabled
+        vectorized.DEFAULT_VECTOR = self.vector
 
     def __exit__(self, *exc_info) -> None:
         import repro.protocols.flat as flat
+        import repro.protocols.vectorized as vectorized
         import repro.radio.mac as mac
         import repro.scenario.runner as scenario_runner
 
@@ -327,6 +356,7 @@ class _scenario_flags:
             mac.DEFAULT_FAST_DRIVER,
             flat.DEFAULT_FLAT,
             scenario_runner.DEFAULT_WARM_WORLD,
+            vectorized.DEFAULT_VECTOR,
         ) = self._saved
 
 
@@ -341,10 +371,77 @@ def _best_run_time(run_fn, repeats: int) -> float:
     return best
 
 
+def _vector_bench_section(preset_name: str, *, quick: bool) -> dict:
+    """Time the vectorized kernel's showcase preset (trajectory ``vector`` key).
+
+    Without NumPy the section records ``available: False`` and skips.
+    With it, a scaled-down replica of the preset's grid is first run
+    through the kernel and through the flat engines, and the reports
+    compared field-for-field — the benchmark refuses to time a kernel
+    that disagrees with its reference twin. The full preset is then
+    timed with the kernel required to engage.
+    """
+    from repro.protocols import vectorized
+    from repro.scenario import preset as load_preset
+    from repro.scenario import run as run_scenario
+
+    if not vectorized.available():
+        return {"preset": preset_name, "available": False}
+    spec = load_preset(preset_name)
+    check_grid = GridSpec(
+        width=_VECTOR_CHECK_SIDE,
+        height=_VECTOR_CHECK_SIDE,
+        r=spec.grid.r,
+        torus=spec.grid.torus,
+    )
+    check_spec = spec.replace(grid=check_grid)
+    with _scenario_flags(True, vector=False):
+        flat_report = run_scenario(check_spec)
+    with _scenario_flags(True):
+        vector_report = run_scenario(check_spec)
+        if not isinstance(
+            vector_report.nodes, vectorized.LazyNodeMap
+        ):  # pragma: no cover - safety net
+            raise AssertionError(
+                f"vector kernel did not engage on the {preset_name!r} "
+                f"cross-check replica"
+            )
+        if (
+            vector_report.outcome != flat_report.outcome
+            or vector_report.costs != flat_report.costs
+            or vector_report.stats != flat_report.stats
+        ):  # pragma: no cover - safety net
+            raise AssertionError(
+                f"vector/flat scenario divergence on the {preset_name!r} "
+                f"cross-check replica"
+            )
+        report = run_scenario(spec)
+        if not isinstance(
+            report.nodes, vectorized.LazyNodeMap
+        ):  # pragma: no cover - safety net
+            raise AssertionError(
+                f"vector kernel did not engage on preset {preset_name!r}"
+            )
+        run_s = _best_run_time(
+            lambda: run_scenario(spec), 1 if quick else 2
+        )
+    return {
+        "preset": preset_name,
+        "available": True,
+        "n": spec.grid.width * spec.grid.height,
+        "check_grid": f"{check_grid.width}x{check_grid.height}",
+        "rounds": report.stats.rounds,
+        "deliveries": report.stats.deliveries,
+        "success": report.success,
+        "run_s": run_s,
+    }
+
+
 def run_scenario_bench(
     *,
     quick: bool = False,
     presets: tuple[str, ...] = SCENARIO_BENCH_PRESETS,
+    vector_preset: str | None = VECTOR_BENCH_PRESET,
 ) -> dict:
     """Measure end-to-end ``run(spec)`` fast vs legacy on bundled presets.
 
@@ -352,6 +449,9 @@ def run_scenario_bench(
     reports compared field-for-field (outcome, costs, stats) — the
     benchmark refuses to time paths that disagree. Timings are
     best-of-N full runs; ``quick`` cuts N for CI smoke runs.
+    ``vector_preset`` adds the NumPy kernel's showcase as the entry's
+    ``vector`` section (``None`` skips it); it never feeds the overall
+    speedup, whose legacy leg would take minutes at 10^6 nodes.
     """
     from repro.scenario import preset as load_preset
     from repro.scenario import run as run_scenario
@@ -390,7 +490,7 @@ def run_scenario_bench(
             )
         )
 
-    return {
+    entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": sys.version.split()[0],
         "quick": quick,
@@ -399,6 +499,9 @@ def run_scenario_bench(
         "scenarios": [asdict(s) for s in scenarios],
         "overall_speedup": total_legacy / total_fast,
     }
+    if vector_preset is not None:
+        entry["vector"] = _vector_bench_section(vector_preset, quick=quick)
+    return entry
 
 
 def format_scenario_entry(entry: dict) -> str:
@@ -425,7 +528,22 @@ def format_scenario_entry(entry: dict) -> str:
             f"{entry['legacy_repeats']} legacy runs)"
         ),
     )
-    return f"{table}\noverall speedup: {entry['overall_speedup']:.1f}x"
+    lines = [table, f"overall speedup: {entry['overall_speedup']:.1f}x"]
+    vector = entry.get("vector")
+    if vector is not None:
+        if vector.get("available"):
+            lines.append(
+                f"vector kernel [{vector['preset']}]: {vector['n']} nodes in "
+                f"{vector['run_s']:.2f}s ({vector['rounds']} rounds, "
+                f"{vector['deliveries']} deliveries, "
+                f"success={vector['success']})"
+            )
+        else:
+            lines.append(
+                f"vector kernel [{vector['preset']}]: skipped, NumPy "
+                f"unavailable"
+            )
+    return "\n".join(lines)
 
 
 def _trajectory_kind_mismatch(out: str | Path, benchmark: str) -> str | None:

@@ -71,6 +71,29 @@ def _figure2() -> ScenarioSpec:
     return paper_spec()
 
 
+def _megatorus() -> ScenarioSpec:
+    """10^6-node torus broadcast — the vectorized kernel's showcase.
+
+    A 1000x1000 torus at ``r=2`` (1000 is a multiple of ``2r+1``; ``r=1``
+    is impossible since 1000 is not a multiple of 3) with zero placed
+    bad nodes, so the adversary can never transmit and the run is
+    eligible for the NumPy whole-grid round kernel. Per-node engines
+    would need minutes for this instance; the kernel completes it in
+    seconds.
+    """
+    t = 1
+    return ScenarioSpec(
+        grid=GridSpec(width=1000, height=1000, r=2, torus=True),
+        t=t,
+        mf=1,
+        placement=RandomPlacement(t=t, count=0, seed=0),
+        protocol="b",
+        behavior="none",
+        batch_per_slot=4,
+        seed=0,
+    )
+
+
 def _reactive() -> ScenarioSpec:
     """B_reactive with the adversary's budget unknown to the protocol (§5)."""
     r, t, mf = 1, 1, 2
@@ -90,6 +113,7 @@ _PRESETS: dict[str, Callable[[], ScenarioSpec]] = {
     "stripe-impossibility": _stripe_impossibility,
     "theorem2": _theorem2,
     "figure2": _figure2,
+    "megatorus": _megatorus,
     "reactive": _reactive,
 }
 

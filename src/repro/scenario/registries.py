@@ -140,12 +140,21 @@ class ProtocolBuild:
 
 @dataclass(frozen=True)
 class ProtocolEntry:
-    """One registered protocol: a name plus its scenario assembly hook."""
+    """One registered protocol: a name plus its scenario assembly hook.
+
+    ``vector_build``, when present, returns the protocol's
+    :class:`~repro.protocols.vectorized.ThresholdProgram` — the array
+    form the whole-grid NumPy kernel executes instead of materializing
+    per-node objects. It must encode exactly the relay/budget/round-cap
+    choices ``build`` would make (the triple-differential suite pins
+    this); returning ``None`` falls back to the per-node path.
+    """
 
     name: str
     build: Callable[[BuildContext], ProtocolBuild]
     default_behavior: str
     description: str = ""
+    vector_build: Callable[[BuildContext], Any] | None = None
 
 
 @dataclass(frozen=True)

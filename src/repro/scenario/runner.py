@@ -25,7 +25,7 @@ from repro.analysis.verify import collect_costs, collect_outcome
 from repro.errors import ConfigurationError
 from repro.network.grid import Grid
 from repro.network.node import NodeTable
-from repro.protocols import flat
+from repro.protocols import flat, vectorized
 from repro.protocols.base import BroadcastParams
 from repro.radio.budget import BudgetLedger
 from repro.radio.mac import RoundDriver, RunLimits
@@ -147,6 +147,23 @@ def run(
     source = grid.id_of(spec.source)
     table = _table_for(spec, grid, source)
     params = BroadcastParams(r=spec.grid.r, t=spec.t, mf=spec.mf, vtrue=spec.vtrue)
+
+    # Whole-grid NumPy kernel: engages only for runs it can reproduce
+    # bit-for-bit (threshold protocol, inert adversary, no tracing — see
+    # repro.protocols.vectorized); everything else falls through to the
+    # per-node assembly below untouched.
+    vector_report = vectorized.try_vector_run(
+        spec,
+        protocol,
+        grid,
+        table,
+        source,
+        params,
+        tracer=tracer,
+        adversary_override=adversary_override,
+    )
+    if vector_report is not None:
+        return vector_report
 
     build = protocol.build(
         BuildContext(spec=spec, grid=grid, table=table, source=source, params=params)

@@ -44,6 +44,26 @@ def scenario_specs(
     return st.integers(0, 2**32 - 1).map(build)
 
 
+def vector_candidate_specs() -> st.SearchStrategy[ScenarioSpec]:
+    """Sampler-shaped threshold-protocol specs for the triple differential.
+
+    Half the draws force ``mf=0`` so the vectorized kernel's engagement
+    condition (adversary can never transmit) is hit often; the rest keep
+    the sampled ``mf`` and exercise the fall-through path. Degenerate
+    stripe grids and ``max_rounds=1`` caps arrive through the sampler
+    exactly as ``repro fuzz`` would produce them.
+    """
+
+    def build(pair: tuple[int, bool]) -> ScenarioSpec:
+        seed, force_broke = pair
+        spec = sample_spec(
+            random.Random(seed), protocols=("b", "koo", "heter")
+        )
+        return spec.replace(mf=0) if force_broke else spec
+
+    return st.tuples(st.integers(0, 2**32 - 1), st.booleans()).map(build)
+
+
 # -- the PR-4 equivalence-suite base scenario ----------------------------------
 
 EQUIVALENCE_GRID = GridSpec(width=15, height=15, r=1, torus=True)

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 import repro.protocols.flat as flat
 import repro.radio.mac as mac
 import repro.scenario.runner as runner_mod
@@ -19,7 +21,9 @@ def test_default_out_is_the_scenario_trajectory():
 
 
 def test_quick_bench_single_preset_entry_shape():
-    entry = run_scenario_bench(quick=True, presets=("quickstart",))
+    entry = run_scenario_bench(
+        quick=True, presets=("quickstart",), vector_preset=None
+    )
     assert entry["quick"] is True
     (timing,) = entry["scenarios"]
     assert timing["name"] == "quickstart"
@@ -57,6 +61,111 @@ def test_trajectory_append_and_regression_gate(tmp_path):
         "t0",
         "t1",
     ]
+
+
+def test_regression_gate_ignores_other_flavor_entries(tmp_path):
+    """Quick entries gate against quick history only (and full vs full).
+
+    Quick and full runs use different repeat counts, so their speedups
+    are not comparable; the gate used to read ``runs[-1]`` regardless of
+    flavor, which both hid real quick-flavor regressions behind a slow
+    full entry and raised spurious failures the other way around.
+    """
+    out = tmp_path / "BENCH_scenario_run.json"
+    quick_fast = {"timestamp": "t0", "quick": True, "overall_speedup": 9.0}
+    full_slow = {"timestamp": "t1", "quick": False, "overall_speedup": 2.0}
+    append_trajectory(quick_fast, out, benchmark="scenario_run")
+    append_trajectory(full_slow, out, benchmark="scenario_run")
+
+    # A regressed quick run must gate against the quick 9.0x baseline,
+    # not slip past by comparing to the trailing full 2.0x entry.
+    regressed_quick = {"timestamp": "t2", "quick": True, "overall_speedup": 5.0}
+    message = check_regression(regressed_quick, out, label="scenario-run")
+    assert message is not None and "9.0x" in message
+
+    # A full run slightly under the full baseline must pass, not gate
+    # against the quick entry's inflated 9.0x.
+    fine_full = {"timestamp": "t3", "quick": False, "overall_speedup": 1.9}
+    assert check_regression(fine_full, out, label="scenario-run") is None
+
+    # With no same-flavor history at all, the gate stays silent.
+    only_full = tmp_path / "full_only.json"
+    append_trajectory(full_slow, only_full, benchmark="scenario_run")
+    assert check_regression(regressed_quick, only_full) is None
+
+
+def test_vector_section_cross_checks_then_times(monkeypatch):
+    pytest.importorskip("numpy")
+    import repro.runner.bench as bench
+    from repro.adversary.placement import RandomPlacement
+    from repro.network.grid import GridSpec
+    from repro.scenario import ScenarioSpec
+    from repro.scenario import presets as presets_mod
+
+    def _minitorus():
+        return ScenarioSpec(
+            grid=GridSpec(width=15, height=15, r=2, torus=True),
+            t=1,
+            mf=1,
+            placement=RandomPlacement(t=1, count=0, seed=0),
+            protocol="b",
+            behavior="none",
+            batch_per_slot=4,
+            seed=0,
+        )
+
+    monkeypatch.setitem(presets_mod._PRESETS, "minitorus", _minitorus)
+    monkeypatch.setattr(bench, "_VECTOR_CHECK_SIDE", 10)
+    section = bench._vector_bench_section("minitorus", quick=True)
+    assert section == {
+        "preset": "minitorus",
+        "available": True,
+        "n": 225,
+        "check_grid": "10x10",
+        "rounds": section["rounds"],
+        "deliveries": section["deliveries"],
+        "success": True,
+        "run_s": section["run_s"],
+    }
+    assert section["rounds"] > 0
+    assert section["deliveries"] > 0
+    assert section["run_s"] > 0
+    # The flag flip-flopping must leave the process defaults untouched.
+    import repro.protocols.vectorized as vectorized
+
+    assert vectorized.DEFAULT_VECTOR
+
+
+def test_format_scenario_entry_renders_vector_section():
+    base = {
+        "fast_repeats": 2,
+        "legacy_repeats": 1,
+        "scenarios": [],
+        "overall_speedup": 3.0,
+    }
+    with_kernel = dict(
+        base,
+        vector={
+            "preset": "megatorus",
+            "available": True,
+            "n": 1000000,
+            "check_grid": "100x100",
+            "rounds": 334,
+            "deliveries": 24000048,
+            "success": True,
+            "run_s": 4.62,
+        },
+    )
+    rendered = format_scenario_entry(with_kernel)
+    assert "megatorus" in rendered and "4.62s" in rendered
+
+    without_numpy = dict(
+        base, vector={"preset": "megatorus", "available": False}
+    )
+    rendered = format_scenario_entry(without_numpy)
+    assert "NumPy" in rendered and "skipped" in rendered
+
+    assert "vector" not in format_scenario_entry(base)
 
 
 def test_missing_trajectory_never_gates(tmp_path):

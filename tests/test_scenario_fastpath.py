@@ -15,21 +15,31 @@ comparator the fuzz subsystem applies to sampled scenarios.
 """
 
 import pytest
+from hypothesis import HealthCheck, given, settings
 
 import repro.protocols.flat as flat
+import repro.protocols.vectorized as vectorized
 import repro.radio.mac as mac
 import repro.scenario.runner as runner_mod
 from repro.adversary.placement import RandomPlacement, StripePlacement
 from repro.fuzz import compare_reports
 from repro.network.grid import GridSpec
 from repro.scenario import ScenarioSpec, run
-from strategies import equivalence_spec as _spec
+from strategies import equivalence_spec as _spec, vector_candidate_specs
+
+needs_numpy = pytest.mark.skipif(
+    not vectorized.available(), reason="NumPy not installed"
+)
 
 
 def _set_fast(monkeypatch, enabled: bool) -> None:
     monkeypatch.setattr(mac, "DEFAULT_FAST_DRIVER", enabled)
     monkeypatch.setattr(flat, "DEFAULT_FLAT", enabled)
     monkeypatch.setattr(runner_mod, "DEFAULT_WARM_WORLD", enabled)
+    # This suite referees the flat engines and the batched driver; the
+    # vectorized kernel has its own triple suite below and would
+    # otherwise shadow the machinery under test for eligible scenarios.
+    monkeypatch.setattr(vectorized, "DEFAULT_VECTOR", False)
 
 
 def _run_both(monkeypatch, spec):
@@ -38,6 +48,21 @@ def _run_both(monkeypatch, spec):
     _set_fast(monkeypatch, False)
     reference = run(spec)
     return fast, reference
+
+
+def _run_triple(spec):
+    """(vector, flat, reference) reports of one spec.
+
+    Flag handling goes through the fuzz runner's mode switcher — the
+    same seam ``repro fuzz`` uses — so property cases here and sampled
+    fuzz cases exercise identical machinery.
+    """
+    from repro.fuzz.runner import _run_mode
+
+    vector, _ = _run_mode(spec, fast=True, vector=True)
+    flat_report, _ = _run_mode(spec, fast=True)
+    reference, _ = _run_mode(spec, fast=False)
+    return vector, flat_report, reference
 
 
 def _assert_reports_identical(fast, reference):
@@ -235,3 +260,100 @@ class TestAdversaryBudgetGating:
         # every consultation, the reference loop performs them all.
         assert calls["fast"] == 0
         assert calls["reference"] > 0
+
+
+@needs_numpy
+class TestVectorKernelTripleDifferential:
+    """Vectorized vs flat vs reference: all three backends byte-identical.
+
+    Every assertion goes through :func:`repro.fuzz.compare_reports`, so
+    node state (``value_counts`` / ``received_total`` / decide rounds)
+    is compared, not just the aggregate report.
+    """
+
+    def _assert_triple(self, spec, *, expect_engaged: bool = True):
+        vector, flat_report, reference = _run_triple(spec)
+        if expect_engaged:
+            assert isinstance(vector.nodes, vectorized.LazyNodeMap)
+        assert compare_reports(vector, reference) == []
+        assert compare_reports(flat_report, reference) == []
+
+    def test_broke_jammer(self):
+        # mf=0 with bad nodes placed: the jammer exists but can never
+        # spend — observe_inert_when_broke lets the kernel take it.
+        self._assert_triple(_spec(mf=0, behavior="jam", m=6))
+
+    def test_no_bad_nodes(self):
+        self._assert_triple(
+            _spec(mf=3, placement=RandomPlacement(t=1, count=0, seed=0))
+        )
+
+    def test_koo_and_heter(self):
+        self._assert_triple(_spec(protocol="koo", m=None, mf=0))
+        self._assert_triple(
+            _spec(protocol="heter", m=None, t=2, mf=2,
+                  placement=RandomPlacement(t=2, count=0, seed=3))
+        )
+
+    def test_degenerate_stripes(self):
+        # 1xN / Nx1 bounded stripes (the fuzz sampler's degenerate
+        # shapes): CSR segments of wildly varying length, endpoint nodes
+        # with tiny neighborhoods — no empty-array broadcasting errors.
+        self._assert_triple(
+            ScenarioSpec(
+                grid=GridSpec(width=1, height=40, r=3, torus=False),
+                t=1, mf=0,
+                placement=RandomPlacement(t=1, count=2, seed=3),
+                protocol="b", behavior="jam",
+            )
+        )
+        self._assert_triple(
+            ScenarioSpec(
+                grid=GridSpec(width=40, height=1, r=2, torus=False),
+                t=1, mf=0,
+                placement=RandomPlacement(t=1, count=1, seed=4),
+                protocol="b", behavior="none", batch_per_slot=3,
+            )
+        )
+
+    def test_max_rounds_one_cap(self):
+        # The round cap fires before any relay: decided bitmap must hold
+        # exactly the source's round-0 audience, with no off-by-one.
+        self._assert_triple(_spec(mf=0, behavior="jam", max_rounds=1))
+
+    def test_relay_override_and_zero_budget(self):
+        self._assert_triple(
+            _spec(mf=0, protocol_params={"relay_override": 5})
+        )
+        self._assert_triple(_spec(mf=0, m=0, behavior="jam"))
+
+    def test_cpa_and_reactive_fall_through(self):
+        # No vector hook: the kernel must decline, not crash.
+        spec = _spec(protocol="cpa", behavior="spoof", m=3, mf=0,
+                     batch_per_slot=1)
+        vector, flat_report, reference = _run_triple(spec)
+        assert not isinstance(vector.nodes, vectorized.LazyNodeMap)
+        assert compare_reports(vector, reference) == []
+        assert compare_reports(flat_report, reference) == []
+
+    def test_active_adversary_falls_through(self):
+        # mf>0 with bad nodes: the adversary could transmit, so the
+        # kernel must hand the run to the flat engine untouched.
+        spec = _spec(mf=2, behavior="jam")
+        vector, _flat_report, reference = _run_triple(spec)
+        assert not isinstance(vector.nodes, vectorized.LazyNodeMap)
+        assert compare_reports(vector, reference) == []
+
+    @given(spec=vector_candidate_specs())
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_sampled_scenarios_triple_identical(self, spec):
+        # Sampler-shaped scenarios biased toward kernel eligibility
+        # (mf=0 half the time); ineligible draws still assert the
+        # fall-through path equals the reference.
+        vector, flat_report, reference = _run_triple(spec)
+        assert compare_reports(vector, reference) == []
+        assert compare_reports(flat_report, reference) == []
