@@ -4,11 +4,9 @@ Not paper artifacts — these guard the substrate's performance so the
 experiment harnesses stay tractable as the library grows.
 """
 
-from repro.adversary.base import NullAdversary
 from repro.adversary.placement import RandomPlacement
 from repro.network.grid import Grid, GridSpec
 from repro.network.node import NodeTable
-from repro.radio.budget import BudgetLedger
 from repro.radio.medium import Medium
 from repro.radio.messages import Transmission
 from repro.radio.schedule import TdmaSchedule

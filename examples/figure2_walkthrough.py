@@ -10,7 +10,7 @@ in-range Byzantine defender can starve it forever.
 Run:  python examples/figure2_walkthrough.py   (~5 s)
 """
 
-from repro.analysis.render import coverage_summary, render_decisions
+from repro.analysis.render import coverage_summary
 from repro.experiments.e2_figure2 import P_COORD, run_figure2, table
 
 

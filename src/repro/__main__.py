@@ -311,6 +311,38 @@ def main(argv: list[str] | None = None) -> int:
     scenario_dump.add_argument(
         "preset", choices=preset_names(), help="preset name"
     )
+    check_parser = sub.add_parser(
+        "check",
+        help="project-invariant static analysis (repro.check)",
+    )
+    check_parser.add_argument(
+        "--root",
+        default=None,
+        help="project root to scan (default: auto-detected)",
+    )
+    check_parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON of findings to exclude (default: "
+        ".repro-check-baseline.json at the root, which must stay empty)",
+    )
+    check_parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit findings as JSON on stdout",
+    )
+    check_parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="snapshot current findings to FILE and exit 0 (staged cleanups)",
+    )
+    check_parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="list the rule catalog and exit",
+    )
     fuzz_parser = sub.add_parser(
         "fuzz",
         help="randomized-scenario differential verification (repro.fuzz)",
@@ -369,6 +401,17 @@ def main(argv: list[str] | None = None) -> int:
             which=args.which,
             out=args.out,
             quick=args.quick,
+        )
+
+    if args.command == "check":
+        from repro.check.cli import check_command
+
+        return check_command(
+            root=args.root,
+            baseline=args.baseline,
+            as_json=args.as_json,
+            write_baseline_path=args.write_baseline,
+            show_rules=args.rules,
         )
 
     if args.command == "fuzz":

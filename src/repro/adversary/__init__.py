@@ -22,6 +22,8 @@ from repro.adversary.placement import (
 __all__ = [
     "Adversary",
     "NullAdversary",
+    "figure2_midside_quota",
+    "figure2_plan",
     "ThresholdGuardJammer",
     "PlannedJammer",
     "SpamLiar",

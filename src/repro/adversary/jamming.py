@@ -192,7 +192,7 @@ class ThresholdGuardJammer(Adversary):
 
         self.jams += len(chosen)
         if self.tracer.enabled:
-            for jammer in chosen:
+            for jammer in sorted(chosen):
                 self.tracer.emit(
                     "adversary.jam", (round_index, slot), jammer=jammer
                 )

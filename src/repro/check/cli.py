@@ -1,0 +1,91 @@
+"""CLI for ``python -m repro check``.
+
+Exit status: 0 when the tree is clean (after inline suppressions and the
+optional baseline), 1 when findings remain, 2 on usage/configuration
+errors. ``--json`` emits machine-readable findings; ``--write-baseline``
+snapshots the current findings so a large cleanup can land in stages —
+CI runs with the committed baseline, which must stay empty (a test pins
+this).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.check import ALL_RULES
+from repro.check.framework import (
+    ProjectIndex,
+    load_baseline,
+    run_rules,
+    write_baseline,
+)
+from repro.errors import ConfigurationError
+
+#: The committed baseline. It exists so `repro check` has a stable,
+#: reviewable place for staged exclusions — and a test asserts it is
+#: empty, which is the "no new debt" gate.
+DEFAULT_BASELINE = ".repro-check-baseline.json"
+
+
+def default_root() -> Path:
+    """The project root: cwd when it looks right, else derived from the
+    installed package location (src/repro/check/cli.py -> repo root)."""
+    cwd = Path.cwd()
+    if (cwd / "src" / "repro").is_dir():
+        return cwd
+    return Path(__file__).resolve().parents[3]
+
+
+def list_rules() -> str:
+    width = max(len(rule.rule_id) for rule in ALL_RULES)
+    lines = []
+    for rule in ALL_RULES:
+        lines.append(f"{rule.rule_id.ljust(width)}  {rule.title}")
+    return "\n".join(lines)
+
+
+def check_command(
+    *,
+    root: str | None = None,
+    baseline: str | None = None,
+    as_json: bool = False,
+    write_baseline_path: str | None = None,
+    show_rules: bool = False,
+) -> int:
+    if show_rules:
+        print(list_rules())
+        return 0
+    try:
+        root_path = Path(root) if root is not None else default_root()
+        project = ProjectIndex.load(root_path)
+        baseline_path = (
+            Path(baseline) if baseline is not None
+            else root_path / DEFAULT_BASELINE
+        )
+        baseline_entries = load_baseline(baseline_path)
+        findings = run_rules(project, ALL_RULES, baseline=baseline_entries)
+        if write_baseline_path is not None:
+            write_baseline(write_baseline_path, findings)
+            print(
+                f"wrote {len(findings)} finding(s) to {write_baseline_path}",
+                file=sys.stderr,
+            )
+            return 0
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if as_json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        scanned = len(project.files)
+        suffix = f" [{len(baseline_entries)} baselined]" if baseline_entries else ""
+        print(
+            f"repro check: {len(findings)} finding(s) in {scanned} file(s), "
+            f"{len(ALL_RULES)} rules{suffix}",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0

@@ -1,0 +1,344 @@
+"""Determinism rules (RPR001–RPR005).
+
+The repository's first standing rule is bit-for-bit determinism:
+``parallel == serial``, and a fixed seed yields an identical fuzz digest
+at any worker count. The engine directories (``sim/``, ``protocols/``,
+``radio/``, ``adversary/``) therefore must not read any ambient
+nondeterminism source — the process-global ``random`` state, the clock,
+or the environment — and must not let unordered-container iteration
+order leak into results. PR 6's slot-bucket-ordering bug was exactly the
+RPR004 class: an order-sensitivity defect that a fuzz campaign had to
+find after the fact instead of a review-time check.
+
+Seeded randomness stays legal: ``random.Random(seed)`` instances (the
+:mod:`repro.sim.rng` substream pattern) are explicit, owned state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check.framework import (
+    FileRule,
+    Finding,
+    ProjectIndex,
+    SourceFile,
+    dotted_name,
+)
+
+#: ``random`` module attributes that read/mutate the process-global
+#: stream. Constructing an owned generator (``Random`` / ``SystemRandom``
+#: as an explicit entropy choice) is allowed.
+_GLOBAL_RANDOM_EXEMPT = ("Random", "SystemRandom")
+
+#: Wall-clock reads. ``time.perf_counter`` is deliberately absent: it is
+#: only meaningful for measurement, and the engine dirs don't measure.
+_CLOCK_CALLS = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "date.today",
+    "datetime.date.today",
+)
+
+
+class EngineFileRule(FileRule):
+    """A file rule scoped to the deterministic engine directories."""
+
+    def applies_to(self, f: SourceFile) -> bool:
+        return f.in_engine
+
+
+class UnseededRandomRule(EngineFileRule):
+    rule_id = "RPR001"
+    title = "unseeded random.* call in engine code"
+    rationale = (
+        "The process-global random stream depends on import order and "
+        "interpreter state; engine randomness must come from seeded "
+        "random.Random substreams (repro.sim.rng)."
+    )
+
+    def check_file(
+        self, f: SourceFile, project: ProjectIndex
+    ) -> Iterator[Finding]:
+        for node in ast.walk(f.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name not in _GLOBAL_RANDOM_EXEMPT:
+                        yield self.finding(
+                            f,
+                            node,
+                            f"'from random import {alias.name}' pulls in the "
+                            "process-global stream; use a seeded "
+                            "random.Random substream (repro.sim.rng)",
+                        )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if (
+                    name
+                    and name.startswith("random.")
+                    and name.count(".") == 1
+                    and name.split(".")[1] not in _GLOBAL_RANDOM_EXEMPT
+                ):
+                    yield self.finding(
+                        f,
+                        node,
+                        f"unseeded {name}() reads the process-global random "
+                        "stream; draw from a seeded random.Random substream "
+                        "(repro.sim.rng) instead",
+                    )
+
+
+class WallClockRule(EngineFileRule):
+    rule_id = "RPR002"
+    title = "wall-clock read in engine code"
+    rationale = (
+        "Clock reads make replays and differential legs diverge; rounds "
+        "are the engine's only notion of time."
+    )
+
+    def check_file(
+        self, f: SourceFile, project: ProjectIndex
+    ) -> Iterator[Finding]:
+        for node in ast.walk(f.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _CLOCK_CALLS:
+                    yield self.finding(
+                        f,
+                        node,
+                        f"{name}() reads the wall clock inside engine code; "
+                        "simulation time is the round counter",
+                    )
+
+
+class EnvironReadRule(EngineFileRule):
+    rule_id = "RPR003"
+    title = "environment read in engine code"
+    rationale = (
+        "os.environ makes a run's result depend on the invoking shell; "
+        "engine configuration must arrive through the ScenarioSpec."
+    )
+
+    def check_file(
+        self, f: SourceFile, project: ProjectIndex
+    ) -> Iterator[Finding]:
+        for node in ast.walk(f.tree):
+            if isinstance(node, ast.Attribute) and (
+                dotted_name(node) == "os.environ"
+            ):
+                yield self.finding(
+                    f,
+                    node,
+                    "os.environ read inside engine code; configuration "
+                    "belongs on the ScenarioSpec",
+                )
+            elif isinstance(node, ast.Call) and dotted_name(node.func) in (
+                "os.getenv",
+                "getenv",
+            ):
+                yield self.finding(
+                    f,
+                    node,
+                    "os.getenv() inside engine code; configuration belongs "
+                    "on the ScenarioSpec",
+                )
+
+
+def _is_set_expr(node: ast.AST, set_vars: set[str]) -> bool:
+    """Whether ``node`` statically evaluates to an unordered set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = dotted_name(node.func)
+        if func in ("set", "frozenset"):
+            return True
+        # set arithmetic on a known set variable: a.union(b), a.difference(b)
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+            "copy",
+        ):
+            return _is_set_expr(node.func.value, set_vars)
+    if isinstance(node, ast.Name):
+        return node.id in set_vars
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_vars) or _is_set_expr(
+            node.right, set_vars
+        )
+    return False
+
+
+def _annotation_is_set(annotation: ast.AST | None) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    name = dotted_name(annotation)
+    if name is None and isinstance(annotation, ast.Constant):
+        # string annotation like "set[NodeId]"
+        text = str(annotation.value)
+        return text.split("[")[0].strip() in ("set", "frozenset")
+    return name in ("set", "frozenset") if name else False
+
+
+class _SetIterationVisitor(ast.NodeVisitor):
+    """Per-function scan for iteration over unordered sets."""
+
+    def __init__(self) -> None:
+        self.hits: list[tuple[ast.AST, str]] = []
+
+    def _scan_function(self, func: ast.AST) -> None:
+        set_vars: set[str] = set()
+        # Pass 1: names statically bound to set values in this function.
+        for node in ast.walk(func):
+            if node is not func and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue  # nested functions get their own scan
+            if isinstance(node, ast.Assign) and _is_set_expr(
+                node.value, set_vars
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        set_vars.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if _annotation_is_set(node.annotation) or (
+                    node.value is not None
+                    and _is_set_expr(node.value, set_vars)
+                ):
+                    set_vars.add(node.target.id)
+        # Order-insensitive consumers: a generator fed straight into an
+        # aggregation (or into sorted/set itself) cannot leak iteration
+        # order into results, so it is exempt.
+        exempt: set[ast.AST] = set()
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Call)
+                and (dotted_name(node.func) or "")
+                in ("all", "any", "sum", "len", "min", "max", "sorted",
+                    "set", "frozenset")
+                and node.args
+            ):
+                exempt.add(node.args[0])
+        # Pass 2: iteration sites.
+        for node in ast.walk(func):
+            if isinstance(node, ast.For) and _is_set_expr(
+                node.iter, set_vars
+            ):
+                self.hits.append((node.iter, "for-loop"))
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                if node in exempt:
+                    continue
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter, set_vars):
+                        self.hits.append((gen.iter, "comprehension"))
+            elif isinstance(node, ast.Call):
+                func_name = dotted_name(node.func)
+                if (
+                    func_name in ("list", "tuple", "iter", "enumerate")
+                    and node.args
+                    and _is_set_expr(node.args[0], set_vars)
+                ):
+                    self.hits.append((node, f"{func_name}()"))
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scan_function(node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+class UnorderedIterationRule(EngineFileRule):
+    rule_id = "RPR004"
+    title = "iteration over an unordered set in engine code"
+    rationale = (
+        "Set iteration order depends on PYTHONHASHSEED and insertion "
+        "history; order it with sorted(...) before it can leak into "
+        "deliveries, traces, or reports (the PR-6 slot-bucket bug)."
+    )
+
+    def check_file(
+        self, f: SourceFile, project: ProjectIndex
+    ) -> Iterator[Finding]:
+        visitor = _SetIterationVisitor()
+        visitor.visit(f.tree)
+        for node, kind in visitor.hits:
+            yield self.finding(
+                f,
+                node,
+                f"{kind} iterates an unordered set; wrap it in sorted(...) "
+                "so ordering cannot leak into results",
+            )
+        for node in ast.walk(f.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "popitem"
+            ):
+                yield self.finding(
+                    f,
+                    node,
+                    ".popitem() removes an arbitrary-looking entry; pop an "
+                    "explicitly chosen key instead",
+                )
+
+
+def _key_uses_id(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "id":
+            return True
+    return False
+
+
+class IdOrderingRule(EngineFileRule):
+    rule_id = "RPR005"
+    title = "id()-based ordering"
+    rationale = (
+        "id() is an allocation address — ordering by it differs between "
+        "processes and runs, which breaks parallel == serial."
+    )
+
+    def check_file(
+        self, f: SourceFile, project: ProjectIndex
+    ) -> Iterator[Finding]:
+        for node in ast.walk(f.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func_name = dotted_name(node.func) or (
+                node.func.attr if isinstance(node.func, ast.Attribute) else ""
+            )
+            if func_name.split(".")[-1] not in ("sorted", "sort", "min", "max"):
+                continue
+            for kw in node.keywords:
+                if kw.arg == "key" and _key_uses_id(kw.value):
+                    yield self.finding(
+                        f,
+                        node,
+                        "ordering by id() is address-dependent and differs "
+                        "across processes; order by a stable key (node id, "
+                        "coordinates, insertion index)",
+                    )
+
+
+RULES = (
+    UnseededRandomRule(),
+    WallClockRule(),
+    EnvironReadRule(),
+    UnorderedIterationRule(),
+    IdOrderingRule(),
+)

@@ -1,0 +1,157 @@
+"""Hygiene rules (RPR301, RPR401).
+
+- RPR301: NumPy is a strictly optional accelerator. A module-level
+  ``import numpy`` outside a ``try/except ImportError`` guard makes the
+  whole package unimportable on the no-numpy CI leg; imports must be
+  guarded at module level or scoped inside functions that only run when
+  the accelerator is engaged.
+- RPR401: mutable default arguments are shared across calls — in a
+  codebase whose sweep workers reuse warm processes, one mutated default
+  leaks state between scenario runs and breaks parallel == serial.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check.framework import (
+    FileRule,
+    Finding,
+    ProjectIndex,
+    SourceFile,
+    dotted_name,
+)
+
+_NUMPY_MODULES = ("numpy", "scipy")
+
+
+def _guarded_imports(tree: ast.Module) -> set[ast.stmt]:
+    """Import statements inside a try/except that catches ImportError."""
+    guarded: set[ast.stmt] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Try):
+            continue
+        catches_import_error = False
+        for handler in node.handlers:
+            types = []
+            if handler.type is None:
+                catches_import_error = True
+                break
+            if isinstance(handler.type, ast.Tuple):
+                types = handler.type.elts
+            else:
+                types = [handler.type]
+            for t in types:
+                if (dotted_name(t) or "").split(".")[-1] in (
+                    "ImportError",
+                    "ModuleNotFoundError",
+                ):
+                    catches_import_error = True
+        if not catches_import_error:
+            continue
+        for stmt in ast.walk(node):
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                guarded.add(stmt)
+    return guarded
+
+
+def _function_imports(tree: ast.Module) -> set[ast.stmt]:
+    """Import statements scoped inside a function body."""
+    scoped: set[ast.stmt] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for stmt in ast.walk(node):
+                if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                    scoped.add(stmt)
+    return scoped
+
+
+class OptionalNumpyRule(FileRule):
+    rule_id = "RPR301"
+    title = "module-level numpy import without an ImportError guard"
+    rationale = (
+        "NumPy is strictly optional (the no-numpy CI leg runs the whole "
+        "suite without it); a bare module-level import breaks that leg."
+    )
+
+    def check_file(
+        self, f: SourceFile, project: ProjectIndex
+    ) -> Iterator[Finding]:
+        exempt = _guarded_imports(f.tree) | _function_imports(f.tree)
+        for node in ast.walk(f.tree):
+            if node in exempt:
+                continue
+            modules: list[str] = []
+            if isinstance(node, ast.Import):
+                modules = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                modules = [node.module]
+            else:
+                continue
+            for module in modules:
+                root = module.split(".")[0]
+                if root in _NUMPY_MODULES:
+                    yield self.finding(
+                        f,
+                        node,
+                        f"module-level 'import {module}' without a "
+                        "try/except ImportError guard; NumPy is a strictly "
+                        "optional accelerator — guard the import or scope "
+                        "it inside the accelerated function",
+                    )
+
+
+class MutableDefaultRule(FileRule):
+    rule_id = "RPR401"
+    title = "mutable default argument"
+    rationale = (
+        "Default values are evaluated once and shared across calls; with "
+        "warm worker processes a mutated default leaks state between "
+        "scenario runs."
+    )
+
+    def applies_to(self, f: SourceFile) -> bool:
+        return f.rel.startswith("src/")
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return dotted_name(node.func) in (
+                "list",
+                "dict",
+                "set",
+                "bytearray",
+                "defaultdict",
+                "Counter",
+                "collections.defaultdict",
+                "collections.Counter",
+            )
+        return False
+
+    def check_file(
+        self, f: SourceFile, project: ProjectIndex
+    ) -> Iterator[Finding]:
+        for node in ast.walk(f.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        f,
+                        default,
+                        f"mutable default argument in {node.name}(); use "
+                        "None and create the value inside the function (or "
+                        "dataclasses.field(default_factory=...))",
+                    )
+
+
+RULES = (
+    OptionalNumpyRule(),
+    MutableDefaultRule(),
+)

@@ -1,0 +1,328 @@
+"""Registry completeness rules (RPR201–RPR203).
+
+The scenario system dispatches every component by registered name
+(:mod:`repro.scenario.registries`) and the fuzz sampler draws scenarios
+from :data:`repro.fuzz.sampler.PROTOCOL_BEHAVIORS`. A component class
+that exists but never registers — or registers but never enters the
+sampler matrix — silently escapes declarative scenarios and fuzzing.
+These rules keep the three layers (class definitions, registries,
+sampler matrix) mutually complete:
+
+- RPR201: a module defining a concrete component class (an adversary —
+  anything with a non-abstract ``on_slot`` — a ``Placement`` subclass,
+  or a ``BroadcastNode`` subclass) must call the matching registry's
+  ``register``. Modules named ``base.py`` are exempt: they hold shared
+  machinery whose registration duty lies with the assembling modules.
+- RPR202: every concrete adversary class must declare at least one
+  driver capability flag (``spontaneous`` / ``observe_stateless`` /
+  ``observe_inert_when_broke``) in its class body — the fast driver and
+  the vectorized kernel read them, and an undeclared class silently
+  inherits the conservative defaults, which usually means "pins the
+  whole run onto the slow path" or worse, an unsound inherited promise.
+- RPR203: the registered protocol/behavior names and the sampler's
+  ``PROTOCOL_BEHAVIORS`` matrix must agree in both directions (a
+  deliberately unsampled behavior carries an inline suppression at its
+  registration site, which is the reviewable form of "excluded").
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.check.framework import (
+    Finding,
+    ProjectIndex,
+    Rule,
+    SourceFile,
+    class_assign_names,
+    class_methods,
+    dotted_name,
+    is_abstract_class,
+)
+
+CAPABILITY_FLAGS = (
+    "spontaneous",
+    "observe_stateless",
+    "observe_inert_when_broke",
+)
+
+#: Receiver spellings of the three component registries, as they appear
+#: at module bottoms (``_behaviors.register(...)``) or fully qualified.
+_REGISTRY_RECEIVERS = {
+    "behaviors": "behavior",
+    "_behaviors": "behavior",
+    "protocols": "protocol",
+    "_protocols": "protocol",
+    "placements": "placement",
+    "_placements": "placement",
+}
+
+_SAMPLER_REL = "src/repro/fuzz/sampler.py"
+
+
+@dataclass(frozen=True)
+class RegisterCall:
+    """One ``<registry>.register("name", ...)`` call site."""
+
+    file: SourceFile
+    node: ast.Call
+    kind: str  # "behavior" | "protocol" | "placement"
+    name: str | None  # first positional arg when a string literal
+
+
+def collect_register_calls(project: ProjectIndex) -> list[RegisterCall]:
+    calls: list[RegisterCall] = []
+    for f in project.src_files():
+        for node in ast.walk(f.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "register"
+            ):
+                continue
+            receiver = (dotted_name(node.func.value) or "").split(".")[-1]
+            kind = _REGISTRY_RECEIVERS.get(receiver)
+            if kind is None:
+                continue
+            name = None
+            if node.args and isinstance(node.args[0], ast.Constant):
+                if isinstance(node.args[0].value, str):
+                    name = node.args[0].value
+            calls.append(RegisterCall(file=f, node=node, kind=kind, name=name))
+    return calls
+
+
+@dataclass(frozen=True)
+class ComponentClass:
+    """A concrete component class and which registry owes it an entry."""
+
+    file: SourceFile
+    node: ast.ClassDef
+    kind: str  # "behavior" | "protocol" | "placement"
+
+
+def _ancestor_names(
+    node: ast.ClassDef, class_bases: dict[str, tuple[str, ...]]
+) -> set[str]:
+    """Transitive base-class simple names, resolved across the src tree."""
+    seen: set[str] = set()
+    stack = [
+        (dotted_name(base) or "").split(".")[-1] for base in node.bases
+    ]
+    while stack:
+        name = stack.pop()
+        if not name or name in seen:
+            continue
+        seen.add(name)
+        stack.extend(class_bases.get(name, ()))
+    return seen
+
+
+def _class_base_index(project: ProjectIndex) -> dict[str, tuple[str, ...]]:
+    index: dict[str, tuple[str, ...]] = {}
+    for f in project.src_files():
+        for node in ast.walk(f.tree):
+            if isinstance(node, ast.ClassDef):
+                index[node.name] = tuple(
+                    (dotted_name(base) or "").split(".")[-1]
+                    for base in node.bases
+                )
+    return index
+
+
+def collect_component_classes(project: ProjectIndex) -> list[ComponentClass]:
+    class_bases = _class_base_index(project)
+    components: list[ComponentClass] = []
+    for f in project.src_files():
+        for node in ast.walk(f.tree):
+            if not isinstance(node, ast.ClassDef) or is_abstract_class(node):
+                continue
+            ancestors = _ancestor_names(node, class_bases)
+            methods = class_methods(node)
+            if "Placement" in ancestors:
+                components.append(ComponentClass(f, node, "placement"))
+            elif "BroadcastNode" in ancestors:
+                components.append(ComponentClass(f, node, "protocol"))
+            elif "on_slot" in methods or "Adversary" in ancestors:
+                components.append(ComponentClass(f, node, "behavior"))
+    return components
+
+
+class ComponentRegistrationRule(Rule):
+    rule_id = "RPR201"
+    title = "concrete component class whose module never registers it"
+    rationale = (
+        "Unregistered components cannot be named by a ScenarioSpec and "
+        "are invisible to the fuzz sampler — they rot outside the "
+        "differential net."
+    )
+
+    def check(self, project: ProjectIndex) -> Iterator[Finding]:
+        registered_kinds: dict[str, set[str]] = {}
+        for call in collect_register_calls(project):
+            registered_kinds.setdefault(call.file.rel, set()).add(call.kind)
+        for component in collect_component_classes(project):
+            f = component.file
+            if f.rel.endswith("/base.py"):
+                continue  # shared machinery; assembling modules register
+            if component.kind in registered_kinds.get(f.rel, set()):
+                continue
+            registry = {
+                "behavior": "repro.scenario.registries.behaviors",
+                "protocol": "repro.scenario.registries.protocols",
+                "placement": "repro.scenario.registries.placements",
+            }[component.kind]
+            yield self.finding(
+                f,
+                component.node,
+                f"concrete {component.kind} class "
+                f"{component.node.name!r} is defined here but the module "
+                f"never calls {registry}.register(...); components "
+                "self-register at the bottom of their defining module",
+            )
+
+
+class CapabilityFlagsRule(Rule):
+    rule_id = "RPR202"
+    title = "adversary class without declared capability flags"
+    rationale = (
+        "The fast driver and vectorized kernel read spontaneous / "
+        "observe_stateless / observe_inert_when_broke off the class; a "
+        "subclass must re-state its own contract rather than silently "
+        "inherit one (the flags are promises about *this* class's "
+        "on_slot/observe, not its parent's)."
+    )
+
+    def check(self, project: ProjectIndex) -> Iterator[Finding]:
+        for component in collect_component_classes(project):
+            if component.kind != "behavior":
+                continue
+            declared = class_assign_names(component.node) & set(
+                CAPABILITY_FLAGS
+            )
+            if not declared:
+                yield self.finding(
+                    component.file,
+                    component.node,
+                    f"adversary class {component.node.name!r} declares none "
+                    f"of {', '.join(CAPABILITY_FLAGS)}; state its fast-path "
+                    "contract explicitly in the class body",
+                )
+
+
+def _sampler_matrix(
+    project: ProjectIndex,
+) -> tuple[SourceFile | None, ast.stmt | None, dict[str, tuple[str, ...]]]:
+    """Statically read ``PROTOCOL_BEHAVIORS`` out of the fuzz sampler."""
+    f = project.file(_SAMPLER_REL)
+    if f is None:
+        return None, None, {}
+    for stmt in f.tree.body:
+        target = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target = stmt.target
+            value = stmt.value
+        if not (
+            isinstance(target, ast.Name)
+            and target.id == "PROTOCOL_BEHAVIORS"
+            and isinstance(value, ast.Dict)
+        ):
+            continue
+        matrix: dict[str, tuple[str, ...]] = {}
+        for key, val in zip(value.keys, value.values):
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ):
+                continue
+            names: list[str] = []
+            if isinstance(val, (ast.Tuple, ast.List)):
+                for element in val.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        names.append(element.value)
+            matrix[key.value] = tuple(names)
+        return f, stmt, matrix
+    return f, None, {}
+
+
+class SamplerMatrixRule(Rule):
+    rule_id = "RPR203"
+    title = "registered component missing from the fuzz sampler matrix"
+    rationale = (
+        "Registry + fuzz-first is a standing rule: a protocol or "
+        "behavior that registers without entering PROTOCOL_BEHAVIORS is "
+        "never sampled, so its differential coverage is zero."
+    )
+
+    def check(self, project: ProjectIndex) -> Iterator[Finding]:
+        sampler_file, matrix_stmt, matrix = _sampler_matrix(project)
+        if sampler_file is None:
+            return
+        if matrix_stmt is None:
+            yield self.finding(
+                sampler_file,
+                None,
+                "PROTOCOL_BEHAVIORS dict literal not found in the fuzz "
+                "sampler; the checker cannot verify sampling completeness",
+            )
+            return
+        sampled_behaviors = {
+            name for behaviors in matrix.values() for name in behaviors
+        }
+        registered_protocols: dict[str, RegisterCall] = {}
+        registered_behaviors: dict[str, RegisterCall] = {}
+        for call in collect_register_calls(project):
+            if call.name is None:
+                continue
+            if call.kind == "protocol":
+                registered_protocols[call.name] = call
+            elif call.kind == "behavior":
+                registered_behaviors[call.name] = call
+        for name, call in sorted(registered_protocols.items()):
+            if name not in matrix:
+                yield self.finding(
+                    call.file,
+                    call.node,
+                    f"protocol {name!r} registers here but is not a key of "
+                    "repro.fuzz.sampler.PROTOCOL_BEHAVIORS; fuzz-first "
+                    "means every protocol gets sampled",
+                )
+        for name, call in sorted(registered_behaviors.items()):
+            if name not in sampled_behaviors:
+                yield self.finding(
+                    call.file,
+                    call.node,
+                    f"behavior {name!r} registers here but appears in no "
+                    "PROTOCOL_BEHAVIORS entry; pair it with the protocols "
+                    "it can face (or suppress with a justification if it "
+                    "is scenario-specific)",
+                )
+        for protocol in sorted(matrix):
+            if protocol not in registered_protocols:
+                yield self.finding(
+                    sampler_file,
+                    matrix_stmt,
+                    f"PROTOCOL_BEHAVIORS names protocol {protocol!r}, which "
+                    "is not registered anywhere under src/",
+                )
+        for behavior in sorted(sampled_behaviors):
+            if behavior not in registered_behaviors:
+                yield self.finding(
+                    sampler_file,
+                    matrix_stmt,
+                    f"PROTOCOL_BEHAVIORS references behavior {behavior!r}, "
+                    "which is not registered anywhere under src/",
+                )
+
+
+RULES = (
+    ComponentRegistrationRule(),
+    CapabilityFlagsRule(),
+    SamplerMatrixRule(),
+)

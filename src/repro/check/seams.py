@@ -1,0 +1,243 @@
+"""Seam rules (RPR101–RPR103).
+
+Every fast path in this repository keeps a byte-identical reference twin
+behind a module-level ``DEFAULT_*`` boolean flag, and registers the pair
+in :mod:`repro.seams` so the fuzz runner flips it differentially. These
+rules close the loop statically:
+
+- RPR101: a module that defines an engine flag (module-level
+  ``DEFAULT_* = True/False``) must register a :class:`repro.seams.Seam`;
+  an unregistered flag is a fast path outside the differential net.
+- RPR102: every registered seam's declared differential test must exist
+  under ``tests/`` and actually mention the seam — either the flag
+  attribute it flips or both implementation names. A seam whose test
+  went silent is indistinguishable from an untested seam.
+- RPR103: a seam must declare a fuzz leg (``"fast"`` or ``"vector"``).
+  The runtime registry fails a fuzz run loudly on this; the static rule
+  catches it at review time instead.
+
+Registration sites are parsed statically (``Seam(...)`` keyword string
+literals), so the checker needs no imports and runs on broken trees.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.check.framework import (
+    Finding,
+    ProjectIndex,
+    Rule,
+    SourceFile,
+    dotted_name,
+)
+from repro.seams import FUZZ_LEGS
+
+
+@dataclass(frozen=True)
+class StaticSeam:
+    """A ``Seam(...)`` registration as read off the AST."""
+
+    file: SourceFile
+    node: ast.Call
+    fields: dict[str, str | None]
+
+    def get(self, key: str) -> str | None:
+        return self.fields.get(key)
+
+
+def _module_flags(f: SourceFile) -> list[tuple[str, ast.stmt]]:
+    """Module-level ``DEFAULT_* = True/False`` assignments."""
+    flags: list[tuple[str, ast.stmt]] = []
+    for stmt in f.tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets = [
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            ]
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            targets = [stmt.target.id]
+            value = stmt.value
+        else:
+            continue
+        if not (
+            isinstance(value, ast.Constant) and isinstance(value.value, bool)
+        ):
+            continue
+        for name in targets:
+            if name.startswith("DEFAULT_"):
+                flags.append((name, stmt))
+    return flags
+
+
+def collect_static_seams(project: ProjectIndex) -> list[StaticSeam]:
+    """Every ``Seam(...)`` construction in the scanned tree."""
+    seams: list[StaticSeam] = []
+    for f in project.src_files():
+        for node in ast.walk(f.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func) or ""
+            if name.split(".")[-1] != "Seam":
+                continue
+            fields: dict[str, str | None] = {}
+            for kw in node.keywords:
+                if kw.arg is None:
+                    continue
+                if isinstance(kw.value, ast.Constant):
+                    value = kw.value.value
+                    fields[kw.arg] = value if isinstance(value, str) else (
+                        None if value is None else str(value)
+                    )
+            seams.append(StaticSeam(file=f, node=node, fields=fields))
+    return seams
+
+
+class SeamRegistrationRule(Rule):
+    rule_id = "RPR101"
+    title = "engine flag module without a seam registration"
+    rationale = (
+        "A DEFAULT_* boolean flag marks a fast/reference seam; a module "
+        "that defines one without registering a repro.seams.Seam has a "
+        "fast path the fuzz runner never flips."
+    )
+
+    def check(self, project: ProjectIndex) -> Iterator[Finding]:
+        static_seams = collect_static_seams(project)
+        registered_flags = {
+            (seam.get("flag_module"), seam.get("flag_attr"))
+            for seam in static_seams
+        }
+        for f in project.src_files():
+            module = _module_dotted(f)
+            for flag_name, stmt in _module_flags(f):
+                if (module, flag_name) not in registered_flags:
+                    yield self.finding(
+                        f,
+                        stmt,
+                        f"module-level engine flag {flag_name} has no "
+                        "repro.seams.Seam registration; every fast/reference "
+                        "seam must be registered so repro.fuzz flips it",
+                    )
+
+
+def _module_dotted(f: SourceFile) -> str:
+    """``src/repro/radio/medium.py`` -> ``repro.radio.medium``."""
+    rel = f.rel
+    if rel.startswith("src/"):
+        rel = rel[len("src/"):]
+    rel = rel[:-len(".py")] if rel.endswith(".py") else rel
+    if rel.endswith("/__init__"):
+        rel = rel[: -len("/__init__")]
+    return rel.replace("/", ".")
+
+
+class SeamDifferentialTestRule(Rule):
+    rule_id = "RPR102"
+    title = "registered seam without a live differential test"
+    rationale = (
+        "A seam's safety net is its differential test; the registration "
+        "must point at a test file that exists and names the seam."
+    )
+
+    def check(self, project: ProjectIndex) -> Iterator[Finding]:
+        tests = project.test_sources()
+        for seam in collect_static_seams(project):
+            name = seam.get("name") or "<unnamed>"
+            for required in ("flag_module", "flag_attr", "fast", "reference"):
+                if not seam.get(required):
+                    yield self.finding(
+                        seam.file,
+                        seam.node,
+                        f"seam {name!r} registration omits the {required!r} "
+                        "field (or passes it non-literally); the checker "
+                        "needs literal strings to verify the seam",
+                    )
+            test_path = seam.get("differential_test")
+            if not test_path:
+                yield self.finding(
+                    seam.file,
+                    seam.node,
+                    f"seam {name!r} declares no differential_test; every "
+                    "fast/reference pair needs a byte-identity suite",
+                )
+                continue
+            source = tests.get(test_path)
+            if source is None:
+                yield self.finding(
+                    seam.file,
+                    seam.node,
+                    f"seam {name!r} points at differential test "
+                    f"{test_path!r}, which does not exist",
+                )
+                continue
+            flag_attr = seam.get("flag_attr") or ""
+            fast_token = (seam.get("fast") or "").rsplit(".", 1)[-1]
+            ref_token = (seam.get("reference") or "").rsplit(".", 1)[-1]
+            names_flag = bool(flag_attr) and flag_attr in source
+            names_pair = (
+                bool(fast_token)
+                and bool(ref_token)
+                and fast_token in source
+                and ref_token in source
+            )
+            if not (names_flag or names_pair):
+                yield self.finding(
+                    seam.file,
+                    seam.node,
+                    f"differential test {test_path!r} for seam {name!r} "
+                    f"mentions neither the flag {flag_attr!r} nor both "
+                    f"implementations ({fast_token!r}/{ref_token!r}); the "
+                    "test no longer exercises this seam",
+                )
+            # The flag the seam claims to flip must exist where it claims.
+            flag_module = seam.get("flag_module")
+            flag_file = project.file(
+                "src/" + (flag_module or "").replace(".", "/") + ".py"
+            )
+            if flag_file is None or flag_attr not in (
+                name for name, _ in _module_flags(flag_file)
+            ):
+                yield self.finding(
+                    seam.file,
+                    seam.node,
+                    f"seam {name!r} claims flag {flag_module}.{flag_attr}, "
+                    "but no such module-level boolean flag exists",
+                )
+
+
+class SeamFuzzLegRule(Rule):
+    rule_id = "RPR103"
+    title = "seam registered without a fuzz leg"
+    rationale = (
+        "repro.fuzz only flips seams that declare a leg; a legless seam "
+        "escapes differential fuzzing (the runtime registry also refuses "
+        "to fuzz while one exists)."
+    )
+
+    def check(self, project: ProjectIndex) -> Iterator[Finding]:
+        for seam in collect_static_seams(project):
+            name = seam.get("name") or "<unnamed>"
+            has_kwarg = any(
+                kw.arg == "fuzz_leg" for kw in seam.node.keywords
+            )
+            leg = seam.get("fuzz_leg")
+            if has_kwarg and (leg is None or leg not in FUZZ_LEGS):
+                yield self.finding(
+                    seam.file,
+                    seam.node,
+                    f"seam {name!r} declares fuzz_leg={leg!r}; it must be "
+                    f"one of {', '.join(repr(leg) for leg in FUZZ_LEGS)} so "
+                    "repro.fuzz exercises the seam differentially",
+                )
+
+
+RULES = (
+    SeamRegistrationRule(),
+    SeamDifferentialTestRule(),
+    SeamFuzzLegRule(),
+)

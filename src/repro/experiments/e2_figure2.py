@@ -40,7 +40,6 @@ from repro.adversary.figure2 import (
     M,
     MF,
     MIDSIDE,
-    MIDSIDE_QUOTA,
     P_COORD,
     R,
     T,

@@ -31,11 +31,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
-import repro.protocols.flat as flat
 import repro.protocols.vectorized as vectorized
-import repro.radio.mac as mac
-import repro.radio.medium as medium_mod
 import repro.scenario.runner as scenario_runner
+import repro.seams as seams
 from repro.adversary.placement import BernoulliPlacement, RandomPlacement
 from repro.errors import ConfigurationError, ReproError
 from repro.fuzz.oracles import OracleContext, check_invariants
@@ -44,48 +42,43 @@ from repro.scenario.runner import run as run_scenario
 from repro.scenario.runner import validate
 from repro.scenario.spec import ScenarioSpec
 
-#: The module globals one fuzz mode flips: every fast/reference seam the
-#: equivalence suites check individually, exercised together here. The
-#: vectorized-kernel flag is special-cased in :func:`_run_mode`: fast
-#: runs keep it *off* (so the flat engines stay under test) and the
-#: third, ``vector=True`` leg turns it on.
-MODE_FLAGS: tuple[tuple[Any, str], ...] = (
-    (mac, "DEFAULT_FAST_DRIVER"),
-    (flat, "DEFAULT_FLAT"),
-    (medium_mod, "DEFAULT_FAST"),
-    (scenario_runner, "DEFAULT_WARM_WORLD"),
-    (vectorized, "DEFAULT_VECTOR"),
-)
+def _mode_flags() -> list[tuple[Any, Any]]:
+    """(seam, flag module) pairs for every registered fast/reference seam.
+
+    The flag list used to be hard-coded here; it now comes from
+    :mod:`repro.seams`, so a newly registered seam is exercised by every
+    fuzz case automatically — and a seam that registers *without* a fuzz
+    leg aborts the run loudly (see :func:`repro.seams.fuzz_flags`)
+    instead of silently escaping the differential net.
+    """
+    return list(seams.fuzz_flags())
 
 
 def _run_mode(spec: ScenarioSpec, *, fast: bool, vector: bool = False):
     """Run ``spec`` with all fast-path layers forced on or off.
 
-    ``vector=True`` (implies ``fast``) additionally enables the NumPy
-    whole-grid kernel — which engages only for eligible specs, so a
-    vector-mode report may still come from the flat engine; callers that
-    need to know check ``isinstance(report.nodes, vectorized.LazyNodeMap)``.
+    ``vector=True`` (implies ``fast``) additionally enables the
+    ``fuzz_leg="vector"`` seams (the NumPy whole-grid kernel) — which
+    engage only for eligible specs, so a vector-mode report may still
+    come from the flat engine; callers that need to know check
+    ``isinstance(report.nodes, vectorized.LazyNodeMap)``. Plain fast
+    runs keep vector seams *off* so the flat engines stay under test.
 
     Returns ``(report, medium)``; the medium is only captured for warm
     fast runs (it feeds the delivery-batch immutability oracle).
     """
-    values = {
-        (mac, "DEFAULT_FAST_DRIVER"): fast,
-        (flat, "DEFAULT_FLAT"): fast,
-        (medium_mod, "DEFAULT_FAST"): fast,
-        (scenario_runner, "DEFAULT_WARM_WORLD"): fast,
-        (vectorized, "DEFAULT_VECTOR"): fast and vector,
-    }
-    saved = [getattr(module, name) for module, name in MODE_FLAGS]
-    for module, name in MODE_FLAGS:
-        setattr(module, name, values[(module, name)])
+    flags = _mode_flags()
+    saved = [getattr(module, seam.flag_attr) for seam, module in flags]
+    for seam, module in flags:
+        value = fast if seam.fuzz_leg == "fast" else fast and vector
+        setattr(module, seam.flag_attr, value)
     try:
         report = run_scenario(spec)
         medium = scenario_runner._world_for(spec)[2] if fast else None
         return report, medium
     finally:
-        for (module, name), value in zip(MODE_FLAGS, saved):
-            setattr(module, name, value)
+        for (seam, module), value in zip(flags, saved):
+            setattr(module, seam.flag_attr, value)
 
 
 # -- report comparison ---------------------------------------------------------

@@ -367,3 +367,19 @@ class Grid:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         kind = "torus" if self.torus else "bounded"
         return f"<Grid {self.width}x{self.height} r={self.r} {kind}>"
+
+
+from repro import seams as _seams  # noqa: E402
+
+_seams.register(
+    _seams.Seam(
+        name="grid-build",
+        flag_module="repro.network.grid",
+        flag_attr="DEFAULT_FAST_BUILD",
+        fast="repro.network.grid.Grid._build_neighbors_numpy",
+        reference="repro.network.grid.Grid._build_neighbors",
+        differential_test="tests/test_vectorized.py",
+        fuzz_leg="fast",
+        description="NumPy CSR neighbor-table build vs the python build",
+    )
+)

@@ -298,3 +298,19 @@ def build_flat_engine(
     if classes == {CpaNode}:
         return FlatCpaEngine(nodes, n, source, params.t + 1)
     return None
+
+
+from repro import seams as _seams  # noqa: E402
+
+_seams.register(
+    _seams.Seam(
+        name="flat-engines",
+        flag_module="repro.protocols.flat",
+        flag_attr="DEFAULT_FLAT",
+        fast="repro.protocols.flat.FlatThresholdEngine",
+        reference="repro.protocols.base.BroadcastNode.on_receive",
+        differential_test="tests/test_scenario_fastpath.py",
+        fuzz_leg="fast",
+        description="flat array protocol engines vs per-node objects",
+    )
+)

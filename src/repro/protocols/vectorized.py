@@ -522,3 +522,20 @@ def try_vector_run(
         ledger=ledger,
         assignment=program.assignment,
     )
+
+
+from repro import seams as _seams  # noqa: E402
+
+_seams.register(
+    _seams.Seam(
+        name="vector-kernel",
+        flag_module="repro.protocols.vectorized",
+        flag_attr="DEFAULT_VECTOR",
+        fast="repro.protocols.vectorized.try_vector_run",
+        reference="repro.protocols.flat.FlatThresholdEngine",
+        differential_test="tests/test_vectorized.py",
+        fuzz_leg="vector",
+        description="NumPy whole-grid round kernel vs the flat/reference "
+        "engines (third differential leg)",
+    )
+)

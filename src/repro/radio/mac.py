@@ -699,3 +699,20 @@ class RoundDriver:
 
     def _quiescent(self) -> bool:
         return not self._any_honest_active() and not self.adversary.has_pending()
+
+
+from repro import seams as _seams  # noqa: E402
+
+_seams.register(
+    _seams.Seam(
+        name="round-driver",
+        flag_module="repro.radio.mac",
+        flag_attr="DEFAULT_FAST_DRIVER",
+        fast="repro.radio.mac.RoundDriver._run_round_fast",
+        reference="repro.radio.mac.RoundDriver._run_round_reference",
+        differential_test="tests/test_scenario_fastpath.py",
+        fuzz_leg="fast",
+        description="batched round loop (burst dedup, whole-round memo) "
+        "vs the per-delivery reference loop",
+    )
+)

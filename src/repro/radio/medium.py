@@ -450,3 +450,19 @@ class Medium:
             )
         deliveries.sort(key=lambda d: (d.receiver, d.sender))
         return deliveries
+
+
+from repro import seams as _seams  # noqa: E402
+
+_seams.register(
+    _seams.Seam(
+        name="slot-resolver",
+        flag_module="repro.radio.medium",
+        flag_attr="DEFAULT_FAST",
+        fast="repro.radio.medium.Medium.resolve_slot",
+        reference="repro.radio.medium.Medium.resolve_slot_reference",
+        differential_test="tests/test_radio_medium.py",
+        fuzz_leg="fast",
+        description="CSR flat-buffer slot resolution vs the dict reference",
+    )
+)

@@ -305,3 +305,20 @@ def outcome_table(
         rows,
         title=title,
     )
+
+
+from repro import seams as _seams  # noqa: E402
+
+_seams.register(
+    _seams.Seam(
+        name="warm-world",
+        flag_module="repro.scenario.runner",
+        flag_attr="DEFAULT_WARM_WORLD",
+        fast="repro.scenario.runner._world_for",
+        reference="repro.network.grid.Grid",
+        differential_test="tests/test_scenario_fastpath.py",
+        fuzz_leg="fast",
+        description="process-local warm Grid/Medium/NodeTable reuse vs a "
+        "cold world per run",
+    )
+)

@@ -1,0 +1,184 @@
+"""Runtime registry of fast/reference implementation seams.
+
+Every performance PR in this repository follows the same contract: the
+optimized path keeps its historical implementation alive as a *reference
+twin*, selected by a module-level boolean flag (``DEFAULT_FAST``,
+``DEFAULT_FLAT``, ...), and a differential test suite pins the two
+byte-identical. That contract used to live only in prose (ROADMAP
+"Standing rules") and in a hard-coded flag list inside
+:mod:`repro.fuzz.runner`. This module makes it a first-class runtime
+object: each seam-owning module registers a :class:`Seam` record at its
+bottom (the same self-registration idiom as
+:mod:`repro.scenario.registries`), and
+
+- :mod:`repro.fuzz` flips *registered* seams — a new fast path is fuzzed
+  differentially the moment it registers, and a seam that registers
+  without declaring a fuzz leg fails the next fuzz run loudly;
+- the static analyzer (``python -m repro check``) verifies every
+  module defining a ``DEFAULT_*`` engine flag registers a seam (RPR101)
+  and that each registered seam's differential test exists (RPR102).
+
+This module is deliberately a leaf (stdlib + :mod:`repro.errors` only)
+so seam sites can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import ConfigurationError
+
+#: The fuzz legs a seam may declare. ``"fast"`` seams are switched on in
+#: the fast leg and off in the reference leg of a differential run;
+#: ``"vector"`` seams only engage in the third, vectorized leg (and stay
+#: off in plain fast mode so the layer beneath them remains under test).
+FUZZ_LEGS = ("fast", "vector")
+
+
+@dataclass(frozen=True)
+class Seam:
+    """One fast/reference implementation pair behind a boolean flag.
+
+    Attributes:
+        name: stable registry key (``"slot-resolver"``).
+        flag_module: dotted module owning the selection flag.
+        flag_attr: the module-level boolean attribute (``"DEFAULT_FAST"``).
+        fast: dotted path of the optimized implementation.
+        reference: dotted path of its byte-identical reference twin.
+        differential_test: repo-relative test file pinning the pair
+            (the static analyzer verifies it exists and names the seam).
+        fuzz_leg: ``"fast"`` or ``"vector"`` — how :mod:`repro.fuzz`
+            drives this seam. ``None`` means "not wired into fuzz yet",
+            which the fuzz runner treats as a hard error: a seam must
+            not exist outside the differential net.
+        description: one line for humans.
+    """
+
+    name: str
+    flag_module: str
+    flag_attr: str
+    fast: str
+    reference: str
+    differential_test: str
+    fuzz_leg: str | None = "fast"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "name",
+            "flag_module",
+            "flag_attr",
+            "fast",
+            "reference",
+            "differential_test",
+        ):
+            if not getattr(self, field_name):
+                raise ConfigurationError(
+                    f"seam field {field_name!r} must be non-empty"
+                )
+        if self.fuzz_leg is not None and self.fuzz_leg not in FUZZ_LEGS:
+            raise ConfigurationError(
+                f"seam {self.name!r} declares unknown fuzz leg "
+                f"{self.fuzz_leg!r}; known: {', '.join(FUZZ_LEGS)}"
+            )
+
+    def resolve_flag_module(self) -> Any:
+        """Import and return the module holding this seam's flag.
+
+        Fails with a self-describing error when the flag attribute has
+        been renamed out from under the registration.
+        """
+        module = importlib.import_module(self.flag_module)
+        if not hasattr(module, self.flag_attr):
+            raise ConfigurationError(
+                f"seam {self.name!r} points at "
+                f"{self.flag_module}.{self.flag_attr}, which does not exist"
+            )
+        return module
+
+    def current(self) -> bool:
+        """The flag's current value."""
+        return bool(getattr(self.resolve_flag_module(), self.flag_attr))
+
+
+_SEAMS: dict[str, Seam] = {}
+
+
+def register(seam: Seam) -> Seam:
+    """Register a seam; duplicate names are rejected."""
+    if seam.name in _SEAMS:
+        raise ConfigurationError(f"seam {seam.name!r} is already registered")
+    _SEAMS[seam.name] = seam
+    return seam
+
+
+def get(name: str) -> Seam:
+    """Look a seam up; unknown names fail with the known set."""
+    try:
+        return _SEAMS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SEAMS)) or "(none)"
+        raise ConfigurationError(
+            f"unknown seam {name!r}; registered: {known}"
+        ) from None
+
+
+def unregister(name: str) -> Seam:
+    """Remove and return a registered seam (test doubles only)."""
+    try:
+        return _SEAMS.pop(name)
+    except KeyError:
+        raise ConfigurationError(f"seam {name!r} is not registered") from None
+
+
+def names() -> tuple[str, ...]:
+    return tuple(sorted(_SEAMS))
+
+
+def all_seams() -> tuple[Seam, ...]:
+    """Every registered seam, in stable (name-sorted) order.
+
+    Callers that need the full set must import the seam-site modules
+    first; :func:`load_seam_sites` does exactly that.
+    """
+    return tuple(_SEAMS[name] for name in sorted(_SEAMS))
+
+
+#: The modules that register seams at import time. Kept as data so both
+#: the fuzz runner and the tests can force full registration without
+#: hard-coding import lists of their own.
+SEAM_SITE_MODULES = (
+    "repro.network.grid",
+    "repro.radio.medium",
+    "repro.radio.mac",
+    "repro.protocols.flat",
+    "repro.protocols.vectorized",
+    "repro.scenario.runner",
+)
+
+
+def load_seam_sites() -> tuple[Seam, ...]:
+    """Import every known seam site, then return all registered seams."""
+    for module in SEAM_SITE_MODULES:
+        importlib.import_module(module)
+    return all_seams()
+
+
+def fuzz_flags() -> Iterator[tuple[Seam, Any]]:
+    """(seam, flag module) pairs for the differential fuzz runner.
+
+    Loads the seam sites first, then *fails loudly* on any seam that
+    registered without a fuzz leg: every fast path must be inside the
+    differential net, not next to it.
+    """
+    for seam in load_seam_sites():
+        if seam.fuzz_leg is None:
+            raise ConfigurationError(
+                f"seam {seam.name!r} is registered without a fuzz leg; "
+                "declare fuzz_leg='fast' (flipped between the fast and "
+                "reference runs) or 'vector' (third, vectorized leg) so "
+                "repro.fuzz exercises it differentially"
+            )
+        yield seam, seam.resolve_flag_module()

@@ -1,0 +1,8 @@
+"""RPR001 negative: seeded random.Random substreams are explicit state."""
+
+import random
+
+
+def draw(seed):
+    rng = random.Random(seed)
+    return rng.random()

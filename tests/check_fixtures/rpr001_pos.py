@@ -1,0 +1,7 @@
+"""RPR001 positive: unseeded process-global random call in engine code."""
+
+import random
+
+
+def draw():
+    return random.random()

@@ -1,0 +1,5 @@
+"""RPR002 negative: simulation time is the round counter."""
+
+
+def stamp(round_index):
+    return round_index

@@ -1,0 +1,7 @@
+"""RPR002 positive: wall-clock read in engine code."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,5 @@
+"""RPR003 negative: configuration arrives through the spec."""
+
+
+def debug_enabled(spec):
+    return bool(spec.debug)

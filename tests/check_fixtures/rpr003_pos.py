@@ -1,0 +1,7 @@
+"""RPR003 positive: environment read in engine code."""
+
+import os
+
+
+def debug_enabled():
+    return os.environ.get("REPRO_DEBUG") == "1"

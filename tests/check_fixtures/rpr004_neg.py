@@ -1,0 +1,12 @@
+"""RPR004 negative: sorted iteration and order-insensitive aggregation."""
+
+
+def ordered(items):
+    chosen = set(items)
+    out = []
+    for value in sorted(chosen):
+        out.append(value + 1)
+    # Aggregations cannot leak iteration order into results.
+    total = sum(v for v in chosen)
+    any_odd = any(v % 2 for v in chosen)
+    return out, total, any_odd

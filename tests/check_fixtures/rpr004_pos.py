@@ -1,0 +1,9 @@
+"""RPR004 positive: bare iteration over an unordered set in engine code."""
+
+
+def order_leak(items):
+    chosen = set(items)
+    out = []
+    for value in chosen:
+        out.append(value + 1)
+    return out

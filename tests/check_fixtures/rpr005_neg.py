@@ -1,0 +1,5 @@
+"""RPR005 negative: ordering by a stable domain key."""
+
+
+def pick(nodes):
+    return sorted(nodes, key=lambda node: node.nid)

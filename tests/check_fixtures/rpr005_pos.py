@@ -1,0 +1,5 @@
+"""RPR005 positive: ordering by allocation address."""
+
+
+def pick(nodes):
+    return sorted(nodes, key=id)

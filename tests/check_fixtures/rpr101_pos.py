@@ -1,0 +1,7 @@
+"""RPR101 positive: a DEFAULT_* engine flag with no seam registration."""
+
+DEFAULT_TURBO = True
+
+
+def turbo():
+    return 1

@@ -1,0 +1,12 @@
+"""Companion for rpr102_neg: a differential test that names the seam.
+
+Placed at tests/test_fixmod.py in the throwaway project; mentioning
+DEFAULT_FAST is what RPR102 requires of a live differential test.
+"""
+
+
+def test_fast_matches_reference():
+    import repro.radio.fixmod as fixmod
+
+    assert fixmod.DEFAULT_FAST
+    assert fixmod.fast_impl() == fixmod.reference_impl()

@@ -1,0 +1,27 @@
+"""RPR103 positive: a seam declaring an unknown fuzz leg."""
+
+DEFAULT_FAST = True
+
+
+def fast_impl():
+    return 1
+
+
+def reference_impl():
+    return 1
+
+
+from repro import seams as _seams  # noqa: E402
+
+_seams.register(
+    _seams.Seam(
+        name="fixmod-seam",
+        flag_module="repro.radio.fixmod",
+        flag_attr="DEFAULT_FAST",
+        fast="repro.radio.fixmod.fast_impl",
+        reference="repro.radio.fixmod.reference_impl",
+        differential_test="tests/test_fixmod.py",
+        fuzz_leg="diagonal",
+        description="fixture seam",
+    )
+)

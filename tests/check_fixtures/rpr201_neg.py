@@ -1,0 +1,17 @@
+"""RPR201 negative: the defining module registers the behavior."""
+
+
+class FixtureJammer:
+    spontaneous = False
+
+    def on_slot(self, round_index, slot, honest):
+        return []
+
+
+class _Registry:
+    def register(self, name, entry):
+        self.entry = (name, entry)
+
+
+_behaviors = _Registry()
+_behaviors.register("fixture-jam", FixtureJammer)

@@ -1,0 +1,8 @@
+"""RPR201 positive: a concrete adversary its module never registers."""
+
+
+class FixtureJammer:
+    spontaneous = False
+
+    def on_slot(self, round_index, slot, honest):
+        return []

@@ -1,0 +1,9 @@
+"""RPR202 negative: the adversary states its fast-path contract."""
+
+
+class FlaggedJammer:
+    spontaneous = False
+    observe_stateless = True
+
+    def on_slot(self, round_index, slot, honest):
+        return []

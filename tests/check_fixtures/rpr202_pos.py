@@ -1,0 +1,6 @@
+"""RPR202 positive: an adversary declaring no capability flags."""
+
+
+class FlaglessJammer:
+    def on_slot(self, round_index, slot, honest):
+        return []

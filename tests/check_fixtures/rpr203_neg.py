@@ -1,0 +1,12 @@
+"""RPR203 negative: registry and sampler matrix agree in both directions."""
+
+
+class _Registry:
+    def register(self, name, entry):
+        self.entry = (name, entry)
+
+
+_protocols = _Registry()
+_behaviors = _Registry()
+_protocols.register("fixproto", None)
+_behaviors.register("fixture-jam", None)

@@ -1,0 +1,10 @@
+"""RPR203 positive: a registered behavior the sampler never draws."""
+
+
+class _Registry:
+    def register(self, name, entry):
+        self.entry = (name, entry)
+
+
+_behaviors = _Registry()
+_behaviors.register("fixture-jam", None)

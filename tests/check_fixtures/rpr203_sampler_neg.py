@@ -1,0 +1,8 @@
+"""Companion for rpr203_neg: the matrix covers every registered name.
+
+Placed at src/repro/fuzz/sampler.py in the throwaway project.
+"""
+
+PROTOCOL_BEHAVIORS = {
+    "fixproto": ("fixture-jam",),
+}

@@ -1,0 +1,6 @@
+"""Companion for rpr203_pos: a sampler matrix missing the behavior.
+
+Placed at src/repro/fuzz/sampler.py in the throwaway project.
+"""
+
+PROTOCOL_BEHAVIORS = {}

@@ -1,0 +1,12 @@
+"""RPR301 negative: the optional accelerator import is guarded."""
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on the no-numpy leg
+    np = None
+
+
+def accelerate(values):
+    if np is None:
+        return list(values)
+    return np.asarray(values)

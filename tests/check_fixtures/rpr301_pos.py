@@ -1,0 +1,7 @@
+"""RPR301 positive: a bare module-level numpy import."""
+
+import numpy as np
+
+
+def accelerate(values):
+    return np.asarray(values)

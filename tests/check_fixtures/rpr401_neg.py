@@ -1,0 +1,8 @@
+"""RPR401 negative: None default, value created per call."""
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

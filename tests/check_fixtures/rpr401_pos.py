@@ -1,0 +1,6 @@
+"""RPR401 positive: a mutable default argument."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket

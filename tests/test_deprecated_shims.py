@@ -54,6 +54,19 @@ class TestThresholdShim:
         spec_report = run(self.CFG.to_scenario_spec())
         _assert_same_report(shim_report, spec_report)
 
+    def test_warning_points_at_caller(self):
+        # stacklevel must attribute the warning to the *calling* line so
+        # `python -W error` tracebacks and IDE strikethroughs land on the
+        # user's code, not inside repro.runner.broadcast_run.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", DeprecationWarning)
+            run_threshold_broadcast(self.CFG)
+        (warning,) = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert warning.filename == __file__
+        assert "broadcast_run" not in warning.filename
+
 
 class TestReactiveShim:
     CFG = ReactiveRunConfig(
@@ -75,6 +88,16 @@ class TestReactiveShim:
             shim_report = run_reactive_broadcast(self.CFG)
         spec_report = run(self.CFG.to_scenario_spec())
         _assert_same_report(shim_report, spec_report)
+
+    def test_warning_points_at_caller(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", DeprecationWarning)
+            run_reactive_broadcast(self.CFG)
+        (warning,) = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert warning.filename == __file__
+        assert "broadcast_run" not in warning.filename
 
 
 class TestSweepModuleAlias:
@@ -98,3 +121,16 @@ class TestSweepModuleAlias:
         assert legacy.sweep(points, lambda x: x * x) == parallel.sweep(
             points, lambda x: x * x
         )
+
+    def test_import_warning_points_at_importer(self):
+        # The module-level warn's stacklevel must skip the importlib
+        # machinery and attribute the deprecation to whoever imported
+        # repro.runner.sweep (here: this test file's import call).
+        sys.modules.pop("repro.runner.sweep", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", DeprecationWarning)
+            importlib.import_module("repro.runner.sweep")
+        (warning,) = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert "repro/runner/sweep" not in warning.filename.replace("\\", "/")

@@ -234,6 +234,26 @@ class TestFastPathEquivalence:
                 reference.resolve_slot(honest, byzantine)
             )
 
+    def test_reference_twin_and_seam_registration(self):
+        # The seam contract: DEFAULT_FAST selects between resolve_slot's
+        # fast body and resolve_slot_reference, the pair is registered in
+        # repro.seams, and calling the reference twin directly matches
+        # the fast resolver on identical input.
+        import repro.radio.medium as medium_mod
+        from repro import seams
+
+        assert medium_mod.DEFAULT_FAST  # fast path is the shipped default
+        seam = seams.get("slot-resolver")
+        assert seam.flag_attr == "DEFAULT_FAST"
+        assert seam.fuzz_leg == "fast"
+        grid = Grid(GridSpec(12, 12, r=1, torus=True))
+        medium = Medium(grid, fast=True)
+        honest = [Transmission(grid.id_of((5, 5)), 1)]
+        byzantine = [BadTransmission(grid.id_of((6, 6)), 0)]
+        assert medium.resolve_slot(
+            honest, byzantine
+        ) == medium.resolve_slot_reference(honest, byzantine)
+
     def test_memo_hits_return_identity_stable_batches(self):
         # Since the scenario fast path, memo hits hand out the *same*
         # cached batch object (callers must treat it as immutable): the

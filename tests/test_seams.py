@@ -1,0 +1,112 @@
+"""Tests for :mod:`repro.seams` — the runtime fast/reference registry."""
+
+import pytest
+
+from repro import seams
+from repro.errors import ConfigurationError
+
+#: Every seam the tree ships. The four historical fast paths plus the
+#: warm-world cache and the numpy neighbor-table build.
+EXPECTED_SEAMS = {
+    "flat-engines",
+    "grid-build",
+    "round-driver",
+    "slot-resolver",
+    "vector-kernel",
+    "warm-world",
+}
+
+
+def make_seam(**overrides):
+    fields = dict(
+        name="test-seam",
+        flag_module="repro.radio.medium",
+        flag_attr="DEFAULT_FAST",
+        fast="repro.radio.medium.Medium.resolve_slot",
+        reference="repro.radio.medium.Medium.resolve_slot_reference",
+        differential_test="tests/test_radio_medium.py",
+        fuzz_leg="fast",
+    )
+    fields.update(overrides)
+    return seams.Seam(**fields)
+
+
+class TestRegistry:
+    def test_all_sites_register(self):
+        registered = {seam.name for seam in seams.load_seam_sites()}
+        assert EXPECTED_SEAMS <= registered
+
+    def test_all_seams_name_sorted(self):
+        seams.load_seam_sites()
+        listed = seams.all_seams()
+        assert [s.name for s in listed] == sorted(s.name for s in listed)
+        assert seams.names() == tuple(s.name for s in listed)
+
+    def test_flags_resolve_and_default_on(self):
+        # Every shipped seam's flag exists where it claims, and the fast
+        # path is the default everywhere.
+        for seam in seams.load_seam_sites():
+            assert seam.current() is True, seam.name
+
+    def test_get_unknown_lists_known(self):
+        seams.load_seam_sites()
+        with pytest.raises(ConfigurationError, match="slot-resolver"):
+            seams.get("no-such-seam")
+
+    def test_duplicate_name_rejected(self):
+        seams.load_seam_sites()
+        with pytest.raises(ConfigurationError, match="already registered"):
+            seams.register(make_seam(name="slot-resolver"))
+
+    def test_register_unregister_round_trip(self):
+        seam = seams.register(make_seam())
+        try:
+            assert seams.get("test-seam") is seam
+        finally:
+            assert seams.unregister("test-seam") is seam
+        with pytest.raises(ConfigurationError):
+            seams.unregister("test-seam")
+
+
+class TestSeamValidation:
+    @pytest.mark.parametrize(
+        "field",
+        ["name", "flag_module", "flag_attr", "fast", "reference",
+         "differential_test"],
+    )
+    def test_empty_field_rejected(self, field):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            make_seam(**{field: ""})
+
+    def test_unknown_fuzz_leg_rejected(self):
+        with pytest.raises(ConfigurationError, match="fuzz leg"):
+            make_seam(fuzz_leg="diagonal")
+
+    def test_missing_flag_attr_fails_resolution(self):
+        seam = make_seam(flag_attr="DEFAULT_NO_SUCH_FLAG")
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            seam.current()
+
+
+class TestFuzzFlags:
+    def test_covers_every_registered_seam(self):
+        flags = list(seams.fuzz_flags())
+        assert {seam.name for seam, _ in flags} >= EXPECTED_SEAMS
+        for seam, module in flags:
+            assert isinstance(getattr(module, seam.flag_attr), bool)
+            assert seam.fuzz_leg in seams.FUZZ_LEGS
+
+    def test_legless_seam_fails_loudly(self):
+        # A seam outside the differential net must break the fuzz run,
+        # not silently escape it.
+        seams.register(make_seam(name="test-legless", fuzz_leg=None))
+        try:
+            with pytest.raises(ConfigurationError, match="without a fuzz leg"):
+                list(seams.fuzz_flags())
+        finally:
+            seams.unregister("test-legless")
+
+    def test_vector_leg_present(self):
+        by_name = {seam.name: seam for seam, _ in seams.fuzz_flags()}
+        assert by_name["vector-kernel"].fuzz_leg == "vector"
+        assert by_name["slot-resolver"].fuzz_leg == "fast"
