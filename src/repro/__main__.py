@@ -18,6 +18,9 @@ Usage::
     python -m repro fuzz run --cases 200 --seed 0 --workers 4
     python -m repro fuzz run --time-budget 60 --seed 0
     python -m repro fuzz replay tests/corpus    # re-execute repro files
+    python -m repro serve --port 8642 --cache-dir .cache --workers 4
+    python -m repro serve --stdin-batch < specs.jsonl
+    python -m repro cache stats .cache          # inventory a result cache
     python -m repro e2                          # legacy alias for `run e2`
 
 ``--workers N`` fans each experiment's sweep points out over ``N``
@@ -40,6 +43,21 @@ file (``BENCH_slot_resolution.json`` / ``BENCH_scenario_run.json``, see
 :mod:`repro.runner.bench`) and exit nonzero on a >1.5x speedup
 regression versus the trajectory's last entry.
 
+``serve`` starts the long-lived scenario service (:mod:`repro.serve`):
+ScenarioSpec JSON over HTTP on ``POST /run``, answered with the exact
+bytes a direct ``run(spec)`` report serializes to, deduplicating
+concurrent identical requests and layering an in-memory LRU over the
+same on-disk cache ``--cache-dir`` sweeps use. ``--stdin-batch`` is the
+one-shot piped mode: one spec JSON per input line, one result JSON per
+output line, in order. ``cache stats`` inventories a ``--cache-dir``
+directory (entries, bytes, corrupt files) without touching its
+contents. ``bench serve`` benchmarks the daemon end to end against the
+direct-run baseline (trajectory ``BENCH_serve.json``).
+
+``run``/``scenario run`` sweeps treat SIGTERM like Ctrl-C: workers are
+stopped, a ``sweep interrupted: N/M points completed`` note goes to
+stderr, and already-cached points survive for the next run to reuse.
+
 ``--profile`` (on ``run`` and ``scenario run``) cProfiles one point
 serially and prints the top cumulative entries — the tooling future
 perf PRs should start from before touching code.
@@ -57,7 +75,9 @@ from __future__ import annotations
 import argparse
 import cProfile
 import json
+import os
 import pstats
+import signal
 import sys
 import time
 from pathlib import Path
@@ -74,6 +94,7 @@ from repro.scenario import (
     preset_names,
     run_summary,
 )
+from repro.serve import service as serve_defaults
 
 
 #: How many cumulative-time rows ``--profile`` prints.
@@ -196,6 +217,24 @@ def run_scenarios(
     print(f"[{len(specs)} scenario(s) in {elapsed:.1f}s{suffix}]")
 
 
+def _sigterm_as_interrupt() -> None:
+    """Treat a supervisor's SIGTERM like Ctrl-C during sweeps.
+
+    ``sweep`` already drains its workers and reports ``N/M points
+    completed`` on :class:`KeyboardInterrupt`; routing SIGTERM into the
+    same path means a timed-out CI job or a ``systemctl stop`` keeps the
+    cached points and the progress note instead of dying mid-write.
+    """
+
+    def _raise(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _raise)
+    except (ValueError, OSError, AttributeError):
+        pass  # non-main thread, or a platform without SIGTERM
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     ids = registry.experiment_ids()
@@ -245,11 +284,12 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser.add_argument(
         "which",
         nargs="?",
-        choices=("slot", "scenario"),
+        choices=("slot", "scenario", "serve"),
         default="slot",
         help=(
             "'slot' times Medium.resolve_slot fast vs reference (default); "
-            "'scenario' times full run(spec) fast vs legacy on the presets"
+            "'scenario' times full run(spec) fast vs legacy on the presets; "
+            "'serve' times the scenario service vs direct runs"
         ),
     )
     bench_parser.add_argument(
@@ -261,8 +301,8 @@ def main(argv: list[str] | None = None) -> int:
         "--out",
         default=None,
         help=(
-            f"trajectory JSON path (default: {bench_mod.DEFAULT_OUT} or "
-            f"{bench_mod.DEFAULT_SCENARIO_OUT})"
+            f"trajectory JSON path (default: {bench_mod.DEFAULT_OUT}, "
+            f"{bench_mod.DEFAULT_SCENARIO_OUT}, or BENCH_serve.json)"
         ),
     )
     scenario_parser = sub.add_parser(
@@ -394,7 +434,110 @@ def main(argv: list[str] | None = None) -> int:
         metavar="file.json|dir",
         help="repro file(s) and/or corpus directories",
     )
+    serve_parser = sub.add_parser(
+        "serve",
+        help="long-lived scenario service: spec JSON in, report bytes out",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="TCP port (0 = ephemeral; default 8642)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="persistent compute workers (0 = one per CPU; default 0)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk result cache shared with `scenario run --cache-dir` "
+        "(default: off)",
+    )
+    serve_parser.add_argument(
+        "--lru-size",
+        type=int,
+        default=serve_defaults.DEFAULT_LRU_SIZE,
+        help="in-memory response LRU entries (0 disables; default "
+        f"{serve_defaults.DEFAULT_LRU_SIZE})",
+    )
+    serve_parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=serve_defaults.DEFAULT_QUEUE_LIMIT,
+        help="queued computations before 503 + Retry-After (default "
+        f"{serve_defaults.DEFAULT_QUEUE_LIMIT})",
+    )
+    serve_parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=serve_defaults.DEFAULT_BATCH_MAX,
+        help="max specs coalesced into one worker chunk (default "
+        f"{serve_defaults.DEFAULT_BATCH_MAX})",
+    )
+    serve_parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=serve_defaults.DEFAULT_BATCH_WINDOW,
+        help="seconds to wait for batchmates after a miss (default "
+        f"{serve_defaults.DEFAULT_BATCH_WINDOW})",
+    )
+    serve_parser.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port here once listening (harness discovery)",
+    )
+    serve_parser.add_argument(
+        "--stdin-batch",
+        action="store_true",
+        help="one-shot mode: read spec JSON lines from stdin, write one "
+        "result JSON line each (in input order), then exit",
+    )
+    cache_parser = sub.add_parser(
+        "cache", help="inspect on-disk result caches"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entries/bytes/corruption inventory of a cache dir"
+    )
+    cache_stats.add_argument("directory", help="the --cache-dir directory")
+    cache_stats.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the inventory as JSON on stdout",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "serve":
+        from repro.serve.cli import serve_command
+
+        try:
+            return serve_command(
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                lru_size=args.lru_size,
+                queue_limit=args.queue_limit,
+                batch_max=args.batch_max,
+                batch_window=args.batch_window,
+                port_file=args.port_file,
+                stdin_batch=args.stdin_batch,
+            )
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "cache":
+        from repro.serve.cli import cache_stats_command
+
+        return cache_stats_command(args.directory, as_json=args.as_json)
 
     if args.command == "bench":
         return bench_mod.main_bench(
@@ -434,6 +577,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "scenario":
         try:
+            if args.scenario_command == "run":
+                _sigterm_as_interrupt()
             if args.scenario_command == "list":
                 width = max(len(name) for name in preset_names())
                 for name in preset_names():
@@ -453,6 +598,8 @@ def main(argv: list[str] | None = None) -> int:
                     show_progress=not args.no_progress,
                     profile=args.profile,
                 )
+        except KeyboardInterrupt:
+            return 130  # sweep already reported completed/total on stderr
         except (ReproError, OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -465,6 +612,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     targets = list(ids) if "all" in args.experiments else args.experiments
+    _sigterm_as_interrupt()
     overall = time.perf_counter()
     for index, exp_id in enumerate(targets, start=1):
         try:
@@ -476,6 +624,8 @@ def main(argv: list[str] | None = None) -> int:
                 position=(index, len(targets)) if len(targets) > 1 else None,
                 profile=args.profile,
             )
+        except KeyboardInterrupt:
+            return 130  # sweep already reported completed/total on stderr
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -485,4 +635,11 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pipe reader (e.g. `... | head`) closed early; exit
+        # quietly instead of tracebacking. Point stdout at devnull so the
+        # interpreter's shutdown flush cannot raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(1)

@@ -20,6 +20,28 @@ class ConfigurationError(ReproError):
     """
 
 
+class SpecValidationError(ConfigurationError):
+    """A scenario payload failed validation, with machine-usable context.
+
+    Carries the offending ``field`` (a scenario key, or a registry kind
+    such as ``"protocol"``) and close-match ``suggestions`` alongside the
+    human-readable message, so front ends — the scenario service's 400
+    responses, future editors — can surface the same did-you-mean UX the
+    CLI prints without parsing the message text.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        field: str | None = None,
+        suggestions: tuple[str, ...] | list[str] = (),
+    ) -> None:
+        super().__init__(message)
+        self.field = field
+        self.suggestions: tuple[str, ...] = tuple(suggestions)
+
+
 class BudgetExceededError(ReproError):
     """A node attempted to transmit beyond its message budget.
 

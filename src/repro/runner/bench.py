@@ -1,7 +1,7 @@
 """Benchmark harnesses behind ``python -m repro bench``.
 
-Two benchmarks, each with its own JSON *trajectory file* so successive
-PRs can gate on regressions:
+Three benchmarks, each with its own JSON *trajectory file* so
+successive PRs can gate on regressions:
 
 - ``python -m repro bench`` (or ``bench slot``) measures the
   slot-resolution hot loop — :meth:`repro.radio.medium.Medium.
@@ -15,7 +15,12 @@ PRs can gate on regressions:
   warm world cache) vs all of them disabled (the slot-by-slot
   pre-fast-path shape), appending to ``BENCH_scenario_run.json``; when
   NumPy is present the entry also carries a ``vector`` section timing
-  the whole-grid kernel on the 10^6-node ``megatorus`` preset.
+  the whole-grid kernel on the 10^6-node ``megatorus`` preset;
+- ``python -m repro bench serve`` measures the scenario service
+  (:mod:`repro.serve.bench`): a repeated-preset request workload
+  through a real daemon + persistent pool vs direct serial runs,
+  asserting byte identity per response, appending to
+  ``BENCH_serve.json``.
 
 Common flags::
 
@@ -580,13 +585,24 @@ def main_bench(
     entry is still appended so the trajectory records the regression).
     """
     started = time.perf_counter()
-    benchmark = "scenario_run" if which == "scenario" else "slot_resolution"
+    benchmark = {
+        "scenario": "scenario_run",
+        "serve": "serve",
+    }.get(which, "slot_resolution")
     if out is not None:
         mismatch = _trajectory_kind_mismatch(out, benchmark)
         if mismatch is not None:
             print(f"error: {mismatch}", file=sys.stderr)
             return 2
-    if which == "scenario":
+    if which == "serve":
+        from repro.serve import bench as serve_bench
+
+        out = serve_bench.DEFAULT_SERVE_OUT if out is None else out
+        entry = serve_bench.run_serve_bench(quick=quick)
+        regression = check_regression(entry, out, label="serve")
+        append_trajectory(entry, out, benchmark="serve")
+        print(serve_bench.format_serve_entry(entry))
+    elif which == "scenario":
         out = DEFAULT_SCENARIO_OUT if out is None else out
         entry = run_scenario_bench(quick=quick)
         regression = check_regression(entry, out, label="scenario-run")

@@ -38,17 +38,21 @@ import dataclasses
 import hashlib
 import importlib
 import json
+import logging
 import multiprocessing
 import os
 import sys
 import time
 import traceback
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.rng import derive_seed
+
+#: Cache-corruption warnings go here (log-and-recompute, never raise).
+_LOG = logging.getLogger("repro.cache")
 
 PointT = TypeVar("PointT")
 ResultT = TypeVar("ResultT")
@@ -198,11 +202,22 @@ def _decode_field(value: Any) -> Any:
 
 @dataclasses.dataclass
 class CacheStats:
-    """Hit/miss/store counters for one :class:`ResultCache` instance."""
+    """Hit/miss/store counters for one :class:`ResultCache` instance.
+
+    ``corrupt`` counts misses caused by an unreadable/truncated/mismatched
+    entry (a subset of ``misses``): the cache recovered by recomputing,
+    but the on-disk file was bad and has been or will be overwritten.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when none yet)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 class ResultCache:
@@ -235,7 +250,7 @@ class ResultCache:
         return self.directory / f"{self.namespace}-{point_key(point)}.json"
 
     def get(self, point: Any) -> tuple[bool, Any]:
-        """Return ``(hit, value)``; corrupted entries are misses."""
+        """Return ``(hit, value)``; corrupted entries are logged misses."""
         path = self.path_for(point)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
@@ -245,8 +260,19 @@ class ResultCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return False, None
-        except Exception:  # corrupted/truncated/undecodable: recover as miss
+        except Exception as exc:
+            # Corrupted/truncated/undecodable: recover as a miss (the next
+            # store overwrites the bad file) but say so — silent recovery
+            # hides a dying disk or a writer bug.
             self.stats.misses += 1
+            self.stats.corrupt += 1
+            _LOG.warning(
+                "corrupt cache entry %s (%s: %s); recomputing and "
+                "overwriting",
+                path.name,
+                type(exc).__name__,
+                exc,
+            )
             return False, None
         self.stats.hits += 1
         return True, value
@@ -282,6 +308,66 @@ class ResultCache:
             tmp.unlink(missing_ok=True)
             raise
         self.stats.stores += 1
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheDirStats:
+    """What ``python -m repro cache stats`` reports about one cache dir.
+
+    ``namespaces`` maps each namespace present in the directory to its
+    ``(entries, bytes, corrupt)`` triple; the top-level fields are the
+    totals. ``corrupt`` counts files that fail the same checks a
+    :meth:`ResultCache.get` performs (JSON parse, ``key``/``result``
+    presence, key-matches-filename), i.e. entries that would be recovered
+    as misses and overwritten at the next store.
+    """
+
+    directory: str
+    entries: int
+    total_bytes: int
+    corrupt: int
+    namespaces: tuple[tuple[str, int, int, int], ...]
+
+
+def scan_cache_dir(directory: str | os.PathLike[str]) -> CacheDirStats:
+    """Inventory a result-cache directory without touching its contents.
+
+    Walks every ``<namespace>-<sha256>.json`` entry, sizes it, and probes
+    it for the corruption modes :meth:`ResultCache.get` recovers from.
+    Unreadable files count as corrupt rather than failing the scan — the
+    stats helper must work precisely when the cache is damaged.
+    """
+    root = Path(directory)
+    per_ns: dict[str, list[int]] = {}  # name -> [entries, bytes, corrupt]
+    for path in sorted(root.glob("*.json")):
+        stem = path.name[: -len(".json")]
+        namespace, dash, key = stem.rpartition("-")
+        if not dash:
+            namespace, key = "(unnamed)", stem
+        bucket = per_ns.setdefault(namespace, [0, 0, 0])
+        bucket[0] += 1
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        bucket[1] += size
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload["key"] != key or "result" not in payload:
+                raise KeyError("key mismatch")
+        except Exception:
+            bucket[2] += 1
+    namespaces = tuple(
+        (name, entries, size, corrupt)
+        for name, (entries, size, corrupt) in sorted(per_ns.items())
+    )
+    return CacheDirStats(
+        directory=str(root),
+        entries=sum(ns[1] for ns in namespaces),
+        total_bytes=sum(ns[2] for ns in namespaces),
+        corrupt=sum(ns[3] for ns in namespaces),
+        namespaces=namespaces,
+    )
 
 
 # -- process-local warm-object cache -------------------------------------------
@@ -378,6 +464,20 @@ def _describe_failure(point: Any, exc_type: str, message: str, tb: str) -> str:
     )
 
 
+def _report_interrupt(done: int, total: int) -> None:
+    """One clean line on Ctrl-C/SIGTERM instead of a pool unwind splat.
+
+    Cached points survive the interrupt (each is stored as it completes),
+    so a re-run with the same ``--cache-dir`` resumes where this one
+    stopped — worth saying at the moment the user most wants to know.
+    """
+    sys.stderr.write(
+        f"\nsweep interrupted: {done}/{total} points completed; "
+        "cached points are kept, re-run to resume\n"
+    )
+    sys.stderr.flush()
+
+
 class _Invoker:
     """Picklable wrapper shipping ``run`` to spawn workers.
 
@@ -407,6 +507,71 @@ class _Invoker:
 def default_workers() -> int:
     """Worker count used for ``workers=0``/``None``: one per CPU, capped."""
     return max(1, min(os.cpu_count() or 1, 16))
+
+
+class PersistentPool:
+    """A long-lived spawn-safe worker pool for request-serving workloads.
+
+    :func:`sweep` builds and tears down an executor per call — right for
+    batch experiments, wrong for a daemon: every request batch would pay
+    a full interpreter + import spawn. A ``PersistentPool`` keeps its
+    spawn workers alive across submissions, so each worker's module
+    state — notably the :class:`ProcessLocalCache` warm worlds the
+    scenario runner keeps — persists from one chunk to the next, and a
+    request to a grid any worker has seen skips world construction
+    entirely. ``repro.serve`` dispatches its batched compute chunks here.
+
+    Results use the same exception-as-data protocol as sweep workers
+    (:class:`_Invoker`): :meth:`submit` returns a
+    ``concurrent.futures.Future`` resolving to ``(ok, value)``, where a
+    falsy ``ok`` carries ``(exc_type, message, traceback)``.
+    :meth:`unwrap` converts that triple into the
+    :class:`~repro.errors.SimulationError` a sweep would raise.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is None or workers == 0:
+            workers = default_workers()
+        if workers < 1:
+            raise ConfigurationError(
+                f"persistent pool workers must be >= 1 (or 0 for one per "
+                f"CPU), got {workers}"
+            )
+        self.workers = min(workers, default_workers())
+        self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+
+    def submit(
+        self, run: Callable[[Any], Any], point: Any
+    ) -> "Future[tuple[bool, Any]]":
+        """Ship ``run(point)`` to a live worker; never blocks on compute."""
+        if self._executor is None:
+            raise ConfigurationError(
+                "persistent pool is shut down; create a new one"
+            )
+        return self._executor.submit(_Invoker(run), point)
+
+    @staticmethod
+    def unwrap(point: Any, outcome: tuple[bool, Any]) -> Any:
+        """Return a submitted call's value, re-raising worker failures."""
+        ok, value = outcome
+        if not ok:
+            raise SimulationError(_describe_failure(point, *value))
+        return value
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Drain (``wait=True``) or abandon the workers; idempotent."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=not wait)
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
 
 
 def sweep(
@@ -469,27 +634,35 @@ def sweep(
     if progress is not None:
         # Initial call (possibly done=0) marks the start of this sweep so
         # reusable progress printers can re-anchor their clocks.
-        progress(done_count, total)
+        try:
+            progress(done_count, total)
+        except KeyboardInterrupt:
+            _report_interrupt(done_count, total)
+            raise
 
     if workers == 1 or len(pending) <= 1:
-        for index in pending:
-            point = point_list[index]
-            try:
-                value = run(point)
-            except Exception as exc:
-                raise SimulationError(
-                    _describe_failure(
-                        point, type(exc).__name__, str(exc),
-                        traceback.format_exc(),
-                    )
-                ) from exc
-            results[index] = value
-            if cache is not None:
-                cache.put(point, value)
-            done_count += 1
-            flush()
-            if progress is not None:
-                progress(done_count, total)
+        try:
+            for index in pending:
+                point = point_list[index]
+                try:
+                    value = run(point)
+                except Exception as exc:
+                    raise SimulationError(
+                        _describe_failure(
+                            point, type(exc).__name__, str(exc),
+                            traceback.format_exc(),
+                        )
+                    ) from exc
+                results[index] = value
+                if cache is not None:
+                    cache.put(point, value)
+                done_count += 1
+                flush()
+                if progress is not None:
+                    progress(done_count, total)
+        except KeyboardInterrupt:
+            _report_interrupt(done_count, total)
+            raise
         flush()
         return SweepResult(tuple(point_list), tuple(results))
 
@@ -523,6 +696,12 @@ def sweep(
             flush()
             if progress is not None:
                 progress(done_count, total)
+    except KeyboardInterrupt:
+        # Ctrl-C/SIGTERM mid-sweep: cancel what hasn't started (the
+        # finally clause below), report progress cleanly, and let the
+        # interrupt propagate — instead of the executor's noisy unwind.
+        _report_interrupt(done_count, total)
+        raise
     except BrokenExecutor as exc:
         # Workers died before/while running (e.g. an unimportable main
         # module under spawn, or an OOM kill). Surface it instead of the

@@ -21,11 +21,12 @@ cycles through the rest of the package.
 
 from __future__ import annotations
 
+import difflib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generic, Iterator, Mapping, TypeVar
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SpecValidationError
 
 EntryT = TypeVar("EntryT")
 
@@ -47,13 +48,24 @@ class Registry(Generic[EntryT]):
         return entry
 
     def get(self, name: str) -> EntryT:
-        """Look a component up; unknown names fail with the known set."""
+        """Look a component up; unknown names fail with the known set.
+
+        The error is a :class:`~repro.errors.SpecValidationError` carrying
+        the registry kind and close-match suggestions, so service/CLI
+        front ends can render did-you-mean hints structurally.
+        """
         try:
             return self._entries[name]
         except KeyError:
             known = ", ".join(sorted(self._entries)) or "(none)"
-            raise ConfigurationError(
-                f"unknown {self.kind} {name!r}; registered: {known}"
+            close = difflib.get_close_matches(
+                str(name), sorted(self._entries), n=3
+            )
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
+            raise SpecValidationError(
+                f"unknown {self.kind} {name!r}{hint}; registered: {known}",
+                field=self.kind,
+                suggestions=tuple(close),
             ) from None
 
     def unregister(self, name: str) -> EntryT:

@@ -33,7 +33,7 @@ from typing import Any, Mapping
 
 from repro.adversary.placement import Placement
 from repro.analysis.bounds import validate_t
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SpecValidationError
 from repro.network.grid import GridSpec
 from repro.scenario.registries import placements
 from repro.types import VTRUE, Coord, NodeId, Value
@@ -251,11 +251,13 @@ class ScenarioSpec:
         optional = {}
         for key in list(data):
             if key not in spec_fields:
-                close = difflib.get_close_matches(key, sorted(spec_fields), n=1)
+                close = difflib.get_close_matches(key, sorted(spec_fields), n=3)
                 hint = f" (did you mean {close[0]!r}?)" if close else ""
-                raise ConfigurationError(
+                raise SpecValidationError(
                     f"unknown scenario key {key!r}{hint}; expected keys: "
-                    f"{', '.join(sorted(spec_fields))}"
+                    f"{', '.join(sorted(spec_fields))}",
+                    field=key,
+                    suggestions=tuple(close),
                 )
             optional[key] = data.pop(key)
         if "source" in optional and optional["source"] is not None:

@@ -156,6 +156,7 @@ SEAM_SITE_MODULES = (
     "repro.protocols.flat",
     "repro.protocols.vectorized",
     "repro.scenario.runner",
+    "repro.serve.service",
 )
 
 

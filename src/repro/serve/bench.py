@@ -1,0 +1,296 @@
+"""The scenario-service benchmark behind ``python -m repro bench serve``.
+
+Measures what the daemon exists to deliver: request throughput on a
+repeated-scenario workload, where the LRU / dedup / disk-cache layers
+turn most requests into lookups. The workload is the bundled scenario
+bench presets (:data:`repro.runner.bench.SCENARIO_BENCH_PRESETS`) fanned
+out over a few seeds, each requested many times round-robin — the shape
+a parameter-exploration client actually produces.
+
+Three phases per entry:
+
+1. **direct baseline** — every unique spec through
+   :func:`~repro.serve.service.report_bytes` once, serially; the
+   baseline cost of a request is a fresh ``run(spec)``, so the workload's
+   direct cost is (per-spec time × its repetitions). This also yields
+   the expected response bytes.
+2. **service pass** — a real in-process daemon
+   (:func:`~repro.serve.http.run_daemon` on an ephemeral port), a warmed
+   persistent pool, and N keep-alive client connections draining a
+   shared job queue. Every response is asserted byte-identical to the
+   direct baseline — the benchmark refuses to time a service that
+   serves wrong bytes. ``overall_speedup`` is direct cost / service
+   wall time, the number the 1.5x trajectory gate watches.
+3. **restart probe** — a fresh service over the same cache directory
+   requests each unique spec once and must serve *all* of them from the
+   disk layer (``source == "disk"``), pinning cache persistence.
+
+Entries append to ``BENCH_serve.json`` (``{"benchmark": "serve", ...}``)
+through the shared trajectory machinery in :mod:`repro.runner.bench`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import sys
+import tempfile
+import time
+from collections import deque
+from datetime import datetime, timezone
+from typing import Sequence
+
+from repro.runner.bench import SCENARIO_BENCH_PRESETS
+from repro.runner.parallel import PersistentPool, ResultCache
+from repro.scenario import preset
+from repro.scenario.spec import ScenarioSpec
+from repro.serve.http import run_daemon
+from repro.serve.service import (
+    InlinePool,
+    ScenarioService,
+    report_bytes,
+    run_serve_chunk,
+)
+
+#: Default trajectory file, relative to the working directory.
+DEFAULT_SERVE_OUT = "BENCH_serve.json"
+
+#: Seed applied to warm-up specs so they never collide with the workload.
+_WARMUP_SEED = 990_000
+
+
+def serve_workload(
+    *, quick: bool = False
+) -> tuple[list[ScenarioSpec], list[int]]:
+    """(unique specs, request order as indices into them), round-robin."""
+    seeds = (0, 1) if quick else (0, 1, 2)
+    reps = 4 if quick else 10
+    unique = [
+        preset(name).replace(seed=seed)
+        for name in SCENARIO_BENCH_PRESETS
+        for seed in seeds
+    ]
+    order = [i % len(unique) for i in range(len(unique) * reps)]
+    return unique, order
+
+
+async def _read_response(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, str], bytes]:
+    head = (await reader.readuntil(b"\r\n\r\n")).decode("ascii")
+    status_line, *header_lines = head.split("\r\n")
+    status = int(status_line.split(" ")[1])
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers.get("content-length", "0")))
+    return status, headers, body
+
+
+async def _client_worker(
+    host: str,
+    port: int,
+    jobs: "deque[tuple[int, bytes]]",
+    results: list,
+) -> None:
+    """One keep-alive connection draining the shared job queue."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        while True:
+            try:
+                index, body = jobs.popleft()
+            except IndexError:
+                break
+            writer.write(
+                (
+                    f"POST /run HTTP/1.1\r\nHost: {host}\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n"
+                ).encode("ascii")
+                + body
+            )
+            await writer.drain()
+            results[index] = await _read_response(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _warm_pool(pool: PersistentPool, base: ScenarioSpec) -> None:
+    """Pay the spawn + import cost before the timed pass, per worker."""
+    futures = [
+        pool.submit(run_serve_chunk, [base.replace(seed=_WARMUP_SEED + i)])
+        for i in range(pool.workers)
+    ]
+    for future in futures:
+        PersistentPool.unwrap("warmup", future.result())
+
+
+async def _service_pass(
+    service: ScenarioService,
+    bodies: Sequence[bytes],
+    order: Sequence[int],
+    expected: Sequence[bytes],
+    *,
+    connections: int,
+) -> tuple[float, int]:
+    """Run the timed client pass; returns (wall seconds, dedup count)."""
+    ready = asyncio.Event()
+    stop = asyncio.Event()
+    log = io.StringIO()
+    daemon = asyncio.ensure_future(
+        run_daemon(
+            service,
+            host="127.0.0.1",
+            port=0,
+            out=log,
+            ready=ready,
+            stop=stop,
+        )
+    )
+    await ready.wait()
+    port = int(log.getvalue().strip().rsplit(":", 1)[1])
+    jobs: "deque[tuple[int, bytes]]" = deque(
+        (i, bodies[unique_index]) for i, unique_index in enumerate(order)
+    )
+    results: list = [None] * len(order)
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _client_worker("127.0.0.1", port, jobs, results)
+            for _ in range(connections)
+        )
+    )
+    wall_s = time.perf_counter() - started
+    stop.set()
+    await daemon
+    for i, unique_index in enumerate(order):
+        status, _headers, body = results[i]
+        if status != 200 or body != expected[unique_index]:
+            raise AssertionError(
+                f"serve bench: request {i} (unique {unique_index}) answered "
+                f"{status} with non-reference bytes"
+            )
+    return wall_s, service.stats.deduped
+
+
+async def _restart_probe(
+    cache_dir: str, unique: Sequence[ScenarioSpec], expected: Sequence[bytes]
+) -> int:
+    """Fresh service, same cache dir: every unique spec must hit disk."""
+    service = ScenarioService(
+        pool=InlinePool(),
+        cache=ResultCache(cache_dir, namespace="scenario"),
+    )
+    await service.start()
+    disk_hits = 0
+    for spec, want in zip(unique, expected):
+        result = await service.submit_spec(spec)
+        if result.status != 200 or result.body != want:
+            raise AssertionError(
+                f"serve bench restart probe: {spec.content_hash()[:12]} "
+                f"answered {result.status} with non-reference bytes"
+            )
+        if result.source == "disk":
+            disk_hits += 1
+    await service.drain()
+    if disk_hits != len(unique):
+        raise AssertionError(
+            f"serve bench restart probe: only {disk_hits}/{len(unique)} "
+            "requests came from the disk cache"
+        )
+    return disk_hits
+
+
+def run_serve_bench(*, quick: bool = False, workers: int = 2) -> dict:
+    """Run all three phases; returns one trajectory entry."""
+    connections = 4 if quick else 8
+    unique, order = serve_workload(quick=quick)
+    bodies = [
+        spec.to_json(indent=None).encode("utf-8") for spec in unique
+    ]
+
+    expected: list[bytes] = []
+    direct_unique_s: list[float] = []
+    for spec in unique:
+        started = time.perf_counter()
+        expected.append(report_bytes(spec))
+        direct_unique_s.append(time.perf_counter() - started)
+    direct_s = sum(direct_unique_s[i] for i in order)
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as cache_dir:
+        with PersistentPool(workers) as pool:
+            _warm_pool(pool, unique[0])
+            service = ScenarioService(
+                pool=pool,
+                cache=ResultCache(cache_dir, namespace="scenario"),
+            )
+            wall_s, deduped = asyncio.run(
+                _service_pass(
+                    service,
+                    bodies,
+                    order,
+                    expected,
+                    connections=connections,
+                )
+            )
+        stats = service.stats
+        restart_disk_hits = asyncio.run(
+            _restart_probe(cache_dir, unique, expected)
+        )
+
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "quick": quick,
+        "requests": len(order),
+        "unique": len(unique),
+        "connections": connections,
+        "workers": workers,
+        "wall_s": wall_s,
+        "requests_per_s": len(order) / wall_s,
+        "direct_s": direct_s,
+        "overall_speedup": direct_s / wall_s,
+        "lru_hits": stats.lru_hits,
+        "disk_hits": stats.disk_hits,
+        "deduped": deduped,
+        "computed": stats.computed,
+        "batches": stats.batches,
+        "cache_hit_rate": stats.cache_hit_rate(),
+        "dedup_rate": stats.dedup_rate(),
+        "restart_disk_hits": restart_disk_hits,
+    }
+
+
+def format_serve_entry(entry: dict) -> str:
+    """Human-readable summary of one serve-trajectory entry."""
+    return "\n".join(
+        [
+            (
+                f"scenario-service benchmark: {entry['requests']} requests "
+                f"({entry['unique']} unique) over {entry['connections']} "
+                f"connections, {entry['workers']} workers"
+            ),
+            (
+                f"wall {entry['wall_s']:.2f}s "
+                f"({entry['requests_per_s']:.1f} req/s); direct serial "
+                f"baseline {entry['direct_s']:.2f}s -> "
+                f"{entry['overall_speedup']:.1f}x"
+            ),
+            (
+                f"cache: {entry['lru_hits']} LRU hits, "
+                f"{entry['disk_hits']} disk hits, {entry['deduped']} deduped, "
+                f"{entry['computed']} computed in {entry['batches']} batches "
+                f"(hit rate {entry['cache_hit_rate']:.2f}, dedup rate "
+                f"{entry['dedup_rate']:.2f})"
+            ),
+            (
+                f"restart: {entry['restart_disk_hits']}/{entry['unique']} "
+                "served from the disk cache"
+            ),
+        ]
+    )

@@ -1,0 +1,620 @@
+"""The scenario service core: dedup, caching, and batched compute.
+
+:class:`ScenarioService` is the long-lived composition the ROADMAP's
+Open Item 2 asked for — every ingredient already existed as a part, and
+this module only arranges them into a request-serving shape:
+
+- **request key** — :meth:`ScenarioSpec.content_hash` identifies a
+  request; two requests with the same hash are *the same computation*.
+- **in-flight dedup** — N concurrent identical specs fan in to one
+  pending future and share its result; the lookup-or-enqueue path has no
+  ``await`` between the cache checks and the in-flight registration, so
+  under asyncio a key can never be computed twice concurrently.
+- **two cache layers** — an in-memory :class:`LruCache` of serialized
+  response bodies over the on-disk
+  :class:`~repro.runner.parallel.ResultCache` (the same store the
+  ``scenario run --cache-dir`` sweeps write, namespace ``"scenario"``),
+  both consulted before compute and both filled after.
+- **batching scheduler** — queued misses are coalesced into chunks (up
+  to ``batch_max`` specs, or whatever arrives within ``batch_window``
+  seconds) and dispatched to a persistent worker pool
+  (:class:`~repro.runner.parallel.PersistentPool`), so each spawn
+  worker's :class:`~repro.runner.parallel.ProcessLocalCache` warm worlds
+  survive across requests and a request batch pays no spawn cost.
+- **backpressure** — the compute queue is bounded (``queue_limit``);
+  when it is full a request is answered ``503`` with ``Retry-After``
+  instead of queueing unboundedly. Cache hits are still served while
+  saturated *and* while draining — only fresh compute is refused.
+
+**Byte identity.** A served body is always
+:func:`serialize_outcome` of the :class:`~repro.scenario.ScenarioOutcome`
+that a direct :func:`repro.scenario.run` (via
+:func:`~repro.scenario.runner.run_summary`) produces — bit-for-bit, on
+every path (compute, dedup share, LRU hit, disk hit). That is the
+repository's determinism standing rule extended to the service boundary,
+and ``tests/test_serve_identity.py`` pins it per bundled preset.
+
+The cache/dedup short-circuit is a fast path that bypasses a reference
+computation, so per the check-clean rules it is a registered
+:class:`repro.seams.Seam` behind :data:`DEFAULT_SERVE_FAST`: with the
+flag off the service computes every request fresh (the reference shape),
+and the differential suite asserts both modes serve identical bytes.
+
+Disk-cache lookups are small synchronous JSON reads performed on the
+event loop; at this service's request sizes that is far below the
+batching window. Revisit with ``run_in_executor`` if entries ever grow.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import traceback
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.runner.parallel import (
+    PersistentPool,
+    ResultCache,
+    decode_result,
+    encode_result,
+)
+from repro.scenario.registries import behaviors, protocols
+from repro.scenario.runner import ScenarioOutcome, run_summary
+from repro.scenario.spec import ScenarioSpec
+
+_LOG = logging.getLogger("repro.serve")
+
+#: The service's cache/dedup short-circuit. ``True`` serves repeated
+#: content hashes from the LRU/disk/in-flight layers; ``False`` is the
+#: reference shape — every request is computed fresh by the pool. The
+#: seam registration at the bottom of this module keeps the two
+#: byte-identical under test.
+DEFAULT_SERVE_FAST = True
+
+#: Defaults for the service knobs (also the CLI defaults).
+DEFAULT_LRU_SIZE = 256
+DEFAULT_QUEUE_LIMIT = 64
+DEFAULT_BATCH_MAX = 8
+DEFAULT_BATCH_WINDOW = 0.005
+DEFAULT_RETRY_AFTER = 1
+
+#: Sentinel the drain path enqueues to stop the batching scheduler.
+_STOP = object()
+
+
+# -- canonical response serialization ------------------------------------------
+
+
+def canonical_bytes(payload: Any) -> bytes:
+    """Canonical JSON bytes: sorted keys, no whitespace, UTF-8."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def serialize_outcome(outcome: ScenarioOutcome) -> bytes:
+    """The service wire form of one finished scenario.
+
+    :func:`~repro.runner.parallel.encode_result` keeps the payload
+    decodable by the same machinery the result cache uses
+    (``decode_result`` rebuilds the :class:`ScenarioOutcome`), and the
+    canonical dump makes equal outcomes serialize to equal bytes.
+    """
+    return canonical_bytes(encode_result(outcome))
+
+
+def report_bytes(spec: ScenarioSpec) -> bytes:
+    """Reference serialization: the exact bytes a direct run produces.
+
+    This is the service's ground truth — every 200 response body for
+    ``spec`` must equal this, bit-for-bit, whatever cache or dedup path
+    served it.
+    """
+    return serialize_outcome(run_summary(spec))
+
+
+def error_payload(exc: BaseException) -> dict[str, Any]:
+    """Structured error body: ``{"error", "field", "suggestions"}``.
+
+    :class:`~repro.errors.SpecValidationError` carries the offending
+    field and did-you-mean suggestions; other errors degrade to nulls so
+    clients can always parse the same shape.
+    """
+    return {
+        "error": str(exc),
+        "field": getattr(exc, "field", None),
+        "suggestions": list(getattr(exc, "suggestions", ())),
+    }
+
+
+def error_bytes(message: str) -> bytes:
+    return canonical_bytes({"error": message, "field": None, "suggestions": []})
+
+
+# -- worker-side batch execution -----------------------------------------------
+
+
+def run_serve_chunk(
+    specs: Sequence[ScenarioSpec],
+) -> list[tuple[str, Any]]:
+    """Execute one compute chunk (module-level: spawn-worker safe).
+
+    Returns one ``(verdict, payload)`` per spec, in order:
+
+    - ``("ok", encoded_outcome)`` — ``encode_result`` form of the
+      :class:`ScenarioOutcome`, JSON-safe and picklable;
+    - ``("config", error_payload)`` — the spec failed deep validation
+      (placement bounds, source coordinate, ...); a client error;
+    - ``("run", message)`` — the simulation itself failed; a server
+      error.
+
+    Per-item isolation matters: one bad spec in a batch must not poison
+    its batchmates' results.
+    """
+    results: list[tuple[str, Any]] = []
+    for spec in specs:
+        try:
+            results.append(("ok", encode_result(run_summary(spec))))
+        except ConfigurationError as exc:
+            results.append(("config", error_payload(exc)))
+        except Exception as exc:
+            results.append(("run", f"{type(exc).__name__}: {exc}"))
+    return results
+
+
+class InlinePool:
+    """A pool double running chunks synchronously in the caller.
+
+    Used by tests (no spawn cost, monkeypatchable chunk runners work
+    because nothing is pickled) and by ``--stdin-batch --workers 1``
+    style one-shot runs where process fan-out buys nothing. Implements
+    the same ``submit``/``unwrap``/``shutdown`` surface as
+    :class:`~repro.runner.parallel.PersistentPool`.
+    """
+
+    workers = 1
+
+    def submit(
+        self, run: Callable[[Any], Any], point: Any
+    ) -> "Future[tuple[bool, Any]]":
+        future: "Future[tuple[bool, Any]]" = Future()
+        try:
+            future.set_result((True, run(point)))
+        except Exception as exc:
+            future.set_result(
+                (False, (type(exc).__name__, str(exc), traceback.format_exc()))
+            )
+        return future
+
+    unwrap = staticmethod(PersistentPool.unwrap)
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        pass
+
+
+# -- in-memory response cache --------------------------------------------------
+
+
+class LruCache:
+    """Serialized-response LRU keyed by scenario content hash.
+
+    Sits above the on-disk result cache: a hit costs a dict lookup and
+    returns the exact bytes to write to the socket. ``limit=0`` disables
+    the layer. Eviction is least-recently-*used*: both ``get`` and
+    ``put`` refresh an entry's recency.
+    """
+
+    def __init__(self, limit: int = DEFAULT_LRU_SIZE) -> None:
+        if limit < 0:
+            raise ConfigurationError(
+                f"LRU limit must be >= 0 (0 disables), got {limit}"
+            )
+        self.limit = limit
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+
+    def get(self, key: str) -> bytes | None:
+        try:
+            body = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return body
+
+    def put(self, key: str, body: bytes) -> None:
+        if self.limit == 0:
+            return
+        self._entries[key] = body
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.limit:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def keys(self) -> tuple[str, ...]:
+        """Current keys, least-recently-used first (for tests/stats)."""
+        return tuple(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+
+# -- service bookkeeping -------------------------------------------------------
+
+
+@dataclass
+class ServiceStats:
+    """Request counters, one instance per :class:`ScenarioService`."""
+
+    requests: int = 0
+    lru_hits: int = 0
+    disk_hits: int = 0
+    deduped: int = 0
+    computed: int = 0
+    batches: int = 0
+    errors: int = 0
+    rejected: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return asdict(self)
+
+    def cache_hit_rate(self) -> float:
+        return (
+            (self.lru_hits + self.disk_hits) / self.requests
+            if self.requests
+            else 0.0
+        )
+
+    def dedup_rate(self) -> float:
+        return self.deduped / self.requests if self.requests else 0.0
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One request's answer, transport-agnostic.
+
+    ``source`` says which layer produced the body (``"lru"``,
+    ``"disk"``, ``"dedup"``, ``"computed"``) so transports can expose it
+    (the HTTP front end's ``X-Source`` header) and tests can assert on
+    it. ``retry_after`` is set on 503s.
+    """
+
+    status: int
+    body: bytes
+    scenario: str | None = None
+    source: str | None = None
+    retry_after: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+
+@dataclass
+class _Pending:
+    """One queued compute: its key, spec, and the future waiters share."""
+
+    key: str
+    spec: ScenarioSpec
+    future: "asyncio.Future[tuple[str, Any]]" = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+# -- the service ---------------------------------------------------------------
+
+
+class ScenarioService:
+    """Async request front end over the sweep substrate (see module doc).
+
+    Lifecycle: construct, ``await start()`` inside a running event loop,
+    serve via :meth:`submit_payload`/:meth:`submit_spec`, then
+    ``await drain()`` — which stops accepting fresh compute, finishes
+    everything already queued, resolves every waiter, and releases the
+    pool. Cache hits keep being served during and after a drain.
+    """
+
+    def __init__(
+        self,
+        *,
+        pool: Any = None,
+        cache: ResultCache | None = None,
+        lru_size: int = DEFAULT_LRU_SIZE,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        batch_max: int = DEFAULT_BATCH_MAX,
+        batch_window: float = DEFAULT_BATCH_WINDOW,
+        retry_after: int = DEFAULT_RETRY_AFTER,
+        chunk_runner: Callable[
+            [Sequence[ScenarioSpec]], list[tuple[str, Any]]
+        ] = run_serve_chunk,
+    ) -> None:
+        if queue_limit < 1:
+            raise ConfigurationError(
+                f"queue_limit must be >= 1, got {queue_limit}"
+            )
+        if batch_max < 1:
+            raise ConfigurationError(f"batch_max must be >= 1, got {batch_max}")
+        if batch_window < 0:
+            raise ConfigurationError(
+                f"batch_window must be >= 0, got {batch_window}"
+            )
+        self._pool = pool if pool is not None else InlinePool()
+        self._cache = cache
+        self.lru = LruCache(lru_size)
+        self.queue_limit = queue_limit
+        self.batch_max = batch_max
+        self.batch_window = batch_window
+        self.retry_after = retry_after
+        self.stats = ServiceStats()
+        self._chunk_runner = chunk_runner
+        self._inflight: dict[str, "asyncio.Future[tuple[str, Any]]"] = {}
+        # Unbounded queue + explicit qsize() bound: the drain sentinel
+        # must always be enqueuable, even at saturation.
+        self._queue: "asyncio.Queue[Any]" = asyncio.Queue()
+        self._batcher: "asyncio.Task[None] | None" = None
+        self._batch_tasks: set["asyncio.Task[None]"] = set()
+        self._draining = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    async def start(self) -> None:
+        """Start the batching scheduler (idempotent; needs a live loop)."""
+        if self._batcher is None:
+            self._draining = False
+            if self._queue.empty():
+                # asyncio.Queue binds to whichever loop first touches
+                # it; a fresh queue lets a drained service restart on a
+                # new loop (tests, re-embedding). A non-empty queue is
+                # kept — its waiters enqueued before start() on this
+                # same loop.
+                self._queue = asyncio.Queue()
+            self._batcher = asyncio.ensure_future(self._batch_loop())
+
+    async def drain(self) -> None:
+        """Finish queued work, resolve every waiter, release the pool."""
+        self._draining = True
+        if self._batcher is not None:
+            self._queue.put_nowait(_STOP)
+            await self._batcher
+            self._batcher = None
+        if self._batch_tasks:
+            await asyncio.gather(*list(self._batch_tasks))
+        self._pool.shutdown(wait=True)
+
+    # -- request paths ---------------------------------------------------------
+
+    async def submit_payload(
+        self, raw: "bytes | str | Mapping[str, Any]"
+    ) -> ServeResult:
+        """Serve one request given its JSON body (or parsed payload)."""
+        if isinstance(raw, (bytes, str)):
+            try:
+                payload = json.loads(raw)
+            except ValueError as exc:
+                self.stats.errors += 1
+                return ServeResult(
+                    400, error_bytes(f"request body is not valid JSON: {exc}")
+                )
+        else:
+            payload = raw
+        try:
+            spec = ScenarioSpec.from_dict(payload)
+            # Cheap name resolution up front: unknown protocol/behavior
+            # names answer instantly with did-you-mean suggestions. Deep
+            # validation (placement bounds, source coordinate) runs in
+            # the worker, where the world it builds is reused anyway.
+            entry = protocols.get(spec.protocol)
+            behaviors.get(spec.behavior or entry.default_behavior)
+        except ConfigurationError as exc:
+            self.stats.errors += 1
+            return ServeResult(400, canonical_bytes(error_payload(exc)))
+        return await self.submit_spec(spec)
+
+    async def submit_spec(self, spec: ScenarioSpec) -> ServeResult:
+        """Serve one validated spec (cache → dedup → batched compute)."""
+        self.stats.requests += 1
+        key = spec.content_hash()
+        # NOTE: no ``await`` between here and the in-flight registration
+        # below — the dedup guarantee (one compute per key) relies on
+        # this whole lookup path being one atomic event-loop step.
+        if DEFAULT_SERVE_FAST:
+            body = self.lru.get(key)
+            if body is not None:
+                self.stats.lru_hits += 1
+                return ServeResult(200, body, scenario=key, source="lru")
+            if self._cache is not None:
+                hit, outcome = self._cache.get(spec)
+                if hit:
+                    body = serialize_outcome(outcome)
+                    self.lru.put(key, body)
+                    self.stats.disk_hits += 1
+                    return ServeResult(200, body, scenario=key, source="disk")
+            pending = self._inflight.get(key)
+            if pending is not None:
+                self.stats.deduped += 1
+                verdict, value = await asyncio.shield(pending)
+                return self._finish(key, verdict, value, source="dedup")
+        if self._draining:
+            self.stats.rejected += 1
+            return ServeResult(
+                503,
+                error_bytes("service is draining; retry against a live instance"),
+                scenario=key,
+                retry_after=self.retry_after,
+            )
+        if self._queue.qsize() >= self.queue_limit:
+            self.stats.rejected += 1
+            return ServeResult(
+                503,
+                error_bytes(
+                    f"service saturated ({self.queue_limit} computations "
+                    "queued); retry later"
+                ),
+                scenario=key,
+                retry_after=self.retry_after,
+            )
+        future: "asyncio.Future[tuple[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        if DEFAULT_SERVE_FAST:
+            self._inflight[key] = future
+        self._queue.put_nowait(_Pending(key=key, spec=spec, future=future))
+        verdict, value = await asyncio.shield(future)
+        return self._finish(key, verdict, value, source="computed")
+
+    def _finish(
+        self, key: str, verdict: str, value: Any, *, source: str
+    ) -> ServeResult:
+        if verdict == "ok":
+            return ServeResult(200, value, scenario=key, source=source)
+        self.stats.errors += 1
+        if verdict == "config":
+            return ServeResult(
+                400, canonical_bytes(value), scenario=key, source=source
+            )
+        return ServeResult(
+            500, error_bytes(str(value)), scenario=key, source=source
+        )
+
+    # -- batching scheduler ----------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        """Coalesce queued misses into chunks; dispatch without blocking.
+
+        Each chunk is handed to the pool and *resolved by a separate
+        task*, so the scheduler keeps forming the next batch while the
+        previous one computes — batches stream through the pool's
+        workers rather than lock-stepping with them.
+        """
+        loop = asyncio.get_running_loop()
+        stopping = False
+        while not stopping:
+            item = await self._queue.get()
+            if item is _STOP:
+                break
+            batch = [item]
+            deadline = loop.time() + self.batch_window
+            while len(batch) < self.batch_max:
+                try:
+                    nxt = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = await asyncio.wait_for(
+                            self._queue.get(), remaining
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                if nxt is _STOP:
+                    stopping = True
+                    break
+                batch.append(nxt)
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list[_Pending]) -> None:
+        self.stats.batches += 1
+        specs = [item.spec for item in batch]
+        try:
+            chunk_future = self._pool.submit(self._chunk_runner, specs)
+        except Exception as exc:
+            for item in batch:
+                self._settle(item, ("run", f"{type(exc).__name__}: {exc}"))
+            return
+        task = asyncio.ensure_future(
+            self._resolve(batch, asyncio.wrap_future(chunk_future))
+        )
+        self._batch_tasks.add(task)
+        task.add_done_callback(self._batch_tasks.discard)
+
+    async def _resolve(
+        self, batch: list[_Pending], chunk: "asyncio.Future[tuple[bool, Any]]"
+    ) -> None:
+        try:
+            results = self._pool.unwrap(
+                [item.key for item in batch], await chunk
+            )
+        except Exception as exc:
+            message = f"{type(exc).__name__}: {exc}"
+            for item in batch:
+                self._settle(item, ("run", message))
+            return
+        for item, (verdict, payload) in zip(batch, results):
+            if verdict == "ok":
+                body = canonical_bytes(payload)
+                self.stats.computed += 1
+                if DEFAULT_SERVE_FAST:
+                    self.lru.put(item.key, body)
+                    if self._cache is not None:
+                        try:
+                            self._cache.put(item.spec, decode_result(payload))
+                        except Exception as exc:
+                            # A failing store must not fail the request.
+                            _LOG.warning(
+                                "result-cache store failed for %s: %s",
+                                item.key[:12],
+                                exc,
+                            )
+                self._settle(item, ("ok", body))
+            else:
+                self._settle(item, (verdict, payload))
+
+    def _settle(self, item: _Pending, outcome: tuple[str, Any]) -> None:
+        if self._inflight.get(item.key) is item.future:
+            del self._inflight[item.key]
+        if not item.future.done():
+            item.future.set_result(outcome)
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats_payload(self) -> dict[str, Any]:
+        """What ``GET /stats`` serves."""
+        payload: dict[str, Any] = dict(self.stats.snapshot())
+        payload.update(
+            cache_hit_rate=self.stats.cache_hit_rate(),
+            dedup_rate=self.stats.dedup_rate(),
+            lru_entries=len(self.lru),
+            lru_limit=self.lru.limit,
+            lru_evictions=self.lru.evictions,
+            queue_depth=self.queue_depth(),
+            queue_limit=self.queue_limit,
+            in_flight=len(self._inflight),
+            draining=self._draining,
+            workers=getattr(self._pool, "workers", None),
+            disk_cache=self._cache is not None,
+        )
+        return payload
+
+
+from repro import seams as _seams  # noqa: E402
+
+_seams.register(
+    _seams.Seam(
+        name="serve-cache",
+        flag_module="repro.serve.service",
+        flag_attr="DEFAULT_SERVE_FAST",
+        fast="repro.serve.service.ScenarioService.submit_spec",
+        reference="repro.serve.service.report_bytes",
+        differential_test="tests/test_serve_identity.py",
+        fuzz_leg="fast",
+        description="service LRU/dedup/disk short-circuit vs computing "
+        "every request fresh",
+    )
+)

@@ -6,7 +6,13 @@ from dataclasses import dataclass
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.runner.parallel import ResultCache, decode_result, encode_result, sweep
+from repro.runner.parallel import (
+    ResultCache,
+    decode_result,
+    encode_result,
+    scan_cache_dir,
+    sweep,
+)
 
 
 @dataclass(frozen=True)
@@ -118,6 +124,95 @@ class TestCorruptionRecovery:
         cache = ResultCache(tmp_path)
         with pytest.raises(ConfigurationError, match="str-keyed"):
             cache.put((1,), {3: 0.5})
+
+    def test_corrupt_entry_counted_logged_and_overwritten(
+        self, tmp_path, caplog
+    ):
+        # The full recovery story in one pass: a truncated entry is a
+        # logged miss that bumps the ``corrupt`` counter, and the next
+        # store overwrites it with a healthy entry.
+        cache = ResultCache(tmp_path)
+        cache.put((7,), 49)
+        path = cache.path_for((7,))
+        healthy = path.read_text(encoding="utf-8")
+        path.write_text(healthy[: len(healthy) // 2], encoding="utf-8")
+        with caplog.at_level("WARNING", logger="repro.cache"):
+            hit, _ = cache.get((7,))
+        assert not hit
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        assert any(
+            "corrupt cache entry" in record.message
+            and "recomputing" in record.message
+            for record in caplog.records
+        )
+        cache.put((7,), 49)
+        hit, value = cache.get((7,))
+        assert hit and value == 49
+        assert cache.stats.corrupt == 1  # healthy hit adds nothing
+
+    def test_clean_miss_is_not_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        hit, _ = cache.get((1,))
+        assert not hit
+        assert cache.stats.corrupt == 0
+
+    def test_hit_rate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.stats.hit_rate() == 0.0  # no traffic yet
+        cache.put((1,), 1)
+        cache.get((1,))
+        cache.get((2,))
+        assert cache.stats.hit_rate() == 0.5
+
+
+class TestScanCacheDir:
+    """``python -m repro cache stats`` inventory helper."""
+
+    def test_empty_and_missing_directories(self, tmp_path):
+        stats = scan_cache_dir(tmp_path)
+        assert (stats.entries, stats.total_bytes, stats.corrupt) == (0, 0, 0)
+        missing = scan_cache_dir(tmp_path / "never-created")
+        assert missing.entries == 0
+
+    def test_counts_entries_per_namespace(self, tmp_path):
+        ResultCache(tmp_path, namespace="e1").put((1,), 10)
+        ResultCache(tmp_path, namespace="e1").put((2,), 20)
+        ResultCache(tmp_path, namespace="scenario").put((3,), 30)
+        stats = scan_cache_dir(tmp_path)
+        assert stats.entries == 3
+        assert stats.corrupt == 0
+        assert stats.total_bytes == sum(
+            p.stat().st_size for p in tmp_path.glob("*.json")
+        )
+        by_name = {row[0]: row[1:] for row in stats.namespaces}
+        assert by_name["e1"][0] == 2
+        assert by_name["scenario"][0] == 1
+
+    def test_truncated_entry_counts_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put((1,), 10)
+        cache.put((2,), 20)
+        path = cache.path_for((2,))
+        healthy = path.read_text(encoding="utf-8")
+        path.write_text(healthy[: len(healthy) // 2], encoding="utf-8")
+        stats = scan_cache_dir(tmp_path)
+        assert stats.entries == 2
+        assert stats.corrupt == 1
+        # ...and the regular cache API recovers exactly that entry.
+        hit, _ = cache.get((2,))
+        assert not hit
+        cache.put((2,), 20)
+        assert scan_cache_dir(tmp_path).corrupt == 0
+
+    def test_key_mismatch_counts_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put((1,), 10)
+        path = cache.path_for((1,))
+        body = json.loads(path.read_text(encoding="utf-8"))
+        body["key"] = "0" * 64
+        path.write_text(json.dumps(body), encoding="utf-8")
+        assert scan_cache_dir(tmp_path).corrupt == 1
 
 
 class TestDataclassRoundTrip:

@@ -12,6 +12,7 @@ import pytest
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.runner.parallel import (
+    PersistentPool,
     ResultCache,
     canonical_point,
     point_key,
@@ -171,3 +172,96 @@ class TestCachedSweep:
         parallel = sweep(list(range(6)), square, workers=3, cache=warm)
         assert serial == parallel
         assert warm.stats.hits == 6
+
+
+def bump_worker_counter(x):
+    # Module-level state proves the worker process survives between
+    # submissions (a fresh spawn would restart the count at 1).
+    global _WORKER_CALLS
+    try:
+        _WORKER_CALLS += 1
+    except NameError:
+        _WORKER_CALLS = 1
+    return _WORKER_CALLS
+
+
+class TestInterruptedSweep:
+    """Ctrl-C / SIGTERM mid-sweep: drain, report N/M, re-raise."""
+
+    def _interrupt_at(self, done_at):
+        def progress(done, total):
+            if done == done_at:
+                raise KeyboardInterrupt
+
+        return progress
+
+    def test_serial_reports_completed_points(self, capsys):
+        with pytest.raises(KeyboardInterrupt):
+            sweep([1, 2, 3, 4], square, progress=self._interrupt_at(2))
+        err = capsys.readouterr().err
+        assert "sweep interrupted: 2/4 points completed" in err
+        assert "re-run to resume" in err
+
+    def test_parallel_reports_completed_points(self, capsys):
+        with pytest.raises(KeyboardInterrupt):
+            sweep(
+                [1, 2, 3, 4],
+                square,
+                workers=2,
+                progress=self._interrupt_at(2),
+            )
+        err = capsys.readouterr().err
+        assert "sweep interrupted: 2/4 points completed" in err
+
+    def test_interrupt_before_first_point(self, capsys):
+        with pytest.raises(KeyboardInterrupt):
+            sweep([1, 2], square, progress=self._interrupt_at(0))
+        assert "sweep interrupted: 0/2" in capsys.readouterr().err
+
+    def test_completed_points_stay_cached(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(KeyboardInterrupt):
+            sweep([1, 2, 3], square, cache=cache, progress=self._interrupt_at(2))
+        resumed = ResultCache(tmp_path)
+        result = sweep([1, 2, 3], square, cache=resumed)
+        assert result.results == (1, 4, 9)
+        assert resumed.stats.hits == 2  # the interrupted run's survivors
+
+
+class TestPersistentPool:
+    def test_submit_unwrap_round_trip(self):
+        with PersistentPool(1) as pool:
+            future = pool.submit(square, 7)
+            assert PersistentPool.unwrap(7, future.result()) == 49
+
+    def test_workers_persist_between_submissions(self):
+        # The whole point of the pool: module state (warm worlds in the
+        # real service) survives from one chunk to the next.
+        with PersistentPool(1) as pool:
+            first = PersistentPool.unwrap(0, pool.submit(bump_worker_counter, 0).result())
+            second = PersistentPool.unwrap(0, pool.submit(bump_worker_counter, 0).result())
+        assert (first, second) == (1, 2)
+
+    def test_worker_failure_unwraps_as_simulation_error(self):
+        with PersistentPool(1) as pool:
+            future = pool.submit(raising, 2)
+            with pytest.raises(SimulationError, match="bad point 2"):
+                PersistentPool.unwrap(2, future.result())
+
+    def test_submit_after_shutdown_rejected(self):
+        pool = PersistentPool(1)
+        pool.shutdown()
+        pool.shutdown()  # idempotent
+        with pytest.raises(ConfigurationError, match="shut down"):
+            pool.submit(square, 1)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PersistentPool(-2)
+
+    def test_zero_means_default(self):
+        pool = PersistentPool(0)
+        try:
+            assert pool.workers >= 1
+        finally:
+            pool.shutdown()

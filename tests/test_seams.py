@@ -6,11 +6,13 @@ from repro import seams
 from repro.errors import ConfigurationError
 
 #: Every seam the tree ships. The four historical fast paths plus the
-#: warm-world cache and the numpy neighbor-table build.
+#: warm-world cache, the numpy neighbor-table build, and the scenario
+#: service's cache/dedup short-circuit.
 EXPECTED_SEAMS = {
     "flat-engines",
     "grid-build",
     "round-driver",
+    "serve-cache",
     "slot-resolver",
     "vector-kernel",
     "warm-world",
