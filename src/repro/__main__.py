@@ -21,6 +21,9 @@ Usage::
     python -m repro serve --port 8642 --cache-dir .cache --workers 4
     python -m repro serve --stdin-batch < specs.jsonl
     python -m repro cache stats .cache          # inventory a result cache
+    python -m repro chaos run                   # replay fault plans, check bytes
+    python -m repro chaos run quickstart --plan plan.json --no-serve
+    python -m repro chaos sample --seed 3       # print a sampled FaultPlan
     python -m repro e2                          # legacy alias for `run e2`
 
 ``--workers N`` fans each experiment's sweep points out over ``N``
@@ -61,6 +64,13 @@ stderr, and already-cached points survive for the next run to reuse.
 ``--profile`` (on ``run`` and ``scenario run``) cProfiles one point
 serially and prints the top cumulative entries — the tooling future
 perf PRs should start from before touching code.
+
+``chaos run`` arms seeded :class:`repro.chaos.FaultPlan` fault schedules
+(worker kills, slow workers, cache corruption, failed cache writes,
+connection resets) against real parallel sweeps and a real in-process
+daemon, asserting every response stays byte-identical to the fault-free
+run — the executable form of the "faults cost latency, never bytes"
+standing rule. ``chaos sample`` prints the plan a seed expands to.
 
 ``fuzz run`` samples random scenarios from the component registries and
 differentially verifies every fast/reference implementation pair plus
@@ -488,6 +498,13 @@ def main(argv: list[str] | None = None) -> int:
         f"{serve_defaults.DEFAULT_BATCH_WINDOW})",
     )
     serve_parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=serve_defaults.DEFAULT_REQUEST_TIMEOUT,
+        help="per-request deadline in seconds before a 504 (0 disables; "
+        f"default {serve_defaults.DEFAULT_REQUEST_TIMEOUT:g})",
+    )
+    serve_parser.add_argument(
         "--port-file",
         default=None,
         help="write the bound port here once listening (harness discovery)",
@@ -512,6 +529,65 @@ def main(argv: list[str] | None = None) -> int:
         dest="as_json",
         help="emit the inventory as JSON on stdout",
     )
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="fault-injection harness: replay FaultPlans, assert bytes",
+    )
+    chaos_sub = chaos_parser.add_subparsers(dest="chaos_command", required=True)
+    chaos_run = chaos_sub.add_parser(
+        "run",
+        help="replay fault plans against sweeps and the serve daemon",
+    )
+    chaos_run.add_argument(
+        "targets",
+        nargs="*",
+        metavar="preset",
+        help="preset names to exercise (default: quickstart theorem2)",
+    )
+    chaos_run.add_argument(
+        "--plan",
+        default=None,
+        metavar="FILE",
+        help="replay this FaultPlan JSON instead of full+sampled plans",
+    )
+    chaos_run.add_argument(
+        "--sample",
+        type=int,
+        default=2,
+        help="sampled plans to add beside the full plan (default 2)",
+    )
+    chaos_run.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed for sampled plans (default 0)",
+    )
+    chaos_run.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes for the sweep/serve legs (default 2)",
+    )
+    chaos_run.add_argument(
+        "--no-serve",
+        action="store_true",
+        help="skip the serve (daemon) leg; sweep legs only",
+    )
+    chaos_run.add_argument(
+        "--points",
+        type=int,
+        default=3,
+        help="seed-varied points per target preset (default 3)",
+    )
+    chaos_sample = chaos_sub.add_parser(
+        "sample", help="print the FaultPlan(s) a seed expands to"
+    )
+    chaos_sample.add_argument(
+        "--seed", type=int, default=0, help="first plan seed (default 0)"
+    )
+    chaos_sample.add_argument(
+        "--count", type=int, default=1, help="how many plans (default 1)"
+    )
     args = parser.parse_args(argv)
 
     if args.command == "serve":
@@ -527,8 +603,28 @@ def main(argv: list[str] | None = None) -> int:
                 queue_limit=args.queue_limit,
                 batch_max=args.batch_max,
                 batch_window=args.batch_window,
+                request_timeout=args.request_timeout,
                 port_file=args.port_file,
                 stdin_batch=args.stdin_batch,
+            )
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "chaos":
+        from repro.chaos.cli import chaos_run_command, chaos_sample_command
+
+        try:
+            if args.chaos_command == "sample":
+                return chaos_sample_command(seed=args.seed, count=args.count)
+            return chaos_run_command(
+                args.targets,
+                plan_file=args.plan,
+                sample=args.sample,
+                seed=args.seed,
+                workers=args.workers,
+                serve_leg=not args.no_serve,
+                points=args.points,
             )
         except (ReproError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)

@@ -1,0 +1,25 @@
+"""Deterministic fault injection (``python -m repro chaos``).
+
+The simulator's subject is tolerating adversarial faults *inside* the
+protocol; this package applies the same discipline to the system around
+it. A seeded, JSON-round-trip :class:`~repro.chaos.plan.FaultPlan`
+describes infrastructure faults — worker crash/SIGKILL mid-point, slow
+worker, corrupt or truncated disk-cache entry, cache-write failure
+(ENOSPC/EPERM), connection reset at the serve HTTP layer — and
+:mod:`repro.chaos.inject` arms it against the injection points the
+compute substrate registers as :class:`repro.seams.ChaosPoint` records.
+
+The standing invariant (ROADMAP): an injected infrastructure fault may
+cost latency, never bytes. ``repro chaos run`` replays plans against the
+bundled presets and asserts every report is byte-identical to a
+fault-free run with no request dropped.
+"""
+
+from repro.chaos.plan import (  # noqa: F401
+    CACHE_KINDS,
+    WORKER_KINDS,
+    Fault,
+    FaultPlan,
+    full_plan,
+    sample_plan,
+)

@@ -1,0 +1,223 @@
+"""Arming and firing :class:`~repro.chaos.plan.FaultPlan` faults.
+
+State lives in two places:
+
+- **Parent-side**: the armed plan, the set of *spent* fault indices, and
+  per-kind fired counters. Cache faults, connection resets, and the
+  attribution of observed pool breaks to ``worker-crash`` faults all
+  happen here, under a lock (the serve path fires hooks from the event
+  loop and the pool-supervisor thread).
+- **Worker-side**: spawn workers cannot see the parent's plan, so the
+  invoker snapshots the unspent worker faults at construction
+  (:func:`shipped_worker_faults`) and installs them inside the worker
+  (:func:`install_worker_faults`) before each point.
+
+Spend-once discipline is what makes recovery terminate: a
+``worker-crash`` fault SIGKILLs one worker; when the parent observes the
+resulting pool break it *spends* that fault (:func:`on_pool_break`), so
+the respawned pool's fresh invoker snapshot no longer ships it and the
+resubmitted points run to completion.
+
+Every hook is a no-op costing one attribute read when nothing is armed,
+so the injection points stay in production code permanently.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.chaos.plan import WORKER_KINDS, Fault, FaultPlan
+
+_LOCK = threading.RLock()
+_PLAN: FaultPlan | None = None
+_SPENT: set[int] = set()
+_FIRED: dict[str, int] = {}
+
+# Worker-side fault set: (plan index, fault) pairs installed by the
+# invoker inside a spawn worker. Spent indices persist for the worker's
+# lifetime so a once-fired slow fault does not sleep again.
+_WORKER_FAULTS: tuple[tuple[int, Fault], ...] = ()
+_WORKER_SPENT: set[int] = set()
+
+
+def arm(plan: FaultPlan) -> None:
+    """Arm ``plan``; resets spent faults and fired counters."""
+    global _PLAN
+    with _LOCK:
+        _PLAN = plan
+        _SPENT.clear()
+        _FIRED.clear()
+
+
+def disarm() -> None:
+    """Disarm whatever is armed (idempotent); counters survive for reads."""
+    global _PLAN
+    with _LOCK:
+        _PLAN = None
+        _SPENT.clear()
+
+
+def is_armed() -> bool:
+    return _PLAN is not None
+
+
+def active_plan() -> FaultPlan | None:
+    return _PLAN
+
+
+@contextlib.contextmanager
+def armed(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """``with armed(plan): ...`` — always disarms, even on failure."""
+    arm(plan)
+    try:
+        yield plan
+    finally:
+        disarm()
+
+
+def counters() -> dict[str, int]:
+    """Per-kind fired counts since the last :func:`arm`."""
+    with _LOCK:
+        return dict(_FIRED)
+
+
+def _count(kind: str) -> None:
+    _FIRED[kind] = _FIRED.get(kind, 0) + 1
+
+
+def _matches(fault: Fault, key: str | None) -> bool:
+    if fault.target == "*":
+        return True
+    return key is not None and key.startswith(fault.target)
+
+
+def _take(kind: str, key: str | None) -> Fault | None:
+    """Spend and return the oldest unspent matching fault, if any."""
+    if _PLAN is None:
+        return None
+    with _LOCK:
+        if _PLAN is None:
+            return None
+        for index, fault in enumerate(_PLAN.faults):
+            if index in _SPENT or fault.kind != kind:
+                continue
+            if _matches(fault, key):
+                _SPENT.add(index)
+                _count(kind)
+                return fault
+    return None
+
+
+# -- parent-side hooks ---------------------------------------------------------
+
+
+def cache_read_fault(key: str, path: Path) -> None:
+    """Corrupt ``path`` before a matching cache read, per the armed plan.
+
+    Called by :meth:`repro.runner.parallel.ResultCache.get` with the
+    entry path *before* reading it. Only fires when the entry exists —
+    corrupting a miss would test nothing.
+    """
+    if _PLAN is None:
+        return
+    if not path.exists():
+        return
+    fault = _take("cache-corrupt", key)
+    if fault is None:
+        return
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return
+    if fault.mode == "truncate":
+        path.write_bytes(data[: max(1, len(data) // 2)])
+    else:
+        path.write_bytes(b'{"key": "chaos-garbage", "result": [')
+
+
+def cache_write_fault(key: str) -> OSError | None:
+    """The OSError to raise for a matching cache store, or ``None``.
+
+    The caller raises it from inside the store path so the failure is
+    indistinguishable from a real full/read-only disk.
+    """
+    if _PLAN is None:
+        return None
+    fault = _take("cache-write-fail", key)
+    if fault is None:
+        return None
+    if fault.mode == "eperm":
+        return PermissionError(
+            errno.EPERM, "chaos: injected EPERM on cache store"
+        )
+    return OSError(errno.ENOSPC, "chaos: injected ENOSPC on cache store")
+
+
+def connection_reset() -> bool:
+    """Whether to abort the current serve connection before responding."""
+    if _PLAN is None:
+        return False
+    return _take("connection-reset", None) is not None
+
+
+def on_pool_break() -> Fault | None:
+    """Attribute an observed pool break to the oldest unspent crash fault.
+
+    The supervisor calls this once per break it recovers from; spending
+    the fault here keeps the respawned pool's worker snapshot clean so
+    resubmission makes progress instead of crash-looping.
+    """
+    if _PLAN is None:
+        return None
+    return _take("worker-crash", None)
+
+
+# -- worker-side ---------------------------------------------------------------
+
+
+def shipped_worker_faults() -> tuple[tuple[int, Fault], ...]:
+    """Unspent worker faults to snapshot into an invoker (parent side)."""
+    if _PLAN is None:
+        return ()
+    with _LOCK:
+        if _PLAN is None:
+            return ()
+        return tuple(
+            (index, fault)
+            for index, fault in enumerate(_PLAN.faults)
+            if index not in _SPENT and fault.kind in WORKER_KINDS
+        )
+
+
+def install_worker_faults(
+    faults: Sequence[tuple[int, Fault]],
+) -> None:
+    """Install a shipped fault snapshot inside a spawn worker."""
+    global _WORKER_FAULTS
+    _WORKER_FAULTS = tuple(faults)
+
+
+def fire_worker_faults(keys: Sequence[str]) -> None:
+    """Fire installed worker faults matching any of ``keys`` (worker side).
+
+    ``worker-slow`` sleeps once; ``worker-crash`` SIGKILLs this worker —
+    the real thing, not an exception, so the parent sees exactly what an
+    OOM kill looks like: a broken pool.
+    """
+    for index, fault in _WORKER_FAULTS:
+        if index in _WORKER_SPENT:
+            continue
+        if not any(_matches(fault, key) for key in keys):
+            continue
+        _WORKER_SPENT.add(index)
+        if fault.kind == "worker-slow":
+            time.sleep(fault.delay_s)
+        elif fault.kind == "worker-crash":
+            os.kill(os.getpid(), signal.SIGKILL)

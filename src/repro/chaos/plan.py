@@ -1,0 +1,258 @@
+"""Fault plans: seeded, JSON-round-trip descriptions of injectable faults.
+
+A :class:`FaultPlan` is to chaos what :class:`repro.scenario.spec.ScenarioSpec`
+is to simulation: a frozen value object with a canonical JSON form and a
+content hash, so a fault schedule can be committed next to the repro
+corpus, replayed byte-for-byte, and sampled deterministically from a
+seed. Plans carry no behavior — :mod:`repro.chaos.inject` arms them.
+
+Fault vocabulary (see :data:`repro.seams.CHAOS_KINDS`):
+
+=================== ==========================================================
+``worker-crash``    SIGKILL the spawn worker as it picks up a matching point.
+``worker-slow``     sleep ``delay_s`` in the worker before running the point.
+``cache-corrupt``   mangle the on-disk cache entry before a matching read
+                    (``mode``: ``truncate`` | ``garbage``).
+``cache-write-fail`` fail the cache store with an injected OSError
+                    (``mode``: ``enospc`` | ``eperm``).
+``connection-reset`` abort the client connection after computing a serve
+                    response, before writing it.
+=================== ==========================================================
+
+``target`` scopes a fault to points whose content hash starts with the
+given prefix; ``"*"`` (the default) matches every point. Each fault
+fires at most once per arming.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import hashlib
+import json
+import random
+from typing import Any, Iterable, Mapping
+
+from repro.errors import SpecValidationError
+from repro.seams import CHAOS_KINDS
+
+#: Kinds shipped into spawn workers (fired inside the worker process).
+WORKER_KINDS = ("worker-crash", "worker-slow")
+
+#: Kinds fired on the parent-side result-cache hooks.
+CACHE_KINDS = ("cache-corrupt", "cache-write-fail")
+
+#: Valid ``mode`` values per kind (empty string means "no mode").
+_MODES = {
+    "cache-corrupt": ("truncate", "garbage"),
+    "cache-write-fail": ("enospc", "eperm"),
+}
+
+#: Sampled ``worker-slow`` delays stay small: latency is allowed, but a
+#: chaos run should not stall CI.
+_MAX_DELAY_S = 5.0
+
+
+def _reject_unknown_keys(
+    payload: Mapping[str, Any], known: tuple[str, ...], what: str
+) -> None:
+    for key in payload:
+        if key not in known:
+            suggestions = difflib.get_close_matches(str(key), known, n=3)
+            hint = (
+                f"; did you mean {suggestions[0]!r}?" if suggestions else ""
+            )
+            raise SpecValidationError(
+                f"unknown {what} key {key!r}{hint}",
+                field=str(key),
+                suggestions=tuple(suggestions),
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class Fault:
+    """One injectable fault: what, where, and how hard."""
+
+    kind: str
+    target: str = "*"
+    delay_s: float = 0.0
+    mode: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            suggestions = difflib.get_close_matches(self.kind, CHAOS_KINDS, n=3)
+            hint = (
+                f"; did you mean {suggestions[0]!r}?" if suggestions else ""
+            )
+            raise SpecValidationError(
+                f"unknown fault kind {self.kind!r}{hint}",
+                field="kind",
+                suggestions=tuple(suggestions),
+            )
+        if not self.target:
+            raise SpecValidationError(
+                "fault target must be '*' or a content-hash prefix",
+                field="target",
+            )
+        if self.kind == "worker-slow":
+            if not 0.0 < self.delay_s <= _MAX_DELAY_S:
+                raise SpecValidationError(
+                    f"worker-slow delay_s must be in (0, {_MAX_DELAY_S}], "
+                    f"got {self.delay_s}",
+                    field="delay_s",
+                )
+        elif self.delay_s:
+            raise SpecValidationError(
+                f"delay_s only applies to worker-slow, not {self.kind}",
+                field="delay_s",
+            )
+        modes = _MODES.get(self.kind)
+        if modes is not None:
+            if not self.mode:
+                object.__setattr__(self, "mode", modes[0])
+            elif self.mode not in modes:
+                raise SpecValidationError(
+                    f"{self.kind} mode must be one of {', '.join(modes)}; "
+                    f"got {self.mode!r}",
+                    field="mode",
+                    suggestions=modes,
+                )
+        elif self.mode:
+            raise SpecValidationError(
+                f"mode does not apply to {self.kind}", field="mode"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind}
+        if self.target != "*":
+            out["target"] = self.target
+        if self.delay_s:
+            out["delay_s"] = self.delay_s
+        if self.mode:
+            out["mode"] = self.mode
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Fault":
+        if not isinstance(payload, Mapping):
+            raise SpecValidationError(
+                f"a fault must be a JSON object, got {type(payload).__name__}"
+            )
+        _reject_unknown_keys(
+            payload, ("kind", "target", "delay_s", "mode"), "fault"
+        )
+        return cls(
+            kind=str(payload.get("kind", "")),
+            target=str(payload.get("target", "*")),
+            delay_s=float(payload.get("delay_s", 0.0)),
+            mode=str(payload.get("mode", "")),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """An ordered fault schedule, hashable and replayable like a spec."""
+
+    seed: int = 0
+    faults: tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def kinds(self) -> tuple[str, ...]:
+        """The distinct fault kinds in this plan, sorted."""
+        return tuple(sorted({fault.kind for fault in self.faults}))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        if not isinstance(payload, Mapping):
+            raise SpecValidationError(
+                f"a fault plan must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        _reject_unknown_keys(payload, ("seed", "faults"), "fault plan")
+        faults = payload.get("faults", [])
+        if not isinstance(faults, Iterable) or isinstance(faults, (str, bytes)):
+            raise SpecValidationError(
+                "fault plan 'faults' must be a list", field="faults"
+            )
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            faults=tuple(Fault.from_dict(item) for item in faults),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecValidationError(
+                f"fault plan is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(payload)
+
+    def __canonical_json__(self) -> dict[str, Any]:
+        return self.to_dict()
+
+    def content_hash(self) -> str:
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """``seed=3 [worker-crash, cache-corrupt]`` — for log lines."""
+        kinds = ", ".join(self.kinds()) or "no faults"
+        return f"seed={self.seed} [{kinds}]"
+
+
+def sample_plan(
+    seed: int,
+    *,
+    kinds: tuple[str, ...] = CHAOS_KINDS,
+    max_faults: int = 3,
+) -> FaultPlan:
+    """A deterministic random plan: same seed, same plan, any machine."""
+    rng = random.Random(f"repro-chaos-{seed}")
+    faults = []
+    for _ in range(rng.randint(1, max_faults)):
+        kind = rng.choice(list(kinds))
+        if kind == "worker-slow":
+            faults.append(
+                Fault(kind=kind, delay_s=round(rng.uniform(0.01, 0.05), 3))
+            )
+        elif kind in _MODES:
+            faults.append(Fault(kind=kind, mode=rng.choice(_MODES[kind])))
+        else:
+            faults.append(Fault(kind=kind))
+    return FaultPlan(seed=seed, faults=tuple(faults))
+
+
+def full_plan() -> FaultPlan:
+    """One fault of every kind and mode — the CI smoke plan.
+
+    Guarantees ``repro chaos run`` exercises worker kill, slow worker,
+    both corruption flavors, both store-failure flavors, and a
+    connection reset on every run, independent of what sampling drew.
+    """
+    return FaultPlan(
+        seed=0,
+        faults=(
+            Fault(kind="worker-crash"),
+            Fault(kind="worker-slow", delay_s=0.05),
+            Fault(kind="cache-corrupt", mode="truncate"),
+            Fault(kind="cache-corrupt", mode="garbage"),
+            Fault(kind="cache-write-fail", mode="enospc"),
+            Fault(kind="cache-write-fail", mode="eperm"),
+            Fault(kind="connection-reset"),
+        ),
+    )

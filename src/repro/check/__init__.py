@@ -24,12 +24,13 @@ RPR202   adversary class that declares no fast-path capability flag
 RPR203   registered component missing from the fuzz sampler matrix
 RPR301   module-level ``import numpy`` without an ImportError guard
 RPR401   mutable default argument
+RPR501   ``except BrokenExecutor`` outside the pool-supervision module
 ======== ====================================================================
 """
 
 from __future__ import annotations
 
-from repro.check import determinism, hygiene, registries, seams
+from repro.check import determinism, hygiene, registries, robustness, seams
 from repro.check.framework import (
     Finding,
     ProjectIndex,
@@ -44,6 +45,7 @@ ALL_RULES: tuple[Rule, ...] = (
     *seams.RULES,
     *registries.RULES,
     *hygiene.RULES,
+    *robustness.RULES,
 )
 
 

@@ -63,6 +63,31 @@ class SimulationError(ReproError):
     """The discrete-event engine reached an inconsistent state."""
 
 
+class PoolBrokenError(SimulationError):
+    """A worker pool died and supervision exhausted its restart budget.
+
+    This is an *infrastructure* failure, never a simulation result:
+    :mod:`repro.runner.supervise` respawns broken pools with capped
+    backoff and resubmits in-flight points (idempotent by content hash)
+    before raising this. Carries the recovery counters so callers — the
+    sweep flush path, the scenario service's degraded-mode breaker —
+    can report progress without parsing the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        completed: int | None = None,
+        total: int | None = None,
+        restarts: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.completed = completed
+        self.total = total
+        self.restarts = restarts
+
+
 class CodingError(ReproError):
     """Encoding/decoding failed due to malformed input.
 

@@ -16,6 +16,13 @@ kernel enabled (:mod:`repro.protocols.vectorized`) and is compared
 against the reference report the same way — every sampled case then
 cross-checks vectorized vs flat vs reference.
 
+A deterministic slice of cases (selected by content hash, so the CI
+digest repeats across worker counts) additionally runs a **chaos leg**:
+the same spec swept repeatedly over a throwaway result cache with a
+fixed :class:`repro.chaos.FaultPlan` armed (a failed cache store, then a
+truncated cache entry), asserting every recovery path still produces the
+fault-free bytes.
+
 Any violation is a *failure*: the case's spec is greedily shrunk
 (:func:`shrink_spec`) toward a smaller scenario that still fails, which
 the corpus layer writes out as a replayable JSON repro.
@@ -28,6 +35,8 @@ exactly like every other workload in this repository.
 
 from __future__ import annotations
 
+import json
+import tempfile
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
@@ -35,9 +44,13 @@ import repro.protocols.vectorized as vectorized
 import repro.scenario.runner as scenario_runner
 import repro.seams as seams
 from repro.adversary.placement import BernoulliPlacement, RandomPlacement
+from repro.chaos import inject as chaos_inject
+from repro.chaos.plan import Fault, FaultPlan
 from repro.errors import ConfigurationError, ReproError
 from repro.fuzz.oracles import OracleContext, check_invariants
 from repro.network.grid import GridSpec
+from repro.runner.parallel import ResultCache, encode_result
+from repro.runner.parallel import sweep as cache_sweep
 from repro.scenario.runner import run as run_scenario
 from repro.scenario.runner import validate
 from repro.scenario.spec import ScenarioSpec
@@ -135,6 +148,63 @@ def compare_reports(fast: Any, reference: Any) -> list[str]:
     return failures
 
 
+#: One in this many cases (chosen by content hash, not randomness, so
+#: the fixed-seed CI digest is identical for any worker count) also runs
+#: the chaos leg.
+_CHAOS_GATE = 8
+
+#: The fixed chaos-leg schedule: a failed store, then a mangled entry.
+_CHAOS_PLAN = FaultPlan(
+    seed=0,
+    faults=(
+        Fault(kind="cache-write-fail", mode="enospc"),
+        Fault(kind="cache-corrupt", mode="truncate"),
+    ),
+)
+
+
+def _chaos_gated(spec: ScenarioSpec) -> bool:
+    return int(spec.content_hash()[:2], 16) % _CHAOS_GATE == 0
+
+
+def _result_bytes(outcome: Any) -> bytes:
+    return json.dumps(
+        encode_result(outcome), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def _chaos_probe(spec: ScenarioSpec) -> list[str]:
+    """Chaos leg: cached sweeps under injected cache faults stay byte-stable.
+
+    Four sweeps of the same point over one throwaway cache walk every
+    cache recovery path in order — store fails (ENOSPC), store lands,
+    entry found truncated (recompute + overwrite), clean cache hit — and
+    each one must serialize to the fault-free golden bytes.
+    """
+    golden = _result_bytes(scenario_runner.run_summary(spec))
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-chaos-") as cache_dir:
+        cache = ResultCache(cache_dir, namespace="scenario")
+        with chaos_inject.armed(_CHAOS_PLAN):
+            for attempt in range(4):
+                result = cache_sweep(
+                    [spec], scenario_runner.run_summary, workers=1, cache=cache
+                )
+                got = _result_bytes(result.results[0])
+                if got != golden:
+                    failures.append(
+                        f"[chaos] sweep attempt {attempt} under "
+                        f"{_CHAOS_PLAN.describe()} diverged from the "
+                        "fault-free bytes"
+                    )
+        if cache.stats.recovered < 1:
+            failures.append(
+                "[chaos] the corrupted cache entry was never detected and "
+                "recovered (ResultCache.stats.recovered stayed 0)"
+            )
+    return failures
+
+
 def check_spec(spec: ScenarioSpec) -> list[str]:
     """All failures of one spec: differential mismatches + oracle hits."""
     # Fresh warm-world caches per case: the fast run still exercises the
@@ -187,6 +257,10 @@ def check_spec(spec: ScenarioSpec) -> list[str]:
                 )
             )
         )
+    # Chaos leg on a deterministic slice of healthy cases: differential
+    # findings above stay unpolluted by injected-fault noise.
+    if not failures and _chaos_gated(spec):
+        failures.extend(_chaos_probe(spec))
     return failures
 
 

@@ -29,7 +29,14 @@ Design constraints, in order:
 Worker failures never hang the sweep: any exception raised by ``run`` —
 in a worker or in the serial path — surfaces as
 :class:`~repro.errors.SimulationError` naming the offending point and
-carrying the original traceback.
+carrying the original traceback. *Infrastructure* failures (a worker
+SIGKILLed mid-point, a full disk under the cache) are a different
+species: :mod:`repro.runner.supervise` respawns broken pools and
+resubmits in-flight points (idempotent by :func:`point_key`), and cache
+stores degrade to log-and-continue — per the ROADMAP standing rule,
+infrastructure faults may cost latency, never bytes. Both recovery paths
+are exercised deterministically by :mod:`repro.chaos` through the
+injection points registered at the bottom of this module.
 """
 
 from __future__ import annotations
@@ -39,16 +46,22 @@ import hashlib
 import importlib
 import json
 import logging
-import multiprocessing
 import os
 import sys
 import time
 import traceback
-from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.chaos import inject as _chaos
+from repro.errors import ConfigurationError, PoolBrokenError, SimulationError
+from repro.runner.supervise import (
+    DEFAULT_MAX_RESTARTS,
+    SupervisedPool,
+    default_workers,
+    describe_worker_failure as _describe_failure,
+    supervised_map,
+)
 from repro.sim.rng import derive_seed
 
 #: Cache-corruption warnings go here (log-and-recompute, never raise).
@@ -207,12 +220,15 @@ class CacheStats:
     ``corrupt`` counts misses caused by an unreadable/truncated/mismatched
     entry (a subset of ``misses``): the cache recovered by recomputing,
     but the on-disk file was bad and has been or will be overwritten.
+    ``recovered`` counts the completions of that story — corrupt entries
+    this instance later overwrote with a good result.
     """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    recovered: int = 0
 
     def hit_rate(self) -> float:
         """Fraction of lookups served from disk (0.0 when none yet)."""
@@ -245,6 +261,7 @@ class ResultCache:
         self._encode = encode
         self._decode = decode
         self.stats = CacheStats()
+        self._corrupt_keys: set[str] = set()
 
     def path_for(self, point: Any) -> Path:
         return self.directory / f"{self.namespace}-{point_key(point)}.json"
@@ -252,9 +269,11 @@ class ResultCache:
     def get(self, point: Any) -> tuple[bool, Any]:
         """Return ``(hit, value)``; corrupted entries are logged misses."""
         path = self.path_for(point)
+        key = point_key(point)
+        _chaos.cache_read_fault(key, path)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-            if payload["key"] != point_key(point):
+            if payload["key"] != key:
                 raise KeyError("key mismatch")
             value = self._decode(payload["result"])
         except FileNotFoundError:
@@ -266,6 +285,7 @@ class ResultCache:
             # hides a dying disk or a writer bug.
             self.stats.misses += 1
             self.stats.corrupt += 1
+            self._corrupt_keys.add(key)
             _LOG.warning(
                 "corrupt cache entry %s (%s: %s); recomputing and "
                 "overwriting",
@@ -279,10 +299,11 @@ class ResultCache:
 
     def put(self, point: Any, value: Any) -> None:
         """Store a result atomically; non-serializable results are rejected."""
+        key = point_key(point)
         try:
             body = json.dumps(
                 {
-                    "key": point_key(point),
+                    "key": key,
                     "point": canonical_point(point),
                     "result": self._encode(value),
                 },
@@ -294,6 +315,9 @@ class ResultCache:
                 "cache results must be primitives, tuples, or dataclasses "
                 f"of those: {exc}"
             ) from exc
+        injected = _chaos.cache_write_fault(key)
+        if injected is not None:
+            raise injected
         path = self.path_for(point)
         # The tmp name must be unique per process: two workers caching
         # the same point concurrently would otherwise interleave writes
@@ -302,12 +326,23 @@ class ResultCache:
         # write private until its atomic rename.
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
-            tmp.write_text(body, encoding="utf-8")
+            # fsync before the rename: os.replace is atomic in the
+            # namespace but says nothing about data reaching the disk; a
+            # crash between rename and writeback would publish a
+            # truncated entry that only the corrupt-entry counter
+            # catches on some later read.
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(body)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise
         self.stats.stores += 1
+        if key in self._corrupt_keys:
+            self._corrupt_keys.discard(key)
+            self.stats.recovered += 1
 
 
 @dataclasses.dataclass(frozen=True)
@@ -319,7 +354,11 @@ class CacheDirStats:
     totals. ``corrupt`` counts files that fail the same checks a
     :meth:`ResultCache.get` performs (JSON parse, ``key``/``result``
     presence, key-matches-filename), i.e. entries that would be recovered
-    as misses and overwritten at the next store.
+    as misses and overwritten at the next store. ``stale_tmp`` counts
+    leftover ``*.tmp`` staging files from interrupted stores — harmless
+    by construction (the fsync + atomic-rename discipline means an
+    interrupted write never published), but visible so a crashy writer
+    doesn't silently fill the disk.
     """
 
     directory: str
@@ -327,6 +366,7 @@ class CacheDirStats:
     total_bytes: int
     corrupt: int
     namespaces: tuple[tuple[str, int, int, int], ...]
+    stale_tmp: int = 0
 
 
 def scan_cache_dir(directory: str | os.PathLike[str]) -> CacheDirStats:
@@ -367,6 +407,7 @@ def scan_cache_dir(directory: str | os.PathLike[str]) -> CacheDirStats:
         total_bytes=sum(ns[2] for ns in namespaces),
         corrupt=sum(ns[3] for ns in namespaces),
         namespaces=namespaces,
+        stale_tmp=sum(1 for _ in root.glob("*.json.*.tmp")),
     )
 
 
@@ -457,13 +498,6 @@ class SweepProgress:
 # -- the sweep itself ----------------------------------------------------------
 
 
-def _describe_failure(point: Any, exc_type: str, message: str, tb: str) -> str:
-    return (
-        f"sweep worker failed on point {point!r}: {exc_type}: {message}\n"
-        f"--- worker traceback ---\n{tb}"
-    )
-
-
 def _report_interrupt(done: int, total: int) -> None:
     """One clean line on Ctrl-C/SIGTERM instead of a pool unwind splat.
 
@@ -489,8 +523,22 @@ class _Invoker:
 
     def __init__(self, run: Callable[[Any], Any]) -> None:
         self.run = run
+        # Snapshot of the armed chaos plan's unspent worker faults; a
+        # spawn worker cannot see the parent's plan, so the faults ride
+        # the invoker's pickle. Empty (and free) when nothing is armed,
+        # and re-taken per invoker so a fault spent after a pool break
+        # stops shipping to the respawned workers.
+        self.faults = _chaos.shipped_worker_faults()
 
     def __call__(self, point: Any) -> tuple[bool, Any]:
+        if self.faults:
+            keys = [point_key(point)]
+            if isinstance(point, (list, tuple)):
+                # Serve chunks are lists of specs; let a fault target an
+                # individual spec's content hash, not just the chunk's.
+                keys.extend(point_key(item) for item in point)
+            _chaos.install_worker_faults(self.faults)
+            _chaos.fire_worker_faults(keys)
         try:
             return True, self.run(point)
         except Exception as exc:
@@ -504,12 +552,7 @@ class _Invoker:
             )
 
 
-def default_workers() -> int:
-    """Worker count used for ``workers=0``/``None``: one per CPU, capped."""
-    return max(1, min(os.cpu_count() or 1, 16))
-
-
-class PersistentPool:
+class PersistentPool(SupervisedPool):
     """A long-lived spawn-safe worker pool for request-serving workloads.
 
     :func:`sweep` builds and tears down an executor per call — right for
@@ -527,51 +570,42 @@ class PersistentPool:
     falsy ``ok`` carries ``(exc_type, message, traceback)``.
     :meth:`unwrap` converts that triple into the
     :class:`~repro.errors.SimulationError` a sweep would raise.
+
+    The pool is supervised (:class:`~repro.runner.supervise.SupervisedPool`):
+    a dead worker breaks the executor, the supervisor respawns it with
+    capped backoff and resubmits the in-flight points, and callers only
+    see :class:`~repro.errors.PoolBrokenError` once the restart budget is
+    exhausted. ``restarts`` / ``resubmitted`` / ``alive`` expose the
+    recovery history to ``/healthz`` and the serve bench.
     """
 
-    def __init__(self, workers: int | None = None) -> None:
-        if workers is None or workers == 0:
-            workers = default_workers()
-        if workers < 1:
-            raise ConfigurationError(
-                f"persistent pool workers must be >= 1 (or 0 for one per "
-                f"CPU), got {workers}"
-            )
-        self.workers = min(workers, default_workers())
-        self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
-            max_workers=self.workers,
-            mp_context=multiprocessing.get_context("spawn"),
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
+    ) -> None:
+        super().__init__(workers, invoker=_Invoker, max_restarts=max_restarts)
+
+
+def _store_result(cache: ResultCache, point: Any, value: Any) -> None:
+    """Store a fresh result, tolerating infrastructure store failures.
+
+    A cache can never make a sweep fail: the result is already in hand,
+    so an ``OSError`` on store (full or read-only disk — also what
+    :mod:`repro.chaos` injects for ``cache-write-fail``) costs a future
+    recompute, not this run. Non-serializable results still raise
+    :class:`~repro.errors.ConfigurationError` — a caller bug, not
+    infrastructure.
+    """
+    try:
+        cache.put(point, value)
+    except OSError as exc:
+        _LOG.warning(
+            "result-cache store failed for %s (%s); continuing uncached",
+            point_key(point)[:12],
+            exc,
         )
-
-    def submit(
-        self, run: Callable[[Any], Any], point: Any
-    ) -> "Future[tuple[bool, Any]]":
-        """Ship ``run(point)`` to a live worker; never blocks on compute."""
-        if self._executor is None:
-            raise ConfigurationError(
-                "persistent pool is shut down; create a new one"
-            )
-        return self._executor.submit(_Invoker(run), point)
-
-    @staticmethod
-    def unwrap(point: Any, outcome: tuple[bool, Any]) -> Any:
-        """Return a submitted call's value, re-raising worker failures."""
-        ok, value = outcome
-        if not ok:
-            raise SimulationError(_describe_failure(point, *value))
-        return value
-
-    def shutdown(self, *, wait: bool = True) -> None:
-        """Drain (``wait=True``) or abandon the workers; idempotent."""
-        executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.shutdown(wait=wait, cancel_futures=not wait)
-
-    def __enter__(self) -> "PersistentPool":
-        return self
-
-    def __exit__(self, *exc_info: Any) -> None:
-        self.shutdown()
 
 
 def sweep(
@@ -655,7 +689,7 @@ def sweep(
                     ) from exc
                 results[index] = value
                 if cache is not None:
-                    cache.put(point, value)
+                    _store_result(cache, point, value)
                 done_count += 1
                 flush()
                 if progress is not None:
@@ -674,16 +708,14 @@ def sweep(
     pool_workers = max(1, min(workers, len(pending), default_workers()))
     if chunksize is None:
         chunksize = max(1, len(pending) // (pool_workers * 4))
-    context = multiprocessing.get_context("spawn")
-    executor = ProcessPoolExecutor(
-        max_workers=pool_workers, mp_context=context
+    outcomes = supervised_map(
+        _Invoker,
+        run,
+        [point_list[index] for index in pending],
+        workers=pool_workers,
+        chunksize=chunksize,
     )
     try:
-        outcomes = executor.map(
-            _Invoker(run),
-            [point_list[index] for index in pending],
-            chunksize=chunksize,
-        )
         for index, (ok, value) in zip(pending, outcomes):
             if not ok:
                 raise SimulationError(
@@ -691,26 +723,67 @@ def sweep(
                 )
             results[index] = value
             if cache is not None:
-                cache.put(point_list[index], value)
+                _store_result(cache, point_list[index], value)
             done_count += 1
             flush()
             if progress is not None:
                 progress(done_count, total)
     except KeyboardInterrupt:
-        # Ctrl-C/SIGTERM mid-sweep: cancel what hasn't started (the
-        # finally clause below), report progress cleanly, and let the
-        # interrupt propagate — instead of the executor's noisy unwind.
+        # Ctrl-C/SIGTERM mid-sweep: cancel what hasn't started (closing
+        # the supervised map below), report progress cleanly, and let
+        # the interrupt propagate — instead of the executor's noisy
+        # unwind.
         _report_interrupt(done_count, total)
         raise
-    except BrokenExecutor as exc:
-        # Workers died before/while running (e.g. an unimportable main
-        # module under spawn, or an OOM kill). Surface it instead of the
-        # silent respawn loop multiprocessing.Pool would enter.
-        raise SimulationError(
-            f"parallel sweep worker pool broke ({exc}); points must be "
-            "picklable and the run function importable by spawned workers"
+    except PoolBrokenError as exc:
+        # Supervision respawned and resubmitted up to its restart budget
+        # and the pool stayed broken. Flush the in-order callbacks for
+        # everything that did complete — each of those points was cached
+        # as it arrived, so a re-run resumes — then surface one coherent
+        # error carrying the progress counters.
+        flush()
+        raise PoolBrokenError(
+            f"{exc} [{done_count}/{total} points completed and cached; "
+            "re-run to resume]",
+            completed=done_count,
+            total=total,
+            restarts=exc.restarts,
         ) from exc
     finally:
-        executor.shutdown(wait=False, cancel_futures=True)
+        outcomes.close()
     flush()
     return SweepResult(tuple(point_list), tuple(results))
+
+
+# -- chaos injection points ----------------------------------------------------
+# Registered at module bottom, after the hooks they describe exist — the
+# same self-registration idiom as the repro.seams.Seam sites. These are
+# the compute substrate's fault surfaces; repro chaos enumerates them to
+# prove every injectable kind has a recovery path under test.
+
+from repro import seams as _seams  # noqa: E402
+
+_seams.register_chaos(
+    _seams.ChaosPoint(
+        name="pool-worker",
+        module="repro.runner.parallel",
+        hook="repro.chaos.inject.fire_worker_faults",
+        kinds=("worker-crash", "worker-slow"),
+        description=(
+            "spawn worker SIGKILL/delay as a matching point is picked up "
+            "(_Invoker); recovered by supervised respawn + resubmission"
+        ),
+    )
+)
+_seams.register_chaos(
+    _seams.ChaosPoint(
+        name="result-cache",
+        module="repro.runner.parallel",
+        hook="repro.chaos.inject.cache_read_fault",
+        kinds=("cache-corrupt", "cache-write-fail"),
+        description=(
+            "disk-cache entry mangled before a read / OSError on a store "
+            "(ResultCache); recovered by recompute-and-overwrite"
+        ),
+    )
+)

@@ -167,6 +167,107 @@ def load_seam_sites() -> tuple[Seam, ...]:
     return all_seams()
 
 
+# -- chaos injection points ----------------------------------------------------
+
+#: The fault kinds :mod:`repro.chaos` can inject. Every kind must be
+#: claimed by a registered :class:`ChaosPoint`; ``repro chaos run``
+#: fails loudly on an injectable kind with no injection site.
+CHAOS_KINDS = (
+    "cache-corrupt",
+    "cache-write-fail",
+    "connection-reset",
+    "worker-crash",
+    "worker-slow",
+)
+
+
+@dataclass(frozen=True)
+class ChaosPoint:
+    """One deterministic fault-injection site.
+
+    The chaos analogue of :class:`Seam`: where a seam pins a fast path to
+    its reference twin, a chaos point pins an infrastructure fault to the
+    recovery path that must absorb it byte-identically. Sites register at
+    module bottom (same idiom as seams) so ``repro chaos`` can enumerate
+    coverage without hard-coded lists.
+
+    Attributes:
+        name: stable registry key (``"pool-worker"``).
+        module: dotted module whose code calls the injection hook.
+        hook: dotted path of the :mod:`repro.chaos.inject` hook fired
+            at this site.
+        kinds: the :data:`CHAOS_KINDS` entries this site can inject.
+        description: one line for humans.
+    """
+
+    name: str
+    module: str
+    hook: str
+    kinds: tuple[str, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for field_name in ("name", "module", "hook"):
+            if not getattr(self, field_name):
+                raise ConfigurationError(
+                    f"chaos point field {field_name!r} must be non-empty"
+                )
+        if not self.kinds:
+            raise ConfigurationError(
+                f"chaos point {self.name!r} must declare at least one kind"
+            )
+        unknown = [kind for kind in self.kinds if kind not in CHAOS_KINDS]
+        if unknown:
+            raise ConfigurationError(
+                f"chaos point {self.name!r} declares unknown fault kinds "
+                f"{', '.join(unknown)}; known: {', '.join(CHAOS_KINDS)}"
+            )
+
+
+_CHAOS: dict[str, ChaosPoint] = {}
+
+
+def register_chaos(point: ChaosPoint) -> ChaosPoint:
+    """Register a chaos point; duplicate names are rejected."""
+    if point.name in _CHAOS:
+        raise ConfigurationError(
+            f"chaos point {point.name!r} is already registered"
+        )
+    _CHAOS[point.name] = point
+    return point
+
+
+def chaos_names() -> tuple[str, ...]:
+    return tuple(sorted(_CHAOS))
+
+
+def all_chaos_points() -> tuple[ChaosPoint, ...]:
+    """Every registered chaos point, in stable (name-sorted) order."""
+    return tuple(_CHAOS[name] for name in sorted(_CHAOS))
+
+
+#: The modules that register chaos points at import time.
+CHAOS_SITE_MODULES = (
+    "repro.runner.parallel",
+    "repro.serve.http",
+)
+
+
+def load_chaos_sites() -> tuple[ChaosPoint, ...]:
+    """Import every known chaos site, then return all registered points."""
+    for module in CHAOS_SITE_MODULES:
+        importlib.import_module(module)
+    return all_chaos_points()
+
+
+def chaos_kinds_covered() -> frozenset[str]:
+    """Fault kinds claimed by the registered (loaded) chaos points."""
+    covered: set[str] = set()
+    for point in load_chaos_sites():
+        covered.update(point.kinds)
+    return frozenset(covered)
+
+
 def fuzz_flags() -> Iterator[tuple[Seam, Any]]:
     """(seam, flag module) pairs for the differential fuzz runner.
 

@@ -24,6 +24,12 @@ Three phases per entry:
 3. **restart probe** — a fresh service over the same cache directory
    requests each unique spec once and must serve *all* of them from the
    disk layer (``source == "disk"``), pinning cache persistence.
+4. **recovery probe** — the same unique specs served while a
+   :mod:`repro.chaos` fault plan SIGKILLs a pool worker (supervised
+   respawn), then again against a pool with no restart budget (degraded
+   inline-compute mode). Every response must still be byte-identical;
+   the entry records the restart count, degraded-mode request count,
+   and p99 request latency under the injected kill.
 
 Entries append to ``BENCH_serve.json`` (``{"benchmark": "serve", ...}``)
 through the shared trajectory machinery in :mod:`repro.runner.bench`.
@@ -40,6 +46,8 @@ from collections import deque
 from datetime import datetime, timezone
 from typing import Sequence
 
+from repro.chaos import inject as _chaos
+from repro.chaos.plan import Fault, FaultPlan
 from repro.runner.bench import SCENARIO_BENCH_PRESETS
 from repro.runner.parallel import PersistentPool, ResultCache
 from repro.scenario import preset
@@ -206,8 +214,86 @@ async def _restart_probe(
     return disk_hits
 
 
+async def _serve_timed(
+    service: ScenarioService,
+    unique: Sequence[ScenarioSpec],
+    expected: Sequence[bytes],
+    what: str,
+) -> list[float]:
+    """Serve each spec once, asserting bytes; per-request latency in ms."""
+    latencies: list[float] = []
+    await service.start()
+    for spec, want in zip(unique, expected):
+        started = time.perf_counter()
+        result = await service.submit_spec(spec)
+        latencies.append((time.perf_counter() - started) * 1000.0)
+        if result.status != 200 or result.body != want:
+            raise AssertionError(
+                f"serve bench {what}: {spec.content_hash()[:12]} answered "
+                f"{result.status} with non-reference bytes"
+            )
+    await service.drain()
+    return latencies
+
+
+def _p99(latencies: Sequence[float]) -> float:
+    ordered = sorted(latencies)
+    return ordered[int(round(0.99 * (len(ordered) - 1)))]
+
+
+def _recovery_probe(
+    unique: Sequence[ScenarioSpec],
+    expected: Sequence[bytes],
+    *,
+    workers: int,
+) -> dict:
+    """Phase 4: byte identity and latency cost under injected worker kills.
+
+    Leg one arms a single ``worker-crash`` fault against a supervised
+    pool: the first request SIGKILLs its worker, supervision respawns
+    and resubmits, and every response must still match the reference
+    bytes. Leg two points the same fault at a pool with ``max_restarts=0``
+    so the break is unrecoverable and the service's breaker must carry
+    the workload in degraded inline-compute mode — again byte-identical.
+    """
+    kill_plan = FaultPlan(seed=0, faults=(Fault(kind="worker-crash"),))
+    with PersistentPool(workers) as pool:
+        _warm_pool(pool, unique[0])
+        service = ScenarioService(pool=pool)
+        with _chaos.armed(kill_plan):
+            latencies = asyncio.run(
+                _serve_timed(service, unique, expected, "recovery")
+            )
+        restarts = pool.restarts
+    if restarts < 1:
+        raise AssertionError(
+            "serve bench recovery: the injected worker kill never forced "
+            "a pool restart"
+        )
+
+    # A long probe interval keeps the breaker open for the whole leg, so
+    # the degraded count measures inline serving rather than a revive.
+    frail = PersistentPool(1, max_restarts=0)
+    degraded_service = ScenarioService(pool=frail, probe_interval=60.0)
+    with _chaos.armed(kill_plan):
+        asyncio.run(
+            _serve_timed(degraded_service, unique, expected, "degraded")
+        )
+    degraded = degraded_service.stats.degraded_requests
+    if degraded < 1:
+        raise AssertionError(
+            "serve bench degraded leg: no request was served in degraded "
+            "inline-compute mode"
+        )
+    return {
+        "recovery_restarts": restarts,
+        "recovery_p99_ms": _p99(latencies),
+        "recovery_degraded_requests": degraded,
+    }
+
+
 def run_serve_bench(*, quick: bool = False, workers: int = 2) -> dict:
-    """Run all three phases; returns one trajectory entry."""
+    """Run all four phases; returns one trajectory entry."""
     connections = 4 if quick else 8
     unique, order = serve_workload(quick=quick)
     bodies = [
@@ -243,6 +329,8 @@ def run_serve_bench(*, quick: bool = False, workers: int = 2) -> dict:
             _restart_probe(cache_dir, unique, expected)
         )
 
+    recovery = _recovery_probe(unique, expected, workers=workers)
+
     return {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": sys.version.split()[0],
@@ -263,6 +351,7 @@ def run_serve_bench(*, quick: bool = False, workers: int = 2) -> dict:
         "cache_hit_rate": stats.cache_hit_rate(),
         "dedup_rate": stats.dedup_rate(),
         "restart_disk_hits": restart_disk_hits,
+        **recovery,
     }
 
 
@@ -291,6 +380,13 @@ def format_serve_entry(entry: dict) -> str:
             (
                 f"restart: {entry['restart_disk_hits']}/{entry['unique']} "
                 "served from the disk cache"
+            ),
+            (
+                f"recovery: {entry['recovery_restarts']} pool restart(s) "
+                f"under an injected worker kill, p99 "
+                f"{entry['recovery_p99_ms']:.0f}ms; "
+                f"{entry['recovery_degraded_requests']} request(s) served "
+                "degraded with no restart budget"
             ),
         ]
     )

@@ -24,6 +24,7 @@ from repro.serve.service import (
     DEFAULT_BATCH_WINDOW,
     DEFAULT_LRU_SIZE,
     DEFAULT_QUEUE_LIMIT,
+    DEFAULT_REQUEST_TIMEOUT,
     InlinePool,
     ScenarioService,
     ServeResult,
@@ -38,6 +39,7 @@ def build_service(
     queue_limit: int = DEFAULT_QUEUE_LIMIT,
     batch_max: int = DEFAULT_BATCH_MAX,
     batch_window: float = DEFAULT_BATCH_WINDOW,
+    request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
     inline: bool = False,
 ) -> ScenarioService:
     """Compose a service from CLI-level knobs.
@@ -60,6 +62,7 @@ def build_service(
         queue_limit=queue_limit,
         batch_max=batch_max,
         batch_window=batch_window,
+        request_timeout=request_timeout,
     )
 
 
@@ -108,6 +111,7 @@ def serve_command(
     queue_limit: int = DEFAULT_QUEUE_LIMIT,
     batch_max: int = DEFAULT_BATCH_MAX,
     batch_window: float = DEFAULT_BATCH_WINDOW,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     port_file: str | None = None,
     stdin_batch: bool = False,
 ) -> int:
@@ -119,6 +123,7 @@ def serve_command(
         queue_limit=queue_limit,
         batch_max=batch_max,
         batch_window=batch_window,
+        request_timeout=request_timeout if request_timeout > 0 else None,
         inline=stdin_batch and workers == 1,
     )
     if stdin_batch:
@@ -151,6 +156,7 @@ def cache_stats_command(directory: str, *, as_json: bool = False) -> int:
             "entries": stats.entries,
             "bytes": stats.total_bytes,
             "corrupt": stats.corrupt,
+            "stale_tmp": stats.stale_tmp,
             "namespaces": {
                 name: {"entries": entries, "bytes": size, "corrupt": corrupt}
                 for name, entries, size, corrupt in stats.namespaces
@@ -161,7 +167,8 @@ def cache_stats_command(directory: str, *, as_json: bool = False) -> int:
     print(f"cache dir: {stats.directory}")
     print(
         f"entries:   {stats.entries} "
-        f"({stats.total_bytes} bytes, {stats.corrupt} corrupt)"
+        f"({stats.total_bytes} bytes, {stats.corrupt} corrupt, "
+        f"{stats.stale_tmp} interrupted writes)"
     )
     for name, entries, size, corrupt in stats.namespaces:
         suffix = f", {corrupt} corrupt" if corrupt else ""

@@ -13,7 +13,10 @@ Routes:
   (200), a structured ``{"error", "field", "suggestions"}`` body (400),
   ``503`` + ``Retry-After`` when the compute queue is saturated or the
   service is draining, or ``500`` for a simulation failure.
-- ``GET /healthz`` — liveness: ``{"status": "ok", "draining": ...}``.
+- ``GET /healthz`` — liveness and pool health: ``status`` is ``"ok"`` or
+  ``"degraded"``, plus pool liveness, restart count, and the degraded /
+  timeout counters (see
+  :meth:`~repro.serve.service.ScenarioService.health_payload`).
 - ``GET /stats`` — the service counters (requests, cache hits, dedup
   and hit rates, queue depth, LRU occupancy).
 - ``GET /presets`` — bundled preset names with their content hashes,
@@ -33,6 +36,7 @@ import signal
 import sys
 from typing import Any, TextIO
 
+from repro.chaos import inject as _chaos
 from repro.serve.service import ScenarioService, ServeResult, canonical_bytes
 
 #: Upper bound on request head + body we will buffer (1 MiB covers any
@@ -47,6 +51,7 @@ _REASONS = {
     413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -154,12 +159,7 @@ async def handle_request(
             405, canonical_bytes({"error": f"use GET {target}"})
         )
     if target == "/healthz":
-        return ServeResult(
-            200,
-            canonical_bytes(
-                {"status": "ok", "draining": service.draining}
-            ),
-        )
+        return ServeResult(200, canonical_bytes(service.health_payload()))
     if target == "/stats":
         return ServeResult(200, canonical_bytes(service.stats_payload()))
     if target == "/presets":
@@ -195,7 +195,17 @@ async def handle_connection(
             if request is None:
                 break
             method, target, headers, body = request
+            route = target.partition("?")[0]
             result = await handle_request(service, method, target, body)
+            if route == "/run" and _chaos.connection_reset():
+                # Chaos injection: the response was computed (and cached)
+                # but the client never sees it — the worst-timed reset.
+                # Aborting skips the FIN handshake, so the client gets
+                # ECONNRESET rather than a clean EOF.
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+                break
             keep_alive = headers.get("connection", "").lower() != "close"
             writer.write(
                 render_response(
@@ -292,3 +302,18 @@ async def run_daemon(
             file=out,
         )
         out.flush()
+
+
+from repro import seams as _seams  # noqa: E402
+
+_seams.register_chaos(
+    _seams.ChaosPoint(
+        name="serve-connection",
+        module="repro.serve.http",
+        hook="repro.chaos.inject.connection_reset",
+        kinds=("connection-reset",),
+        description="abort the client connection after computing a /run "
+        "response, before writing it (client sees ECONNRESET; the result "
+        "is already cached, so a retry is a cache hit)",
+    )
+)

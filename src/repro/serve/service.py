@@ -40,6 +40,17 @@ computation, so per the check-clean rules it is a registered
 flag off the service computes every request fresh (the reference shape),
 and the differential suite asserts both modes serve identical bytes.
 
+**Fault tolerance.** Infrastructure faults may cost latency, never bytes
+(ROADMAP standing rule): every request is answered under a per-request
+deadline (``504`` with a structured body when exceeded — the shielded
+computation keeps running and fills the caches), and a broken worker
+pool flips a breaker into **degraded inline-compute mode**: batches run
+the same module-level chunk runner on a thread (``X-Source:
+inline-degraded``), slower but byte-identical, while probe batches test
+the pool (reviving it when dead) every ``probe_interval`` seconds until
+one succeeds. ``/healthz`` reports pool liveness, restart count, and the
+degraded flag. :mod:`repro.chaos` injects all of this deterministically.
+
 Disk-cache lookups are small synchronous JSON reads performed on the
 event loop; at this service's request sizes that is far below the
 batching window. Revisit with ``run_in_executor`` if entries ever grow.
@@ -50,6 +61,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import time
 import traceback
 from collections import OrderedDict
 from concurrent.futures import Future
@@ -63,6 +75,7 @@ from repro.runner.parallel import (
     decode_result,
     encode_result,
 )
+from repro.runner.supervise import is_pool_break
 from repro.scenario.registries import behaviors, protocols
 from repro.scenario.runner import ScenarioOutcome, run_summary
 from repro.scenario.spec import ScenarioSpec
@@ -82,6 +95,14 @@ DEFAULT_QUEUE_LIMIT = 64
 DEFAULT_BATCH_MAX = 8
 DEFAULT_BATCH_WINDOW = 0.005
 DEFAULT_RETRY_AFTER = 1
+
+#: Per-request deadline. Generous on purpose: its job is to bound a
+#: wedged pool, not to race healthy presets. ``None`` disables it.
+DEFAULT_REQUEST_TIMEOUT = 60.0
+
+#: While degraded, at most one probe batch per this many seconds is sent
+#: to the pool; everything else computes inline.
+DEFAULT_PROBE_INTERVAL = 1.0
 
 #: Sentinel the drain path enqueues to stop the batching scheduler.
 _STOP = object()
@@ -265,6 +286,9 @@ class ServiceStats:
     batches: int = 0
     errors: int = 0
     rejected: int = 0
+    timeouts: int = 0
+    degraded_requests: int = 0
+    recoveries: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return asdict(self)
@@ -285,9 +309,9 @@ class ServeResult:
     """One request's answer, transport-agnostic.
 
     ``source`` says which layer produced the body (``"lru"``,
-    ``"disk"``, ``"dedup"``, ``"computed"``) so transports can expose it
-    (the HTTP front end's ``X-Source`` header) and tests can assert on
-    it. ``retry_after`` is set on 503s.
+    ``"disk"``, ``"dedup"``, ``"computed"``, ``"inline-degraded"``) so
+    transports can expose it (the HTTP front end's ``X-Source`` header)
+    and tests can assert on it. ``retry_after`` is set on 503s and 504s.
     """
 
     status: int
@@ -307,7 +331,9 @@ class _Pending:
 
     key: str
     spec: ScenarioSpec
-    future: "asyncio.Future[tuple[str, Any]]" = field(repr=False, default=None)  # type: ignore[assignment]
+    future: "asyncio.Future[tuple[str, Any, str | None]]" = field(
+        repr=False, default=None  # type: ignore[assignment]
+    )
 
 
 # -- the service ---------------------------------------------------------------
@@ -333,6 +359,8 @@ class ScenarioService:
         batch_max: int = DEFAULT_BATCH_MAX,
         batch_window: float = DEFAULT_BATCH_WINDOW,
         retry_after: int = DEFAULT_RETRY_AFTER,
+        request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
+        probe_interval: float = DEFAULT_PROBE_INTERVAL,
         chunk_runner: Callable[
             [Sequence[ScenarioSpec]], list[tuple[str, Any]]
         ] = run_serve_chunk,
@@ -347,6 +375,15 @@ class ScenarioService:
             raise ConfigurationError(
                 f"batch_window must be >= 0, got {batch_window}"
             )
+        if request_timeout is not None and request_timeout <= 0:
+            raise ConfigurationError(
+                "request_timeout must be > 0 (or None to disable), "
+                f"got {request_timeout}"
+            )
+        if probe_interval < 0:
+            raise ConfigurationError(
+                f"probe_interval must be >= 0, got {probe_interval}"
+            )
         self._pool = pool if pool is not None else InlinePool()
         self._cache = cache
         self.lru = LruCache(lru_size)
@@ -354,9 +391,15 @@ class ScenarioService:
         self.batch_max = batch_max
         self.batch_window = batch_window
         self.retry_after = retry_after
+        self.request_timeout = request_timeout
+        self.probe_interval = probe_interval
         self.stats = ServiceStats()
         self._chunk_runner = chunk_runner
-        self._inflight: dict[str, "asyncio.Future[tuple[str, Any]]"] = {}
+        self._degraded = False
+        self._next_probe = 0.0
+        self._inflight: dict[
+            str, "asyncio.Future[tuple[str, Any, str | None]]"
+        ] = {}
         # Unbounded queue + explicit qsize() bound: the drain sentinel
         # must always be enqueuable, even at saturation.
         self._queue: "asyncio.Queue[Any]" = asyncio.Queue()
@@ -448,8 +491,11 @@ class ScenarioService:
             pending = self._inflight.get(key)
             if pending is not None:
                 self.stats.deduped += 1
-                verdict, value = await asyncio.shield(pending)
-                return self._finish(key, verdict, value, source="dedup")
+                outcome = await self._await_outcome(pending)
+                if outcome is None:
+                    return self._timeout_result(key)
+                verdict, value, src = outcome
+                return self._finish(key, verdict, value, source=src or "dedup")
         if self._draining:
             self.stats.rejected += 1
             return ServeResult(
@@ -469,14 +515,46 @@ class ScenarioService:
                 scenario=key,
                 retry_after=self.retry_after,
             )
-        future: "asyncio.Future[tuple[str, Any]]" = (
+        future: "asyncio.Future[tuple[str, Any, str | None]]" = (
             asyncio.get_running_loop().create_future()
         )
         if DEFAULT_SERVE_FAST:
             self._inflight[key] = future
         self._queue.put_nowait(_Pending(key=key, spec=spec, future=future))
-        verdict, value = await asyncio.shield(future)
-        return self._finish(key, verdict, value, source="computed")
+        outcome = await self._await_outcome(future)
+        if outcome is None:
+            return self._timeout_result(key)
+        verdict, value, src = outcome
+        return self._finish(key, verdict, value, source=src or "computed")
+
+    async def _await_outcome(
+        self, future: "asyncio.Future[tuple[str, Any, str | None]]"
+    ) -> "tuple[str, Any, str | None] | None":
+        """Wait for a compute outcome under the per-request deadline.
+
+        The shield keeps the computation (and its cache fills) running
+        after a timeout: the deadline abandons the *wait*, not the
+        *work*, so a client retrying after ``Retry-After`` typically
+        lands on a warm cache. Returns ``None`` on deadline.
+        """
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(future), self.request_timeout
+            )
+        except asyncio.TimeoutError:
+            return None
+
+    def _timeout_result(self, key: str) -> ServeResult:
+        self.stats.timeouts += 1
+        return ServeResult(
+            504,
+            error_bytes(
+                f"request deadline ({self.request_timeout:g}s) exceeded; "
+                "the computation continues and will be cached — retry"
+            ),
+            scenario=key,
+            retry_after=self.retry_after,
+        )
 
     def _finish(
         self, key: str, verdict: str, value: Any, *, source: str
@@ -532,11 +610,20 @@ class ScenarioService:
     def _dispatch(self, batch: list[_Pending]) -> None:
         self.stats.batches += 1
         specs = [item.spec for item in batch]
+        if not self._pool_ready():
+            self._start_inline(batch, specs)
+            return
         try:
             chunk_future = self._pool.submit(self._chunk_runner, specs)
         except Exception as exc:
+            if is_pool_break(exc):
+                self._enter_degraded(exc)
+                self._start_inline(batch, specs)
+                return
             for item in batch:
-                self._settle(item, ("run", f"{type(exc).__name__}: {exc}"))
+                self._settle(
+                    item, ("run", f"{type(exc).__name__}: {exc}", None)
+                )
             return
         task = asyncio.ensure_future(
             self._resolve(batch, asyncio.wrap_future(chunk_future))
@@ -552,10 +639,94 @@ class ScenarioService:
                 [item.key for item in batch], await chunk
             )
         except Exception as exc:
+            if is_pool_break(exc):
+                # The pool died under this batch even after supervision
+                # gave up. No request is dropped: flip the breaker and
+                # answer this batch inline — latency, never bytes.
+                self._enter_degraded(exc)
+                await self._run_inline(batch, [item.spec for item in batch])
+                return
             message = f"{type(exc).__name__}: {exc}"
             for item in batch:
-                self._settle(item, ("run", message))
+                self._settle(item, ("run", message, None))
             return
+        if self._degraded:
+            # A probe batch came back: the pool is healthy again.
+            self._degraded = False
+            self.stats.recoveries += 1
+            _LOG.warning("worker pool recovered; leaving degraded mode")
+        self._complete(batch, results, source=None)
+
+    def _pool_ready(self) -> bool:
+        """Breaker gate: may this batch try the pool?
+
+        Healthy: always. Degraded: at most one probe batch per
+        ``probe_interval`` goes to the pool — reviving a dead
+        :class:`~repro.runner.parallel.PersistentPool` first — and
+        everything else computes inline until a probe succeeds.
+        """
+        if not self._degraded:
+            return True
+        now = time.monotonic()
+        if now < self._next_probe:
+            return False
+        self._next_probe = now + self.probe_interval
+        if not getattr(self._pool, "alive", True):
+            revive = getattr(self._pool, "revive", None)
+            if revive is None or not revive():
+                return False
+        return True
+
+    def _enter_degraded(self, cause: BaseException) -> None:
+        if not self._degraded:
+            self._degraded = True
+            _LOG.warning(
+                "worker pool down (%s); serving in degraded inline-compute "
+                "mode",
+                cause,
+            )
+        self._next_probe = time.monotonic() + self.probe_interval
+
+    def _start_inline(
+        self, batch: list[_Pending], specs: list[ScenarioSpec]
+    ) -> None:
+        task = asyncio.ensure_future(self._run_inline(batch, specs))
+        self._batch_tasks.add(task)
+        task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_inline(
+        self, batch: list[_Pending], specs: list[ScenarioSpec]
+    ) -> None:
+        """Compute a batch on a thread instead of the broken pool.
+
+        Slower — no process parallelism, no warm spawn-worker worlds —
+        but byte-identical: this is the same chunk runner the pool
+        executes, so degraded responses still match
+        :func:`report_bytes`.
+        """
+        self.stats.degraded_requests += len(batch)
+        runner = self._chunk_runner
+        if runner is None:
+            for item in batch:
+                self._settle(item, ("run", "no chunk runner configured", None))
+            return
+        try:
+            results = await asyncio.to_thread(runner, specs)
+        except Exception as exc:
+            message = f"{type(exc).__name__}: {exc}"
+            for item in batch:
+                self._settle(item, ("run", message, None))
+            return
+        self._complete(batch, results, source="inline-degraded")
+
+    def _complete(
+        self,
+        batch: list[_Pending],
+        results: list[tuple[str, Any]],
+        *,
+        source: str | None,
+    ) -> None:
+        """Settle a computed batch, filling both cache layers on 200s."""
         for item, (verdict, payload) in zip(batch, results):
             if verdict == "ok":
                 body = canonical_bytes(payload)
@@ -572,17 +743,37 @@ class ScenarioService:
                                 item.key[:12],
                                 exc,
                             )
-                self._settle(item, ("ok", body))
+                self._settle(item, ("ok", body, source))
             else:
-                self._settle(item, (verdict, payload))
+                self._settle(item, (verdict, payload, source))
 
-    def _settle(self, item: _Pending, outcome: tuple[str, Any]) -> None:
+    def _settle(
+        self, item: _Pending, outcome: "tuple[str, Any, str | None]"
+    ) -> None:
         if self._inflight.get(item.key) is item.future:
             del self._inflight[item.key]
         if not item.future.done():
             item.future.set_result(outcome)
 
     # -- introspection ---------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
+
+    def health_payload(self) -> dict[str, Any]:
+        """What ``GET /healthz`` serves: liveness, not just reachability."""
+        return {
+            "status": "degraded" if self._degraded else "ok",
+            "draining": self._draining,
+            "degraded": self._degraded,
+            "pool_alive": bool(getattr(self._pool, "alive", True)),
+            "pool_workers": getattr(self._pool, "workers", None),
+            "pool_restarts": getattr(self._pool, "restarts", 0),
+            "degraded_requests": self.stats.degraded_requests,
+            "recoveries": self.stats.recoveries,
+            "timeouts": self.stats.timeouts,
+        }
 
     def stats_payload(self) -> dict[str, Any]:
         """What ``GET /stats`` serves."""
@@ -597,8 +788,14 @@ class ScenarioService:
             queue_limit=self.queue_limit,
             in_flight=len(self._inflight),
             draining=self._draining,
+            degraded=self._degraded,
+            pool_alive=bool(getattr(self._pool, "alive", True)),
+            pool_restarts=getattr(self._pool, "restarts", 0),
             workers=getattr(self._pool, "workers", None),
             disk_cache=self._cache is not None,
+            cache_recovered=(
+                self._cache.stats.recovered if self._cache is not None else 0
+            ),
         )
         return payload
 

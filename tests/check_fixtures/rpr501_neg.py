@@ -1,0 +1,12 @@
+"""Negative fixture: classify pool breaks instead of catching the type."""
+
+from repro.runner.supervise import is_pool_break
+
+
+def resolve_chunk(future, settle_break, settle_error):
+    try:
+        return future.result()
+    except Exception as exc:
+        if is_pool_break(exc):
+            return settle_break(exc)
+        return settle_error(exc)

@@ -1,0 +1,18 @@
+"""Positive fixture: pool-break handlers outside the supervision module."""
+
+from concurrent.futures import BrokenExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+
+def retry_chunk(pool, run, point):
+    try:
+        return pool.submit(run, point).result()
+    except BrokenExecutor:
+        return pool.submit(run, point).result()
+
+
+def swallow_break(future):
+    try:
+        return future.result()
+    except (ValueError, BrokenProcessPool):
+        return None

@@ -1,0 +1,178 @@
+"""Unit tests for :mod:`repro.chaos.inject` and the cache fault hooks.
+
+Everything here is parent-side and serial: the worker-side fault path
+(SIGKILL inside a real spawn worker) lives in ``test_chaos_pool.py``.
+"""
+
+import errno
+import json
+
+import pytest
+
+from repro.chaos import inject
+from repro.chaos.plan import Fault, FaultPlan
+from repro.runner.parallel import (
+    ResultCache,
+    point_key,
+    scan_cache_dir,
+    sweep,
+)
+from repro.scenario import preset
+from repro.scenario.runner import run_summary
+from repro.serve.service import serialize_outcome
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    """Every test starts and ends with no plan armed."""
+    inject.disarm()
+    yield
+    inject.disarm()
+
+
+def spec_with_seed(seed):
+    return preset("quickstart").replace(seed=seed)
+
+
+class TestArming:
+    def test_arm_disarm(self):
+        plan = FaultPlan(faults=(Fault(kind="connection-reset"),))
+        assert not inject.is_armed()
+        inject.arm(plan)
+        assert inject.is_armed()
+        assert inject.active_plan() == plan
+        inject.disarm()
+        assert not inject.is_armed()
+        assert inject.active_plan() is None
+
+    def test_armed_context_always_disarms(self):
+        plan = FaultPlan(faults=(Fault(kind="connection-reset"),))
+        with pytest.raises(RuntimeError):
+            with inject.armed(plan):
+                assert inject.is_armed()
+                raise RuntimeError("boom")
+        assert not inject.is_armed()
+
+    def test_hooks_noop_when_disarmed(self, tmp_path):
+        assert inject.connection_reset() is False
+        assert inject.cache_write_fault("abc") is None
+        assert inject.on_pool_break() is None
+        assert inject.shipped_worker_faults() == ()
+
+    def test_counters_reset_on_arm(self):
+        with inject.armed(FaultPlan(faults=(Fault(kind="connection-reset"),))):
+            assert inject.connection_reset() is True
+        assert inject.counters() == {"connection-reset": 1}
+        inject.arm(FaultPlan())
+        assert inject.counters() == {}
+
+
+class TestSpendOnce:
+    def test_each_fault_fires_once(self):
+        plan = FaultPlan(faults=(Fault(kind="connection-reset"),))
+        with inject.armed(plan):
+            assert inject.connection_reset() is True
+            assert inject.connection_reset() is False
+
+    def test_target_prefix_scopes_fault(self):
+        plan = FaultPlan(
+            faults=(Fault(kind="cache-write-fail", target="ffff"),)
+        )
+        with inject.armed(plan):
+            assert inject.cache_write_fault("abcd1234") is None
+            fault = inject.cache_write_fault("ffff9999")
+            assert isinstance(fault, OSError)
+
+    def test_on_pool_break_spends_worker_crash(self):
+        plan = FaultPlan(
+            faults=(Fault(kind="worker-crash"), Fault(kind="worker-slow", delay_s=0.01))
+        )
+        with inject.armed(plan):
+            assert len(inject.shipped_worker_faults()) == 2
+            spent = inject.on_pool_break()
+            assert spent is not None and spent.kind == "worker-crash"
+            # The crash is spent: a fresh snapshot ships only the slow one.
+            remaining = inject.shipped_worker_faults()
+            assert [fault.kind for _, fault in remaining] == ["worker-slow"]
+            assert inject.on_pool_break() is None
+
+
+class TestCacheFaults:
+    def test_write_fault_modes(self):
+        plan = FaultPlan(
+            faults=(
+                Fault(kind="cache-write-fail", mode="enospc"),
+                Fault(kind="cache-write-fail", mode="eperm"),
+            )
+        )
+        with inject.armed(plan):
+            first = inject.cache_write_fault("aa")
+            second = inject.cache_write_fault("aa")
+        assert first.errno == errno.ENOSPC
+        assert isinstance(second, PermissionError)
+        assert second.errno == errno.EPERM
+
+    def test_store_failure_raises_from_put(self, tmp_path):
+        cache = ResultCache(str(tmp_path), namespace="scenario")
+        spec = spec_with_seed(0)
+        outcome = run_summary(spec)
+        plan = FaultPlan(faults=(Fault(kind="cache-write-fail"),))
+        with inject.armed(plan):
+            with pytest.raises(OSError):
+                cache.put(spec, outcome)
+        # The failed store must not leave a partial entry behind.
+        hit, _ = cache.get(spec)
+        assert not hit
+        assert cache.stats.corrupt == 0
+
+    @pytest.mark.parametrize("mode", ["truncate", "garbage"])
+    def test_corrupt_read_recovers_identical_bytes(self, tmp_path, mode):
+        cache = ResultCache(str(tmp_path), namespace="scenario")
+        spec = spec_with_seed(1)
+        golden = serialize_outcome(run_summary(spec))
+        cache.put(spec, run_summary(spec))
+        plan = FaultPlan(faults=(Fault(kind="cache-corrupt", mode=mode),))
+        with inject.armed(plan):
+            hit, _ = cache.get(spec)
+        assert not hit
+        assert cache.stats.corrupt == 1
+        # Recompute + overwrite marks the entry recovered...
+        cache.put(spec, run_summary(spec))
+        assert cache.stats.recovered == 1
+        # ...and the healed entry round-trips the fault-free bytes.
+        hit, outcome = cache.get(spec)
+        assert hit
+        assert serialize_outcome(outcome) == golden
+
+    def test_sweep_tolerates_store_failure(self, tmp_path):
+        cache = ResultCache(str(tmp_path), namespace="scenario")
+        specs = [spec_with_seed(seed) for seed in (2, 3)]
+        goldens = [serialize_outcome(run_summary(spec)) for spec in specs]
+        plan = FaultPlan(faults=(Fault(kind="cache-write-fail"),))
+        with inject.armed(plan):
+            result = sweep(specs, run_summary, workers=1, cache=cache)
+        assert [
+            serialize_outcome(outcome) for outcome in result.results
+        ] == goldens
+        # One store failed, the other landed; nothing crashed.
+        assert cache.stats.stores == 1
+
+
+class TestDurableWrites:
+    def test_put_leaves_no_tmp_files(self, tmp_path):
+        cache = ResultCache(str(tmp_path), namespace="scenario")
+        spec = spec_with_seed(4)
+        cache.put(spec, run_summary(spec))
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert scan_cache_dir(str(tmp_path)).stale_tmp == 0
+
+    def test_scan_counts_interrupted_writes(self, tmp_path):
+        cache = ResultCache(str(tmp_path), namespace="scenario")
+        spec = spec_with_seed(5)
+        cache.put(spec, run_summary(spec))
+        key = point_key(spec)
+        stale = tmp_path / f"scenario-{key}.json.1234.tmp"
+        stale.write_text(json.dumps({"half": "written"}))
+        stats = scan_cache_dir(str(tmp_path))
+        assert stats.stale_tmp == 1
+        assert stats.entries == 1  # the staging file is not an entry

@@ -1,0 +1,133 @@
+"""Unit tests for :mod:`repro.chaos.plan` and the chaos-point registry."""
+
+import pytest
+
+from repro import seams
+from repro.chaos.plan import Fault, FaultPlan, full_plan, sample_plan
+from repro.errors import SpecValidationError
+
+
+class TestFaultValidation:
+    def test_unknown_kind_suggests(self):
+        with pytest.raises(SpecValidationError) as err:
+            Fault(kind="worker-crsh")
+        assert "worker-crash" in str(err.value)
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(SpecValidationError):
+            Fault(kind="worker-crash", target="")
+
+    def test_delay_only_for_worker_slow(self):
+        with pytest.raises(SpecValidationError):
+            Fault(kind="worker-crash", delay_s=0.5)
+        with pytest.raises(SpecValidationError):
+            Fault(kind="worker-slow", delay_s=0.0)
+        with pytest.raises(SpecValidationError):
+            Fault(kind="worker-slow", delay_s=99.0)
+        assert Fault(kind="worker-slow", delay_s=0.02).delay_s == 0.02
+
+    def test_mode_defaults_and_validation(self):
+        assert Fault(kind="cache-corrupt").mode == "truncate"
+        assert Fault(kind="cache-write-fail").mode == "enospc"
+        with pytest.raises(SpecValidationError):
+            Fault(kind="cache-corrupt", mode="nope")
+        with pytest.raises(SpecValidationError):
+            Fault(kind="worker-crash", mode="truncate")
+
+    def test_unknown_payload_key_rejected(self):
+        with pytest.raises(SpecValidationError) as err:
+            Fault.from_dict({"kind": "worker-crash", "targe": "*"})
+        assert "target" in str(err.value)
+
+
+class TestFaultPlanRoundTrip:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            seed=7,
+            faults=(
+                Fault(kind="worker-slow", delay_s=0.03),
+                Fault(kind="cache-corrupt", mode="garbage", target="ab12"),
+            ),
+        )
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        assert again.content_hash() == plan.content_hash()
+
+    def test_defaults_omitted_from_dict(self):
+        payload = Fault(kind="worker-crash").to_dict()
+        assert payload == {"kind": "worker-crash"}
+
+    def test_unknown_plan_key_rejected(self):
+        with pytest.raises(SpecValidationError):
+            FaultPlan.from_dict({"seed": 0, "fautls": []})
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(SpecValidationError):
+            FaultPlan.from_json("{not json")
+
+    def test_kinds_sorted_distinct(self):
+        plan = FaultPlan(
+            faults=(
+                Fault(kind="worker-crash"),
+                Fault(kind="cache-corrupt"),
+                Fault(kind="worker-crash"),
+            )
+        )
+        assert plan.kinds() == ("cache-corrupt", "worker-crash")
+
+    def test_describe_mentions_seed_and_kinds(self):
+        text = FaultPlan(seed=3, faults=(Fault(kind="worker-crash"),)).describe()
+        assert "seed=3" in text and "worker-crash" in text
+
+
+class TestSampling:
+    def test_same_seed_same_plan(self):
+        assert sample_plan(11) == sample_plan(11)
+        assert sample_plan(11).content_hash() == sample_plan(11).content_hash()
+
+    def test_seeds_vary_plans(self):
+        plans = {sample_plan(seed).content_hash() for seed in range(20)}
+        assert len(plans) > 1
+
+    def test_sampled_plans_valid_and_bounded(self):
+        for seed in range(30):
+            plan = sample_plan(seed, max_faults=3)
+            assert 1 <= len(plan.faults) <= 3
+            for fault in plan.faults:
+                assert fault.kind in seams.CHAOS_KINDS
+
+    def test_full_plan_covers_every_kind_and_mode(self):
+        plan = full_plan()
+        assert set(plan.kinds()) == set(seams.CHAOS_KINDS)
+        modes = {
+            (fault.kind, fault.mode)
+            for fault in plan.faults
+            if fault.mode
+        }
+        assert ("cache-corrupt", "truncate") in modes
+        assert ("cache-corrupt", "garbage") in modes
+        assert ("cache-write-fail", "enospc") in modes
+        assert ("cache-write-fail", "eperm") in modes
+
+
+class TestChaosRegistry:
+    def test_every_kind_has_an_injection_point(self):
+        assert seams.chaos_kinds_covered() == frozenset(seams.CHAOS_KINDS)
+
+    def test_registered_points_enumerable(self):
+        seams.load_chaos_sites()
+        names = seams.chaos_names()
+        assert "pool-worker" in names
+        assert "result-cache" in names
+        assert "serve-connection" in names
+
+    def test_point_validation(self):
+        with pytest.raises(Exception):
+            seams.ChaosPoint(
+                name="bad", module="m", hook="h", kinds=("not-a-kind",)
+            )
+
+    def test_duplicate_registration_rejected(self):
+        point = seams.load_chaos_sites()[0]
+        with pytest.raises(Exception):
+            seams.register_chaos(point)

@@ -47,6 +47,7 @@ DESTINATIONS = {
     "RPR203": "src/repro/adversary/fixadv.py",
     "RPR301": "src/repro/analysis/fixhyg.py",
     "RPR401": "src/repro/analysis/fixhyg.py",
+    "RPR501": "src/repro/runner/fixpool.py",
 }
 
 #: Companion files some rules need to see in the throwaway tree.

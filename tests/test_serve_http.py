@@ -143,10 +143,12 @@ class TestRoutes:
 
         results, _ = with_daemon(make_service(), client)
         assert results["healthz"][0] == 200
-        assert json.loads(results["healthz"][2]) == {
-            "draining": False,
-            "status": "ok",
-        }
+        health = json.loads(results["healthz"][2])
+        assert health["status"] == "ok"
+        assert health["draining"] is False
+        assert health["degraded"] is False
+        assert health["pool_alive"] is True
+        assert health["pool_restarts"] == 0
         assert results["stats"][0] == 200
         stats = json.loads(results["stats"][2])
         assert stats["requests"] == 0

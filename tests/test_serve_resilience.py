@@ -1,0 +1,233 @@
+"""Serve-layer resilience: degraded mode, deadlines, connection resets.
+
+Companion to ``test_serve_service.py`` (happy-path core) — here every
+test breaks something and asserts the standing rule: infrastructure
+faults may cost latency (inline compute, a retry, a 504), never bytes.
+Pool doubles keep these tests in-process and deterministic; the real
+spawn-pool recovery path is exercised in ``test_chaos_pool.py``.
+"""
+
+import asyncio
+import io
+
+import pytest
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.chaos import inject
+from repro.chaos.plan import Fault, FaultPlan
+from repro.runner.parallel import PersistentPool
+from repro.scenario import preset
+from repro.serve.http import render_response, run_daemon
+from repro.serve.service import (
+    InlinePool,
+    ScenarioService,
+    canonical_bytes,
+    report_bytes,
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    inject.disarm()
+    yield
+    inject.disarm()
+
+
+def spec_with_seed(seed):
+    return preset("quickstart").replace(seed=seed)
+
+
+def fake_chunk_runner(specs):
+    return [("ok", {"seed": spec.seed}) for spec in specs]
+
+
+def make_service(**overrides):
+    options = dict(pool=InlinePool(), chunk_runner=fake_chunk_runner)
+    options.update(overrides)
+    return ScenarioService(**options)
+
+
+def expected_body(spec):
+    return canonical_bytes({"seed": spec.seed})
+
+
+class DeadPool:
+    """A pool double whose workers are gone and stay gone."""
+
+    workers = 1
+    alive = False
+    restarts = 0
+    unwrap = staticmethod(PersistentPool.unwrap)
+
+    def submit(self, run, point):
+        raise BrokenProcessPool("workers died at startup")
+
+    def revive(self):
+        return False
+
+    def shutdown(self, *, wait=True):
+        pass
+
+
+class FlakyPool(InlinePool):
+    """Loses its worker on the first submit, then behaves."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def submit(self, run, point):
+        self.calls += 1
+        if self.calls == 1:
+            raise BrokenProcessPool("first batch loses its worker")
+        return super().submit(run, point)
+
+
+class StuckPool:
+    """A pool whose one chunk future never resolves on its own."""
+
+    workers = 1
+    unwrap = staticmethod(PersistentPool.unwrap)
+
+    def __init__(self):
+        self.chunk = Future()
+
+    def submit(self, run, point):
+        return self.chunk
+
+    def shutdown(self, *, wait=True):
+        pass
+
+
+class TestDegradedMode:
+    def test_dead_pool_serves_inline_with_identical_answers(self):
+        specs = [spec_with_seed(seed) for seed in (0, 1)]
+        service = make_service(pool=DeadPool(), probe_interval=60.0)
+
+        async def scenario():
+            await service.start()
+            results = [await service.submit_spec(spec) for spec in specs]
+            health = service.health_payload()
+            await service.drain()
+            return results, health
+
+        results, health = asyncio.run(scenario())
+        for spec, result in zip(specs, results):
+            assert result.status == 200
+            assert result.source == "inline-degraded"
+            assert result.body == expected_body(spec)
+        assert service.degraded
+        assert service.stats.degraded_requests == 2
+        assert health["status"] == "degraded"
+        assert health["degraded"] is True
+        assert health["pool_alive"] is False
+
+    def test_probe_batch_recovers_from_degraded_mode(self):
+        service = make_service(pool=FlakyPool(), probe_interval=0.0)
+
+        async def scenario():
+            await service.start()
+            first = await service.submit_spec(spec_with_seed(0))
+            second = await service.submit_spec(spec_with_seed(1))
+            await service.drain()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first.source == "inline-degraded"
+        assert first.body == expected_body(spec_with_seed(0))
+        assert second.source == "computed"
+        assert second.body == expected_body(spec_with_seed(1))
+        assert not service.degraded
+        assert service.stats.recoveries == 1
+        assert service.health_payload()["status"] == "ok"
+
+
+class TestRequestDeadline:
+    def test_stuck_compute_times_out_as_504(self):
+        pool = StuckPool()
+        service = make_service(pool=pool, request_timeout=0.05)
+        spec = spec_with_seed(0)
+
+        async def scenario():
+            await service.start()
+            result = await service.submit_spec(spec)
+            # The deadline abandoned the wait, not the work: resolving
+            # the chunk still completes the batch and fills the LRU.
+            pool.chunk.set_result((True, [("ok", {"seed": spec.seed})]))
+            await service.drain()
+            return result
+
+        result = asyncio.run(scenario())
+        assert result.status == 504
+        assert result.retry_after == service.retry_after
+        assert b"deadline" in result.body
+        assert service.stats.timeouts == 1
+        assert service.lru.get(spec.content_hash()) == expected_body(spec)
+
+    def test_504_renders_gateway_timeout(self):
+        assert render_response(504, b"{}").startswith(
+            b"HTTP/1.1 504 Gateway Timeout"
+        )
+
+
+class TestConnectionReset:
+    def test_reset_then_retry_returns_identical_bytes(self):
+        """The worst-timed reset: computed, cached, never delivered."""
+        spec = preset("quickstart")
+        expected = report_bytes(spec)
+        body = spec.to_json(indent=None).encode()
+        service = ScenarioService(pool=InlinePool())
+        plan = FaultPlan(faults=(Fault(kind="connection-reset"),))
+
+        async def post_run(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(
+                    b"POST /run HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                status = int(head.split(b" ")[1])
+                length = 0
+                for line in head.split(b"\r\n"):
+                    if line.lower().startswith(b"content-length:"):
+                        length = int(line.split(b":")[1])
+                payload = await reader.readexactly(length)
+                return status, payload
+            finally:
+                writer.close()
+
+        async def scenario():
+            ready = asyncio.Event()
+            stop = asyncio.Event()
+            log = io.StringIO()
+            daemon = asyncio.ensure_future(
+                run_daemon(
+                    service,
+                    host="127.0.0.1",
+                    port=0,
+                    out=log,
+                    ready=ready,
+                    stop=stop,
+                )
+            )
+            await ready.wait()
+            port = int(log.getvalue().strip().rsplit(":", 1)[1])
+            try:
+                with inject.armed(plan):
+                    with pytest.raises(
+                        (ConnectionError, asyncio.IncompleteReadError)
+                    ):
+                        await post_run(port)
+                    retried = await post_run(port)
+                    assert inject.counters() == {"connection-reset": 1}
+            finally:
+                stop.set()
+                await daemon
+            return retried
+
+        status, payload = asyncio.run(scenario())
+        assert status == 200
+        assert payload == expected
