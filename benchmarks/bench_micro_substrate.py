@@ -10,7 +10,8 @@ from repro.network.node import NodeTable
 from repro.radio.medium import Medium
 from repro.radio.messages import Transmission
 from repro.radio.schedule import TdmaSchedule
-from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
+from repro.runner.broadcast_run import ThresholdRunConfig
+from repro.scenario import run as run_spec
 
 SPEC = GridSpec(width=30, height=30, r=2, torus=True)
 
@@ -61,7 +62,7 @@ def test_local_boundedness_validation(benchmark):
 
 def test_full_protocol_b_run(benchmark):
     def run():
-        return run_threshold_broadcast(
+        return run_spec(
             ThresholdRunConfig(
                 spec=SPEC,
                 t=2,
@@ -69,7 +70,7 @@ def test_full_protocol_b_run(benchmark):
                 placement=RandomPlacement(t=2, count=20, seed=1),
                 protocol="b",
                 batch_per_slot=4,
-            )
+            ).to_scenario_spec()
         )
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)

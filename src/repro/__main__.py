@@ -21,6 +21,9 @@ Usage::
     python -m repro serve --port 8642 --cache-dir .cache --workers 4
     python -m repro serve --stdin-batch < specs.jsonl
     python -m repro cache stats .cache          # inventory a result cache
+    python -m repro cache prune .cache --max-bytes 500M --max-age 30
+    python -m repro atlas --quick --cache-dir .cache
+    python -m repro atlas theorem2 --axes m,mf --out atlas/
     python -m repro chaos run                   # replay fault plans, check bytes
     python -m repro chaos run quickstart --plan plan.json --no-serve
     python -m repro chaos sample --seed 3       # print a sampled FaultPlan
@@ -54,8 +57,19 @@ same on-disk cache ``--cache-dir`` sweeps use. ``--stdin-batch`` is the
 one-shot piped mode: one spec JSON per input line, one result JSON per
 output line, in order. ``cache stats`` inventories a ``--cache-dir``
 directory (entries, bytes, corrupt files) without touching its
-contents. ``bench serve`` benchmarks the daemon end to end against the
+contents; ``cache prune`` evicts entries by age and/or total size
+(oldest first, ``--dry-run`` to preview) — safe at any time, since
+invalidation is structural and pruned points are simply recomputed.
+``bench serve`` benchmarks the daemon end to end against the
 direct-run baseline (trajectory ``BENCH_serve.json``).
+
+``atlas`` maps each preset's empirical success/failure frontier along
+the ``m``/``t``/``mf`` axes by adaptive bisection and writes a
+browsable ``atlas.md`` + ``atlas.json`` artifact pair (deterministic:
+same scenarios → byte-identical files). Probes batch through the same
+sweep substrate as everything else, so ``--cache-dir`` makes re-runs
+incremental; ``bench atlas`` times cold vs cache-warm builds
+(trajectory ``BENCH_atlas.json``).
 
 ``run``/``scenario run`` sweeps treat SIGTERM like Ctrl-C: workers are
 stopped, a ``sweep interrupted: N/M points completed`` note goes to
@@ -294,12 +308,13 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser.add_argument(
         "which",
         nargs="?",
-        choices=("slot", "scenario", "serve"),
+        choices=("slot", "scenario", "serve", "atlas"),
         default="slot",
         help=(
             "'slot' times Medium.resolve_slot fast vs reference (default); "
             "'scenario' times full run(spec) fast vs legacy on the presets; "
-            "'serve' times the scenario service vs direct runs"
+            "'serve' times the scenario service vs direct runs; "
+            "'atlas' times the frontier search cold vs cache-warm"
         ),
     )
     bench_parser.add_argument(
@@ -529,6 +544,80 @@ def main(argv: list[str] | None = None) -> int:
         dest="as_json",
         help="emit the inventory as JSON on stdout",
     )
+    cache_prune = cache_sub.add_parser(
+        "prune",
+        help="evict cache entries by age and/or size (oldest first)",
+    )
+    cache_prune.add_argument("directory", help="the --cache-dir directory")
+    cache_prune.add_argument(
+        "--max-bytes",
+        default=None,
+        metavar="SIZE",
+        help="shrink the directory to at most SIZE (e.g. 500M, 2G)",
+    )
+    cache_prune.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="remove entries not rewritten in the last DAYS days",
+    )
+    cache_prune.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without unlinking anything",
+    )
+    atlas_parser = sub.add_parser(
+        "atlas",
+        help="adaptive frontier atlas: search presets, emit md+json report",
+    )
+    atlas_parser.add_argument(
+        "presets",
+        nargs="*",
+        metavar="preset",
+        help="preset names to map (default: the bundled atlas slice)",
+    )
+    atlas_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI slice: map only the quick preset set",
+    )
+    atlas_parser.add_argument(
+        "--axes",
+        default=None,
+        metavar="m,t,mf",
+        help="comma-separated axis subset (default: all registered axes)",
+    )
+    atlas_parser.add_argument(
+        "--refine",
+        type=int,
+        default=1,
+        help="probe radius around each frontier after bisection (default 1)",
+    )
+    atlas_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per probe batch (0 = one per CPU; default 1)",
+    )
+    atlas_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk probe cache shared with `scenario run`/`serve` "
+        "(default: off; set it to make re-runs incremental)",
+    )
+    atlas_parser.add_argument(
+        "--out",
+        default="atlas",
+        metavar="DIR",
+        help="directory the atlas.md/atlas.json artifacts land in "
+        "(default: atlas)",
+    )
+    atlas_parser.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress per-generation progress output on stderr",
+    )
     chaos_parser = sub.add_parser(
         "chaos",
         help="fault-injection harness: replay FaultPlans, assert bytes",
@@ -631,9 +720,37 @@ def main(argv: list[str] | None = None) -> int:
             return 2
 
     if args.command == "cache":
-        from repro.serve.cli import cache_stats_command
+        from repro.serve.cli import cache_prune_command, cache_stats_command
 
+        if args.cache_command == "prune":
+            return cache_prune_command(
+                args.directory,
+                max_bytes=args.max_bytes,
+                max_age_days=args.max_age,
+                dry_run=args.dry_run,
+            )
         return cache_stats_command(args.directory, as_json=args.as_json)
+
+    if args.command == "atlas":
+        from repro.analysis.atlas import atlas_command
+
+        _sigterm_as_interrupt()
+        try:
+            return atlas_command(
+                args.presets,
+                quick=args.quick,
+                axes=args.axes,
+                refine=args.refine,
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                out_dir=args.out,
+                show_progress=not args.no_progress,
+            )
+        except KeyboardInterrupt:
+            return 130
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.command == "bench":
         return bench_mod.main_bench(

@@ -20,7 +20,16 @@ from repro.analysis.budgets import (
 )
 from repro.analysis.metrics import BroadcastOutcome, MessageCosts
 from repro.analysis.render import coverage_summary, render_decisions
-from repro.analysis.search import BudgetSearchResult, find_min_working_budget
+from repro.analysis.search import (
+    FRONTIER_AXES,
+    AxisFrontier,
+    AxisProbe,
+    AxisSearch,
+    BudgetSearchResult,
+    MonotonicityViolation,
+    find_min_working_budget,
+    frontier_search,
+)
 from repro.analysis.timeline import PropagationTimeline, propagation_timeline
 from repro.analysis.verify import check_broadcast, collect_outcome
 
@@ -45,8 +54,14 @@ __all__ = [
     "collect_outcome",
     "coverage_summary",
     "render_decisions",
+    "FRONTIER_AXES",
+    "AxisFrontier",
+    "AxisProbe",
+    "AxisSearch",
     "BudgetSearchResult",
+    "MonotonicityViolation",
     "find_min_working_budget",
+    "frontier_search",
     "PropagationTimeline",
     "propagation_timeline",
 ]

@@ -1,6 +1,6 @@
 """Benchmark harnesses behind ``python -m repro bench``.
 
-Three benchmarks, each with its own JSON *trajectory file* so
+Four benchmarks, each with its own JSON *trajectory file* so
 successive PRs can gate on regressions:
 
 - ``python -m repro bench`` (or ``bench slot``) measures the
@@ -20,7 +20,12 @@ successive PRs can gate on regressions:
   (:mod:`repro.serve.bench`): a repeated-preset request workload
   through a real daemon + persistent pool vs direct serial runs,
   asserting byte identity per response, appending to
-  ``BENCH_serve.json``.
+  ``BENCH_serve.json``;
+- ``python -m repro bench atlas`` measures the adaptive frontier
+  search (:mod:`repro.analysis.atlas`) cold vs cache-warm against one
+  fresh on-disk cache, asserting the two runs' artifacts stay
+  byte-identical, appending to ``BENCH_atlas.json`` — the speedup is
+  the probe cache's effectiveness.
 
 Common flags::
 
@@ -63,6 +68,7 @@ from repro.types import VTRUE
 #: Default trajectory files, relative to the working directory.
 DEFAULT_OUT = "BENCH_slot_resolution.json"
 DEFAULT_SCENARIO_OUT = "BENCH_scenario_run.json"
+DEFAULT_ATLAS_OUT = "BENCH_atlas.json"
 
 #: The four clairvoyant defender positions of the Figure-2 defense.
 _DEFENDERS = ((4, 5), (-5, 5), (4, -4), (-5, -4))
@@ -551,6 +557,114 @@ def format_scenario_entry(entry: dict) -> str:
     return "\n".join(lines)
 
 
+# -- atlas benchmark -----------------------------------------------------------
+
+#: The atlas entry's gated ``overall_speedup`` is the cold/warm ratio
+#: clamped to this cap. The raw ratio is hundreds (the warm leg is pure
+#: cache reads, a few ms) and fluctuates with disk noise far more than
+#: :data:`REGRESSION_FACTOR`; clamping makes every healthy run record
+#: the same value, so the gate trips only when caching genuinely stops
+#: engaging (ratio below cap/1.5). The unclamped ratio is kept as
+#: ``raw_speedup`` for inspection.
+ATLAS_SPEEDUP_CAP = 50.0
+
+
+def run_atlas_bench(*, quick: bool = False) -> dict:
+    """Measure the atlas frontier search cold vs cache-warm.
+
+    Builds the atlas twice against one fresh on-disk cache: the cold leg
+    computes every probe, the warm leg re-runs the identical searches
+    and must answer from the :class:`~repro.runner.parallel.ResultCache`.
+    The trajectory's ``overall_speedup`` is cold/warm time — a collapse
+    means probe caching stopped engaging (e.g. a nondeterministic spec
+    axis broke content-hash stability). Both legs' artifacts are
+    compared byte-for-byte first; the benchmark refuses to time a
+    non-reproducible atlas.
+    """
+    import tempfile
+
+    from repro.analysis import atlas as atlas_mod
+    from repro.runner.parallel import ResultCache
+    from repro.scenario import preset as load_preset
+
+    names = (
+        atlas_mod.QUICK_ATLAS_PRESETS
+        if quick
+        else atlas_mod.DEFAULT_ATLAS_PRESETS
+    )
+    scenarios = [(name, load_preset(name)) for name in names]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-atlas-") as tmp:
+        cold_cache = ResultCache(tmp, namespace="scenario")
+        cold = atlas_mod.build_atlas(scenarios, cache=cold_cache)
+        warm_cache = ResultCache(tmp, namespace="scenario")
+        warm = atlas_mod.build_atlas(scenarios, cache=warm_cache)
+    if atlas_mod.render_json(cold) != atlas_mod.render_json(
+        warm
+    ):  # pragma: no cover - safety net
+        raise AssertionError(
+            "cold/warm atlas artifacts diverged; the atlas is expected to "
+            "be byte-identical across re-runs"
+        )
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "quick": quick,
+        "presets": list(names),
+        "probes": cold.probes,
+        "generations": cold.generations,
+        "warm_cached_fraction": warm.cached_fraction,
+        "cold_s": cold.elapsed_s,
+        "warm_s": warm.elapsed_s,
+        "scenarios": [
+            {
+                "name": entry.name,
+                "probes": sum(f.evaluations for f in entry.frontiers),
+                "frontiers": {
+                    f.axis: f.frontier for f in entry.frontiers
+                },
+            }
+            for entry in cold.entries
+        ],
+        "raw_speedup": cold.elapsed_s / warm.elapsed_s,
+        "overall_speedup": min(
+            cold.elapsed_s / warm.elapsed_s, ATLAS_SPEEDUP_CAP
+        ),
+    }
+
+
+def format_atlas_entry(entry: dict) -> str:
+    """Human-readable summary of one atlas-trajectory entry."""
+    from repro.runner.report import format_table
+
+    rows = [
+        [
+            s["name"],
+            s["probes"],
+            *(
+                "—" if s["frontiers"].get(axis) is None else s["frontiers"][axis]
+                for axis in ("m", "t", "mf")
+            ),
+        ]
+        for s in entry["scenarios"]
+    ]
+    table = format_table(
+        ["preset", "probes", "m frontier", "t frontier", "mf frontier"],
+        rows,
+        title=(
+            f"atlas frontier-search benchmark ({entry['probes']} probes, "
+            f"{entry['generations']} generations)"
+        ),
+    )
+    return (
+        f"{table}\n"
+        f"cold {entry['cold_s']:.1f}s, warm {entry['warm_s']:.2f}s "
+        f"({entry['warm_cached_fraction']:.0%} cached); "
+        f"overall speedup: {entry['overall_speedup']:.1f}x "
+        f"(raw {entry['raw_speedup']:.0f}x, "
+        f"gated at {ATLAS_SPEEDUP_CAP:.0f}x)"
+    )
+
+
 def _trajectory_kind_mismatch(out: str | Path, benchmark: str) -> str | None:
     """Reject appending one benchmark's entry into the other's trajectory.
 
@@ -588,6 +702,7 @@ def main_bench(
     benchmark = {
         "scenario": "scenario_run",
         "serve": "serve",
+        "atlas": "atlas",
     }.get(which, "slot_resolution")
     if out is not None:
         mismatch = _trajectory_kind_mismatch(out, benchmark)
@@ -602,6 +717,12 @@ def main_bench(
         regression = check_regression(entry, out, label="serve")
         append_trajectory(entry, out, benchmark="serve")
         print(serve_bench.format_serve_entry(entry))
+    elif which == "atlas":
+        out = DEFAULT_ATLAS_OUT if out is None else out
+        entry = run_atlas_bench(quick=quick)
+        regression = check_regression(entry, out, label="atlas")
+        append_trajectory(entry, out, benchmark="atlas")
+        print(format_atlas_entry(entry))
     elif which == "scenario":
         out = DEFAULT_SCENARIO_OUT if out is None else out
         entry = run_scenario_bench(quick=quick)

@@ -411,6 +411,111 @@ def scan_cache_dir(directory: str | os.PathLike[str]) -> CacheDirStats:
     )
 
 
+#: Staging files younger than this may belong to an in-flight store and
+#: are never pruned; older ones are leftovers of an interrupted writer
+#: (the fsync + atomic-rename discipline means they never published).
+STALE_TMP_AGE_S = 60.0
+
+
+@dataclasses.dataclass(frozen=True)
+class PruneResult:
+    """What ``python -m repro cache prune`` did (or would do, dry-run).
+
+    ``removed``/``removed_bytes`` cover cache entries evicted by the age
+    and size policies; ``removed_tmp`` counts abandoned ``*.tmp``
+    staging files swept alongside. ``kept``/``kept_bytes`` describe the
+    surviving cache.
+    """
+
+    directory: str
+    examined: int
+    removed: int
+    removed_bytes: int
+    removed_tmp: int
+    kept: int
+    kept_bytes: int
+    dry_run: bool
+
+
+def prune_cache_dir(
+    directory: str | os.PathLike[str],
+    *,
+    max_bytes: int | None = None,
+    max_age_s: float | None = None,
+    now: float | None = None,
+    dry_run: bool = False,
+) -> PruneResult:
+    """Evict result-cache entries by age and/or total size, oldest first.
+
+    The cache's invalidation is structural (content-hash keys), so any
+    entry is safe to remove — a pruned point is simply recomputed on the
+    next sweep that needs it. Two policies compose: entries older than
+    ``max_age_s`` go first, then the oldest remaining entries until the
+    directory fits in ``max_bytes``. Abandoned staging files (older than
+    :data:`STALE_TMP_AGE_S`) are always swept. ``dry_run`` reports the
+    same :class:`PruneResult` without unlinking anything; ``now``
+    overrides the wall clock for tests.
+    """
+    if max_bytes is None and max_age_s is None:
+        raise ConfigurationError(
+            "cache prune needs a policy: pass max_bytes and/or max_age_s"
+        )
+    if max_bytes is not None and max_bytes < 0:
+        raise ConfigurationError(f"max_bytes must be >= 0, got {max_bytes}")
+    if max_age_s is not None and max_age_s < 0:
+        raise ConfigurationError(f"max_age_s must be >= 0, got {max_age_s}")
+    root = Path(directory)
+    if not root.is_dir():
+        raise ConfigurationError(f"not a cache directory: {root}")
+    clock = time.time() if now is None else now
+    entries: list[tuple[float, str, int, Path]] = []
+    for path in sorted(root.glob("*.json")):
+        try:
+            st = path.stat()
+        except OSError:
+            continue  # vanished mid-scan (a concurrent prune or writer)
+        entries.append((st.st_mtime, path.name, st.st_size, path))
+    doomed: list[tuple[int, Path]] = []
+    survivors: list[tuple[float, str, int, Path]] = []
+    for mtime, name, size, path in entries:
+        if max_age_s is not None and clock - mtime > max_age_s:
+            doomed.append((size, path))
+        else:
+            survivors.append((mtime, name, size, path))
+    if max_bytes is not None:
+        # Oldest first; file name breaks mtime ties so a dry run and the
+        # real prune agree on coarse-timestamp filesystems.
+        survivors.sort()
+        total = sum(size for _mtime, _name, size, _path in survivors)
+        while survivors and total > max_bytes:
+            _mtime, _name, size, path = survivors.pop(0)
+            doomed.append((size, path))
+            total -= size
+    removed_tmp = 0
+    for tmp in sorted(root.glob("*.json.*.tmp")):
+        try:
+            age = clock - tmp.stat().st_mtime
+        except OSError:
+            continue
+        if age > STALE_TMP_AGE_S:
+            removed_tmp += 1
+            if not dry_run:
+                tmp.unlink(missing_ok=True)
+    if not dry_run:
+        for _size, path in doomed:
+            path.unlink(missing_ok=True)
+    return PruneResult(
+        directory=str(root),
+        examined=len(entries),
+        removed=len(doomed),
+        removed_bytes=sum(size for size, _path in doomed),
+        removed_tmp=removed_tmp,
+        kept=len(survivors),
+        kept_bytes=sum(size for *_rest, size, _path in survivors),
+        dry_run=dry_run,
+    )
+
+
 # -- process-local warm-object cache -------------------------------------------
 
 
@@ -753,6 +858,73 @@ def sweep(
         outcomes.close()
     flush()
     return SweepResult(tuple(point_list), tuple(results))
+
+
+# -- batched probes ------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeBatch:
+    """Results of one :func:`probe_batch` call, in submission order.
+
+    ``computed + cached + deduped == len(results)``: every submitted
+    point was either executed, served from the on-disk cache, or folded
+    into an identical point earlier in the same batch.
+    """
+
+    results: tuple[Any, ...]
+    computed: int
+    cached: int
+    deduped: int
+
+
+def probe_batch(
+    points: Iterable[PointT],
+    run: Callable[[PointT], ResultT],
+    *,
+    workers: int | None = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> ProbeBatch:
+    """Run a batch of probe points through the sweep substrate, deduplicated.
+
+    Adaptive drivers (:mod:`repro.analysis.search`, the scenario atlas)
+    generate probe batches in which the same configuration can appear
+    more than once — several axis searches share their base spec, and a
+    bisection step may re-request an endpoint. A plain :func:`sweep`
+    would burn a cache lookup (or worse, a compute) per duplicate;
+    ``probe_batch`` folds duplicates by :func:`point_key` before
+    sweeping and fans the shared result back out, so callers get one
+    result per submitted point without caring about overlap.
+
+    The returned counters make incremental behavior observable:
+    ``cached`` counts unique points served from ``cache`` (misses caused
+    by corrupt entries still count as computed), which is what the
+    atlas's "re-runs are incremental" guarantee is asserted against.
+    """
+    point_list = list(points)
+    unique_indexes: dict[str, int] = {}
+    unique_points: list[Any] = []
+    slot_of: list[int] = []
+    for point in point_list:
+        key = point_key(point)
+        slot = unique_indexes.get(key)
+        if slot is None:
+            slot = len(unique_points)
+            unique_indexes[key] = slot
+            unique_points.append(point)
+        slot_of.append(slot)
+    hits_before = cache.stats.hits if cache is not None else 0
+    result = sweep(
+        unique_points, run, workers=workers, cache=cache, progress=progress
+    )
+    cached = (cache.stats.hits - hits_before) if cache is not None else 0
+    return ProbeBatch(
+        results=tuple(result.results[slot] for slot in slot_of),
+        computed=len(unique_points) - cached,
+        cached=cached,
+        deduped=len(point_list) - len(unique_points),
+    )
 
 
 # -- chaos injection points ----------------------------------------------------

@@ -16,6 +16,7 @@ from repro.errors import ConfigurationError
 from repro.runner.parallel import (
     PersistentPool,
     ResultCache,
+    prune_cache_dir,
     scan_cache_dir,
 )
 from repro.serve.http import run_daemon
@@ -176,9 +177,62 @@ def cache_stats_command(directory: str, *, as_json: bool = False) -> int:
     return 0
 
 
+#: Size-suffix multipliers ``--max-bytes`` accepts (binary, like du -h).
+_SIZE_SUFFIXES = {"": 1, "K": 1024, "M": 1024**2, "G": 1024**3}
+
+
+def parse_size(text: str) -> int:
+    """Parse ``--max-bytes`` values like ``500M``, ``2G``, ``1048576``."""
+    raw = text.strip().upper().removesuffix("B")
+    suffix = raw[-1:] if raw[-1:] in _SIZE_SUFFIXES and raw[-1:].isalpha() else ""
+    number = raw.removesuffix(suffix) if suffix else raw
+    try:
+        value = float(number)
+    except ValueError:
+        raise ConfigurationError(
+            f"invalid size {text!r}; expected e.g. 1048576, 500M, or 2G"
+        ) from None
+    if value < 0:
+        raise ConfigurationError(f"size must be >= 0, got {text!r}")
+    return int(value * _SIZE_SUFFIXES[suffix])
+
+
+def cache_prune_command(
+    directory: str,
+    *,
+    max_bytes: str | None = None,
+    max_age_days: float | None = None,
+    dry_run: bool = False,
+) -> int:
+    """Entry point behind ``python -m repro cache prune``."""
+    try:
+        result = prune_cache_dir(
+            directory,
+            max_bytes=parse_size(max_bytes) if max_bytes is not None else None,
+            max_age_s=(
+                max_age_days * 86400.0 if max_age_days is not None else None
+            ),
+            dry_run=dry_run,
+        )
+    except (ConfigurationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    verb = "would remove" if result.dry_run else "removed"
+    print(f"cache dir: {result.directory}")
+    print(
+        f"{verb}:   {result.removed} of {result.examined} entries "
+        f"({result.removed_bytes} bytes) and {result.removed_tmp} "
+        f"stale tmp file(s)"
+    )
+    print(f"kept:      {result.kept} entries ({result.kept_bytes} bytes)")
+    return 0
+
+
 __all__ = [
     "build_service",
+    "cache_prune_command",
     "cache_stats_command",
+    "parse_size",
     "run_stdin_batch",
     "serve_command",
 ]

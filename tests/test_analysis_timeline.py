@@ -4,7 +4,8 @@ from repro.adversary.placement import RandomPlacement, two_stripe_band
 from repro.analysis.timeline import propagation_timeline
 from repro.network.grid import Grid, GridSpec
 from repro.network.node import NodeTable
-from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
+from repro.runner.broadcast_run import ThresholdRunConfig
+from repro.scenario import run
 
 
 class StubNode:
@@ -73,7 +74,7 @@ def test_real_run_front_is_monotone():
         protocol="b",
         batch_per_slot=2,
     )
-    report = run_threshold_broadcast(cfg)
+    report = run(cfg.to_scenario_spec())
     assert report.success
     timeline = propagation_timeline(report.table, report.nodes)
     assert timeline.front_is_monotone
@@ -95,7 +96,7 @@ def test_starved_band_shows_in_timeline():
         protected=band,
         batch_per_slot=4,
     )
-    report = run_threshold_broadcast(cfg)
+    report = run(cfg.to_scenario_spec())
     timeline = propagation_timeline(report.table, report.nodes)
     assert timeline.covered_radius < 15
     incomplete = [b for b in timeline.buckets if not b.complete]

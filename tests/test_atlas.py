@@ -1,0 +1,162 @@
+"""Tests for the scenario atlas: determinism, incrementality, artifacts."""
+
+import json
+
+import pytest
+
+from repro.analysis import atlas as atlas_mod
+from repro.analysis.atlas import (
+    ATLAS_VERSION,
+    DEFAULT_AXES,
+    atlas_command,
+    build_atlas,
+    render_json,
+    render_markdown,
+    write_artifacts,
+)
+from repro.errors import ConfigurationError
+from repro.runner.parallel import ResultCache, probe_batch
+from repro.scenario import preset
+
+
+@pytest.fixture(scope="module")
+def quickstart_atlas():
+    """One uncached quickstart atlas, shared by the read-only tests."""
+    return build_atlas([("quickstart", preset("quickstart"))])
+
+
+class TestProbeBatch:
+    def test_preserves_order_and_duplicates(self):
+        batch = probe_batch([3, 1, 3, 2, 1], lambda x: x * x)
+        assert batch.results == (9, 1, 9, 4, 1)
+        assert batch.deduped == 2
+        assert batch.computed == 3
+
+    def test_cache_split_counts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = probe_batch([1, 2], lambda x: x + 10, cache=cache)
+        assert (first.computed, first.cached) == (2, 0)
+        second = probe_batch([1, 2, 3], lambda x: x + 10, cache=cache)
+        assert (second.computed, second.cached) == (1, 2)
+        assert second.results == (11, 12, 13)
+
+
+class TestBuildAtlas:
+    def test_covers_every_axis_per_scenario(self, quickstart_atlas):
+        (entry,) = quickstart_atlas.entries
+        assert entry.name == "quickstart"
+        assert tuple(f.axis for f in entry.frontiers) == DEFAULT_AXES
+        assert all(f.evaluations > 0 for f in entry.frontiers)
+
+    def test_axis_subset_and_unknown_axis(self):
+        result = build_atlas(
+            [("quickstart", preset("quickstart"))], axes=("m",)
+        )
+        (entry,) = result.entries
+        assert [f.axis for f in entry.frontiers] == ["m"]
+        with pytest.raises(ConfigurationError, match="unknown atlas axis"):
+            build_atlas([("quickstart", preset("quickstart"))], axes=("q",))
+
+    def test_deterministic_and_incremental(self, tmp_path):
+        scenarios = [("quickstart", preset("quickstart"))]
+        cold_cache = ResultCache(tmp_path, namespace="scenario")
+        cold = build_atlas(scenarios, cache=cold_cache)
+        warm_cache = ResultCache(tmp_path, namespace="scenario")
+        warm = build_atlas(scenarios, cache=warm_cache)
+        # Same frontiers, byte-identical artifacts.
+        assert render_json(cold) == render_json(warm)
+        assert render_markdown(cold) == render_markdown(warm)
+        # The acceptance bar: a repeat run answers >=90% from the cache.
+        assert warm.probes == cold.probes
+        assert warm.cached_fraction >= 0.9
+
+    def test_parallel_matches_serial(self, quickstart_atlas):
+        parallel = build_atlas(
+            [("quickstart", preset("quickstart"))], workers=2
+        )
+        assert render_json(parallel) == render_json(quickstart_atlas)
+
+
+class TestArtifacts:
+    def test_json_shape(self, quickstart_atlas):
+        payload = json.loads(render_json(quickstart_atlas))
+        assert payload["atlas_version"] == ATLAS_VERSION
+        (scenario,) = payload["scenarios"]
+        assert scenario["name"] == "quickstart"
+        assert scenario["baseline"]["m0"] >= 1
+        axes = {a["axis"]: a for a in scenario["axes"]}
+        assert set(axes) == set(DEFAULT_AXES)
+        for axis in axes.values():
+            assert axis["probes"], "every axis must carry probe evidence"
+            values = [p["value"] for p in axis["probes"]]
+            assert values == sorted(values)
+
+    def test_no_run_provenance_in_artifacts(self, quickstart_atlas):
+        # Determinism bar: timestamps/durations/cache stats must never
+        # leak into the artifacts, or re-runs stop being byte-identical.
+        blob = render_json(quickstart_atlas) + render_markdown(
+            quickstart_atlas
+        )
+        for marker in ("timestamp", "elapsed", "cached", "hits"):
+            assert marker not in blob
+
+    def test_markdown_mentions_frontiers_and_theory(self, quickstart_atlas):
+        text = render_markdown(quickstart_atlas)
+        assert "# Scenario atlas" in text
+        assert "## quickstart" in text
+        assert "m0=" in text and "2·m0=" in text
+        assert "| axis |" in text
+
+    def test_write_artifacts(self, tmp_path, quickstart_atlas):
+        md_path, json_path = write_artifacts(quickstart_atlas, tmp_path / "out")
+        assert md_path.read_text() == render_markdown(quickstart_atlas)
+        assert json.loads(json_path.read_text())["scenarios"]
+
+
+class TestAtlasCommand:
+    def test_quick_cli_end_to_end(self, tmp_path, capsys):
+        code = atlas_command(
+            (),
+            quick=True,
+            cache_dir=str(tmp_path / "cache"),
+            out_dir=str(tmp_path / "atlas"),
+            show_progress=False,
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quickstart:" in out
+        assert "[atlas:" in out
+        first_md = (tmp_path / "atlas" / "atlas.md").read_bytes()
+        # Second invocation: byte-identical artifact, served from cache.
+        code = atlas_command(
+            (),
+            quick=True,
+            cache_dir=str(tmp_path / "cache"),
+            out_dir=str(tmp_path / "atlas"),
+            show_progress=False,
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert (tmp_path / "atlas" / "atlas.md").read_bytes() == first_md
+        # All probes answered by the cache on the repeat run.
+        assert "(13 cached" in out or "cached" in out
+
+    def test_explicit_presets_and_axes(self, tmp_path, capsys):
+        code = atlas_command(
+            ("quickstart",),
+            axes="m",
+            out_dir=str(tmp_path / "atlas"),
+            show_progress=False,
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "atlas" / "atlas.json").read_text())
+        (scenario,) = payload["scenarios"]
+        assert [a["axis"] for a in scenario["axes"]] == ["m"]
+
+
+def test_quick_presets_are_a_subset_of_the_full_slice():
+    assert set(atlas_mod.QUICK_ATLAS_PRESETS) <= set(
+        atlas_mod.DEFAULT_ATLAS_PRESETS
+    )
+    for name in atlas_mod.DEFAULT_ATLAS_PRESETS:
+        preset(name)  # every atlas preset must exist

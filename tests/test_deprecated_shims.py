@@ -22,6 +22,14 @@ from repro.runner.broadcast_run import (
 )
 from repro.scenario import run
 
+# This file exercises the deprecated shims on purpose; undo pytest.ini's
+# error filters so the deliberate warnings stay observable warnings.
+pytestmark = [
+    pytest.mark.filterwarnings("default:run_threshold_broadcast is deprecated"),
+    pytest.mark.filterwarnings("default:run_reactive_broadcast is deprecated"),
+    pytest.mark.filterwarnings("default:repro.runner.sweep is deprecated"),
+]
+
 SPEC = GridSpec(width=12, height=12, r=1, torus=True)
 
 

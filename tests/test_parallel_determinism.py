@@ -25,7 +25,8 @@ from repro.experiments.e7_reactive import run_reactive
 from repro.experiments.e9_ablations import run_growth_shape
 from repro.network.grid import Grid, GridSpec
 from repro.radio.medium import Medium
-from repro.runner.broadcast_run import ReactiveRunConfig, run_reactive_broadcast
+from repro.runner.broadcast_run import ReactiveRunConfig
+from repro.scenario import run as run_spec
 from repro.adversary.placement import RandomPlacement
 
 
@@ -140,7 +141,7 @@ class TestFastPathScenarioEquivalence:
             seed=3,
         )
         recorded = self._harvest(
-            monkeypatch, lambda: run_reactive_broadcast(cfg)
+            monkeypatch, lambda: run_spec(cfg.to_scenario_spec())
         )
         self._assert_equivalent(recorded)
 
@@ -164,9 +165,9 @@ class TestFastPathScenarioEquivalence:
             placement=RandomPlacement(t=1, count=4, seed=77),
             seed=5,
         )
-        fast_report = run_reactive_broadcast(cfg)
+        fast_report = run_spec(cfg.to_scenario_spec())
         monkeypatch.setattr(medium_mod, "DEFAULT_FAST", False)
-        slow_report = run_reactive_broadcast(cfg)
+        slow_report = run_spec(cfg.to_scenario_spec())
         assert fast_report.outcome == slow_report.outcome
         assert fast_report.costs == slow_report.costs
         assert fast_report.stats == slow_report.stats

@@ -12,7 +12,8 @@ from repro.protocols.reactive import (
     ReactivePhase,
 )
 from repro.radio.messages import MessageKind
-from repro.runner.broadcast_run import ReactiveRunConfig, run_reactive_broadcast
+from repro.runner.broadcast_run import ReactiveRunConfig
+from repro.scenario import run
 from repro.types import Role
 
 
@@ -137,7 +138,7 @@ def reactive_run(**kwargs):
         seed=0,
     )
     defaults.update(kwargs)
-    return run_reactive_broadcast(ReactiveRunConfig(**defaults))
+    return run(ReactiveRunConfig(**defaults).to_scenario_spec())
 
 
 class TestBReactiveIntegration:

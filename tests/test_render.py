@@ -4,7 +4,8 @@ from repro.adversary.placement import RandomPlacement
 from repro.analysis.render import coverage_summary, render_decisions
 from repro.network.grid import Grid, GridSpec
 from repro.network.node import NodeTable
-from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
+from repro.runner.broadcast_run import ThresholdRunConfig
+from repro.scenario import run
 
 
 class StubNode:
@@ -60,7 +61,7 @@ def test_render_on_real_run():
         protocol="b",
         batch_per_slot=4,
     )
-    report = run_threshold_broadcast(cfg)
+    report = run(cfg.to_scenario_spec())
     art = render_decisions(report.table, report.nodes, 1)
     assert art.count("S") == 1
     assert art.count("x") == 4

@@ -7,9 +7,11 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.runner.parallel import (
+    STALE_TMP_AGE_S,
     ResultCache,
     decode_result,
     encode_result,
+    prune_cache_dir,
     scan_cache_dir,
     sweep,
 )
@@ -293,3 +295,100 @@ class TestAtomicStore:
             cache.put(ConfigPoint(4, 4, 4), 16)
         assert list(tmp_path.glob("*.tmp")) == []
         assert cache.stats.stores == 0
+
+
+class TestPruneCacheDir:
+    def _fill(self, tmp_path, count, *, mtime_start=1000.0):
+        """Store ``count`` entries with strictly increasing mtimes."""
+        import os
+
+        cache = ResultCache(tmp_path)
+        for i in range(count):
+            cache.put((i,), {"payload": "x" * 50, "i": i})
+            path = cache.path_for((i,))
+            os.utime(path, (mtime_start + i, mtime_start + i))
+        return cache
+
+    def test_requires_a_policy(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="policy"):
+            prune_cache_dir(tmp_path)
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not a cache directory"):
+            prune_cache_dir(tmp_path / "nope", max_bytes=0)
+
+    def test_age_policy_removes_only_old_entries(self, tmp_path):
+        self._fill(tmp_path, 4, mtime_start=1000.0)
+        # now=1103.5: entries at 1000/1001 are older than 102s, 1002/1003 not.
+        result = prune_cache_dir(tmp_path, max_age_s=102.0, now=1103.5)
+        assert result.removed == 2 and result.kept == 2
+        assert scan_cache_dir(tmp_path).entries == 2
+        cache = ResultCache(tmp_path)
+        assert cache.get((0,)) == (False, None)
+        hit, value = cache.get((3,))
+        assert hit and value["i"] == 3
+
+    def test_size_policy_evicts_oldest_first(self, tmp_path):
+        self._fill(tmp_path, 4)
+        total = scan_cache_dir(tmp_path).total_bytes
+        per_entry = total // 4
+        result = prune_cache_dir(
+            tmp_path, max_bytes=2 * per_entry + 1, now=2000.0
+        )
+        assert result.removed == 2
+        cache = ResultCache(tmp_path)
+        assert not cache.get((0,))[0] and not cache.get((1,))[0]
+        assert cache.get((2,))[0] and cache.get((3,))[0]
+
+    def test_policies_compose(self, tmp_path):
+        self._fill(tmp_path, 4, mtime_start=1000.0)
+        # Age removes the oldest entry; size then shaves down to one.
+        per_entry = scan_cache_dir(tmp_path).total_bytes // 4
+        result = prune_cache_dir(
+            tmp_path, max_bytes=per_entry, max_age_s=102.5, now=1103.0
+        )
+        assert result.removed == 3 and result.kept == 1
+        assert ResultCache(tmp_path).get((3,))[0]
+
+    def test_dry_run_reports_without_unlinking(self, tmp_path):
+        self._fill(tmp_path, 3)
+        result = prune_cache_dir(tmp_path, max_bytes=0, dry_run=True)
+        assert result.dry_run and result.removed == 3
+        assert scan_cache_dir(tmp_path).entries == 3
+
+    def test_dry_run_matches_real_prune(self, tmp_path):
+        self._fill(tmp_path, 5)
+        preview = prune_cache_dir(
+            tmp_path, max_bytes=200, now=3000.0, dry_run=True
+        )
+        real = prune_cache_dir(tmp_path, max_bytes=200, now=3000.0)
+        assert (preview.removed, preview.removed_bytes, preview.kept) == (
+            real.removed,
+            real.removed_bytes,
+            real.kept,
+        )
+        assert scan_cache_dir(tmp_path).entries == real.kept
+
+    def test_stale_tmp_swept_fresh_tmp_kept(self, tmp_path):
+        import os
+
+        self._fill(tmp_path, 1, mtime_start=5000.0)
+        stale = tmp_path / "sweep-feedface.json.123.tmp"
+        fresh = tmp_path / "sweep-deadbeef.json.456.tmp"
+        stale.write_text("{}")
+        fresh.write_text("{}")
+        os.utime(stale, (5000.0, 5000.0))
+        now = 5000.0 + STALE_TMP_AGE_S + 5
+        os.utime(fresh, (now, now))
+        result = prune_cache_dir(tmp_path, max_age_s=10**6, now=now)
+        assert result.removed_tmp == 1
+        assert not stale.exists() and fresh.exists()
+
+    def test_pruned_point_is_recomputed_not_failed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sweep([1, 2, 3], double, cache=cache)
+        prune_cache_dir(tmp_path, max_bytes=0)
+        fresh = ResultCache(tmp_path)
+        result = sweep([1, 2, 3], double, cache=fresh)
+        assert result.results == (2, 4, 6)
+        assert fresh.stats.hits == 0 and fresh.stats.stores == 3

@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis.metrics import BroadcastOutcome
 from repro.runner.report import format_table
-from repro.runner.sweep import sweep
+from repro.runner.parallel import sweep
 
 
 class TestFormatTable:

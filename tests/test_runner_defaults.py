@@ -6,12 +6,8 @@ from repro.adversary.placement import RandomPlacement
 from repro.analysis.bounds import koo_budget, protocol_b_relay_count
 from repro.network.grid import GridSpec
 from repro.protocols.protocol_b import protocol_b_required_budget
-from repro.runner.broadcast_run import (
-    ReactiveRunConfig,
-    ThresholdRunConfig,
-    run_reactive_broadcast,
-    run_threshold_broadcast,
-)
+from repro.runner.broadcast_run import ReactiveRunConfig, ThresholdRunConfig
+from repro.scenario import run as run_spec
 
 SPEC = GridSpec(width=12, height=12, r=1, torus=True)
 PLACEMENT = RandomPlacement(t=1, count=4, seed=9)
@@ -22,7 +18,7 @@ def run(**kwargs):
         spec=SPEC, t=1, mf=2, placement=PLACEMENT, protocol="b", batch_per_slot=4
     )
     defaults.update(kwargs)
-    return run_threshold_broadcast(ThresholdRunConfig(**defaults))
+    return run_spec(ThresholdRunConfig(**defaults).to_scenario_spec())
 
 
 class TestDefaultBudgets:
@@ -79,10 +75,10 @@ class TestMaxRoundsDefaults:
         assert not report.stats.quiescent
 
     def test_reactive_default_cap_suffices(self):
-        report = run_reactive_broadcast(
+        report = run_spec(
             ReactiveRunConfig(
                 spec=SPEC, t=1, mf=1, mmax=100, placement=PLACEMENT, seed=0
-            )
+            ).to_scenario_spec()
         )
         assert report.success and report.stats.quiescent
 

@@ -19,7 +19,7 @@ from repro.runner.parallel import (
     point_seed,
     sweep,
 )
-from repro.runner.sweep import SweepResult
+from repro.runner.parallel import SweepResult
 
 
 @dataclass(frozen=True)

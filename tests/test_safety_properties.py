@@ -16,12 +16,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.adversary.placement import RandomPlacement
 from repro.network.grid import GridSpec
-from repro.runner.broadcast_run import (
-    ReactiveRunConfig,
-    ThresholdRunConfig,
-    run_reactive_broadcast,
-    run_threshold_broadcast,
-)
+from repro.runner.broadcast_run import ReactiveRunConfig, ThresholdRunConfig
+from repro.scenario import run
 
 SPEC = GridSpec(width=12, height=12, r=1, torus=True)
 
@@ -39,7 +35,7 @@ scenario = st.fixed_dictionaries(
 
 
 def run_scenario(cfg):
-    return run_threshold_broadcast(
+    return run(
         ThresholdRunConfig(
             spec=SPEC,
             t=cfg["t"],
@@ -51,7 +47,7 @@ def run_scenario(cfg):
             behavior=cfg["behavior"],
             m=cfg["m"] if cfg["protocol"] != "heter" else None,
             batch_per_slot=4,
-        )
+        ).to_scenario_spec()
     )
 
 
@@ -89,7 +85,7 @@ def test_runs_are_deterministic(cfg):
     st.integers(1, 3),  # mf
 )
 def test_reactive_safety_with_recommended_code(placement_seed, seed, mf):
-    report = run_reactive_broadcast(
+    report = run(
         ReactiveRunConfig(
             spec=SPEC,
             t=1,
@@ -97,7 +93,7 @@ def test_reactive_safety_with_recommended_code(placement_seed, seed, mf):
             mmax=10**4,
             placement=RandomPlacement(t=1, count=6, seed=placement_seed),
             seed=seed,
-        )
+        ).to_scenario_spec()
     )
     # With the recommended code length, forgery probability is ~1e-7 per
     # attack: these runs must deliver everywhere, correctly.

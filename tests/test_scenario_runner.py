@@ -67,7 +67,20 @@ class TestRegistries:
 
 
 class TestRunEquivalence:
-    """run(spec) reproduces the deprecated entry points bit-for-bit."""
+    """run(spec) reproduces the deprecated entry points bit-for-bit.
+
+    The class calls the shims on purpose, so it opts back out of the
+    pytest.ini error filters for repro's own deprecation warnings.
+    """
+
+    pytestmark = [
+        pytest.mark.filterwarnings(
+            "default:run_threshold_broadcast is deprecated"
+        ),
+        pytest.mark.filterwarnings(
+            "default:run_reactive_broadcast is deprecated"
+        ),
+    ]
 
     def test_threshold_matches_deprecated_shim(self):
         cfg = ThresholdRunConfig(

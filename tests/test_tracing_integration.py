@@ -2,7 +2,8 @@
 
 from repro.adversary.placement import RandomPlacement, two_stripe_band
 from repro.network.grid import Grid, GridSpec
-from repro.runner.broadcast_run import ThresholdRunConfig, run_threshold_broadcast
+from repro.runner.broadcast_run import ThresholdRunConfig
+from repro.scenario import run
 from repro.sim.trace import Tracer
 
 
@@ -17,7 +18,7 @@ def test_deliveries_traced_match_stats():
         batch_per_slot=4,
         tracer=tracer,
     )
-    report = run_threshold_broadcast(cfg)
+    report = run(cfg.to_scenario_spec(), tracer=tracer)
     assert report.success
     assert tracer.count("radio.deliver") == report.stats.deliveries
     corrupted = [
@@ -43,7 +44,7 @@ def test_jam_events_traced_and_charged():
         batch_per_slot=4,
         tracer=tracer,
     )
-    report = run_threshold_broadcast(cfg)
+    report = run(cfg.to_scenario_spec(), tracer=tracer)
     jams = tracer.of_kind("adversary.jam")
     assert len(jams) == report.costs.bad_total
     # Every traced jammer really is a Byzantine node and was charged.
